@@ -1,0 +1,26 @@
+//! E10 — index build time vs. document size.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use extract_datagen::auction::AuctionConfig;
+use extract_index::XmlIndex;
+use std::hint::black_box;
+
+fn bench_indexing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_index_build");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    for target in [10_000usize, 50_000, 200_000] {
+        let doc = AuctionConfig::with_target_nodes(target, 3).generate();
+        let nodes = doc.len();
+        group.throughput(Throughput::Elements(nodes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| black_box(XmlIndex::build(&doc)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexing);
+criterion_main!(benches);

@@ -1,0 +1,274 @@
+//! The end-to-end eXtract system (paper Figure 4).
+//!
+//! [`Extract::new`] runs the offline stages — Data Analyzer (entity model),
+//! Index Builder, key mining — once per document. Each query then flows
+//! through Return Entity Identifier → Query Result Key Identifier →
+//! Dominant Feature Identifier → IList → Instance Selector.
+
+use extract_analyzer::{EntityModel, KeyCatalog};
+use extract_index::XmlIndex;
+use extract_search::xseek::{self, RootPolicy};
+use extract_search::{KeywordQuery, QueryResult};
+use extract_xml::{Document, NodeId};
+
+use crate::ilist::{build_ilist, IList, IListOptions};
+use crate::selector::{exact_select, greedy_select, ExactLimits, SelectionOutcome};
+use crate::snippet::Snippet;
+
+/// Which instance selector to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectorKind {
+    /// The paper's greedy algorithm (default).
+    #[default]
+    Greedy,
+    /// Exact branch-and-bound (small inputs only; falls back to greedy when
+    /// the search budget is exceeded).
+    Exact,
+}
+
+/// Snippet generation parameters.
+#[derive(Debug, Clone)]
+pub struct ExtractConfig {
+    /// Maximum snippet size in element edges (the demo UI's "snippet size
+    /// upper bound … defined as the number of edges in the tree").
+    pub size_bound: usize,
+    /// Cap on dominant features entering the IList (`None` = all).
+    pub max_dominant_features: Option<usize>,
+    /// Greedy or exact selection.
+    pub selector: SelectorKind,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        ExtractConfig { size_bound: 20, max_dominant_features: None, selector: SelectorKind::Greedy }
+    }
+}
+
+impl ExtractConfig {
+    /// A config with the given size bound and defaults elsewhere.
+    pub fn with_bound(size_bound: usize) -> ExtractConfig {
+        ExtractConfig { size_bound, ..Default::default() }
+    }
+}
+
+/// A query result paired with its generated snippet.
+#[derive(Debug, Clone)]
+pub struct SnippetedResult {
+    /// The query result.
+    pub result: QueryResult,
+    /// The IList that drove snippet generation.
+    pub ilist: IList,
+    /// The snippet.
+    pub snippet: Snippet,
+}
+
+/// The eXtract system bound to one document.
+#[derive(Debug)]
+pub struct Extract<'d> {
+    doc: &'d Document,
+    index: XmlIndex,
+    model: EntityModel,
+    keys: KeyCatalog,
+}
+
+impl<'d> Extract<'d> {
+    /// Run the offline stages for `doc`.
+    pub fn new(doc: &'d Document) -> Extract<'d> {
+        let index = XmlIndex::build(doc);
+        let model = EntityModel::analyze(doc);
+        let keys = KeyCatalog::mine(doc, &model);
+        Extract { doc, index, model, keys }
+    }
+
+    /// Assemble from pre-built components.
+    pub fn from_parts(
+        doc: &'d Document,
+        index: XmlIndex,
+        model: EntityModel,
+        keys: KeyCatalog,
+    ) -> Extract<'d> {
+        Extract { doc, index, model, keys }
+    }
+
+    /// The document.
+    pub fn document(&self) -> &'d Document {
+        self.doc
+    }
+
+    /// The index.
+    pub fn index(&self) -> &XmlIndex {
+        &self.index
+    }
+
+    /// The entity model.
+    pub fn model(&self) -> &EntityModel {
+        &self.model
+    }
+
+    /// The mined key catalog.
+    pub fn keys(&self) -> &KeyCatalog {
+        &self.keys
+    }
+
+    /// Build the IList of one query result (§2.1–§2.3).
+    pub fn ilist(&self, query: &KeywordQuery, result: &QueryResult, config: &ExtractConfig) -> IList {
+        build_ilist(
+            self.doc,
+            &self.model,
+            &self.keys,
+            query,
+            result,
+            &IListOptions { max_dominant_features: config.max_dominant_features },
+        )
+    }
+
+    /// Generate the snippet of one query result (§2.4).
+    pub fn snippet(
+        &self,
+        query: &KeywordQuery,
+        result: &QueryResult,
+        config: &ExtractConfig,
+    ) -> SnippetedResult {
+        let ilist = self.ilist(query, result, config);
+        let outcome = self.select(&ilist, result.root, config);
+        let snippet = Snippet::from_selection(self.doc, &ilist, outcome);
+        SnippetedResult { result: result.clone(), ilist, snippet }
+    }
+
+    fn select(&self, ilist: &IList, root: NodeId, config: &ExtractConfig) -> SelectionOutcome {
+        match config.selector {
+            SelectorKind::Greedy => greedy_select(self.doc, ilist, root, config.size_bound),
+            SelectorKind::Exact => {
+                exact_select(self.doc, ilist, root, config.size_bound, ExactLimits::default())
+                    .unwrap_or_else(|| greedy_select(self.doc, ilist, root, config.size_bound))
+            }
+        }
+    }
+
+    /// End-to-end: run the built-in XSeek-style engine on `query_str`, then
+    /// generate a snippet per result (ranked result order).
+    pub fn snippets_for_query(&self, query_str: &str, config: &ExtractConfig) -> Vec<SnippetedResult> {
+        let query = KeywordQuery::parse(query_str);
+        let results =
+            xseek::search(self.doc, &self.index, &self.model, &query, RootPolicy::Entity);
+        let ranked = extract_search::rank(self.doc, results);
+        ranked
+            .into_iter()
+            .map(|r| self.snippet(&query, &r.result, config))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STORES: &str = "<stores>\
+        <store><name>Levis</name><state>Texas</state>\
+          <merchandises>\
+            <clothes><fitting>man</fitting><category>jeans</category></clothes>\
+            <clothes><fitting>man</fitting><category>jeans</category></clothes>\
+            <clothes><fitting>woman</fitting><category>hats</category></clothes>\
+          </merchandises>\
+        </store>\
+        <store><name>ESprit</name><state>Texas</state>\
+          <merchandises>\
+            <clothes><fitting>woman</fitting><category>outwear</category></clothes>\
+            <clothes><fitting>woman</fitting><category>outwear</category></clothes>\
+            <clothes><fitting>man</fitting><category>socks</category></clothes>\
+          </merchandises>\
+        </store>\
+        <store><name>Gap</name><state>Ohio</state>\
+          <merchandises><clothes><fitting>man</fitting><category>shirts</category></clothes></merchandises>\
+        </store>\
+        </stores>";
+
+    #[test]
+    fn end_to_end_produces_one_snippet_per_result() {
+        let doc = Document::parse_str(STORES).unwrap();
+        let extract = Extract::new(&doc);
+        let out = extract.snippets_for_query("store texas", &ExtractConfig::with_bound(6));
+        assert_eq!(out.len(), 2);
+        for s in &out {
+            assert!(s.snippet.edges <= 6);
+            assert!(s.snippet.coverage() > 0);
+        }
+        // Each snippet carries its store's key, making them distinguishable.
+        let xmls: Vec<String> = out.iter().map(|s| s.snippet.to_xml()).collect();
+        assert!(xmls.iter().any(|x| x.contains("Levis")));
+        assert!(xmls.iter().any(|x| x.contains("ESprit")));
+        assert_ne!(xmls[0], xmls[1]);
+    }
+
+    #[test]
+    fn snippets_show_dominant_features() {
+        let doc = Document::parse_str(STORES).unwrap();
+        let extract = Extract::new(&doc);
+        let out = extract.snippets_for_query("store texas", &ExtractConfig::with_bound(8));
+        let levis = out
+            .iter()
+            .find(|s| s.snippet.to_xml().contains("Levis"))
+            .expect("levis result");
+        let xml = levis.snippet.to_xml();
+        assert!(xml.contains("jeans"), "dominant category: {xml}");
+        assert!(xml.contains("man"), "dominant fitting: {xml}");
+        let esprit = out
+            .iter()
+            .find(|s| s.snippet.to_xml().contains("ESprit"))
+            .expect("esprit result");
+        let xml = esprit.snippet.to_xml();
+        assert!(xml.contains("outwear"), "{xml}");
+        assert!(xml.contains("woman"), "{xml}");
+    }
+
+    #[test]
+    fn exact_selector_is_at_least_as_good() {
+        let doc = Document::parse_str(STORES).unwrap();
+        let extract = Extract::new(&doc);
+        let query = KeywordQuery::parse("store texas");
+        let results = xseek::search(
+            &doc,
+            extract.index(),
+            extract.model(),
+            &query,
+            RootPolicy::Entity,
+        );
+        for result in &results {
+            for bound in [2, 4, 6, 8] {
+                let greedy = extract.snippet(
+                    &query,
+                    result,
+                    &ExtractConfig { size_bound: bound, ..Default::default() },
+                );
+                let exact = extract.snippet(
+                    &query,
+                    result,
+                    &ExtractConfig {
+                        size_bound: bound,
+                        selector: SelectorKind::Exact,
+                        ..Default::default()
+                    },
+                );
+                assert!(exact.snippet.coverage() >= greedy.snippet.coverage());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_yields_no_snippets() {
+        let doc = Document::parse_str(STORES).unwrap();
+        let extract = Extract::new(&doc);
+        assert!(extract.snippets_for_query("", &Default::default()).is_empty());
+        assert!(extract
+            .snippets_for_query("zzz qqq", &Default::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c = ExtractConfig::default();
+        assert_eq!(c.size_bound, 20);
+        assert_eq!(c.selector, SelectorKind::Greedy);
+        assert_eq!(ExtractConfig::with_bound(7).size_bound, 7);
+    }
+}

@@ -1,0 +1,301 @@
+//! Exact instance selection by depth-first branch-and-bound.
+//!
+//! The optimization problem — pick at most one instance per IList item so
+//! that the ancestor closure under the root has at most *B* edges and the
+//! number of covered items is maximum — is NP-hard, so this solver is
+//! exponential in the worst case. It exists to *measure* the greedy
+//! algorithm's optimality gap (experiment E8) on small inputs, and refuses
+//! to run past a configurable search budget instead of hanging.
+//!
+//! Ties between optima are broken toward lexicographically-earlier covered
+//! item sets (the same preference order as the greedy), so results are
+//! deterministic.
+
+use extract_xml::{Document, NodeId};
+
+use crate::ilist::IList;
+use crate::selector::{SelectionOutcome, SnippetTree};
+
+/// Resource limits for the exact search.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactLimits {
+    /// Maximum number of explored search states.
+    pub max_states: u64,
+}
+
+impl Default for ExactLimits {
+    fn default() -> Self {
+        ExactLimits { max_states: 2_000_000 }
+    }
+}
+
+struct Search<'a> {
+    ilist: &'a IList,
+    bound: usize,
+    limits: ExactLimits,
+    states: u64,
+    best: Option<SelectionOutcome>,
+}
+
+/// Exhaustively find a selection with maximum coverage. Returns `None` if
+/// the search exceeded `limits.max_states` (the caller should fall back to
+/// the greedy result).
+pub fn exact_select(
+    doc: &Document,
+    ilist: &IList,
+    root: NodeId,
+    bound: usize,
+    limits: ExactLimits,
+) -> Option<SelectionOutcome> {
+    let mut search = Search { ilist, bound, limits, states: 0, best: None };
+    let tree = SnippetTree::new(doc, root);
+    let mut covered: Vec<usize> = Vec::new();
+    if !search.dfs(0, tree, &mut covered) {
+        return None; // budget exhausted
+    }
+    search.best.or_else(|| {
+        // No items at all: the empty selection is optimal.
+        Some(SelectionOutcome {
+            covered: Vec::new(),
+            skipped: (0..ilist.len()).collect(),
+            nodes: SnippetTree::new(doc, root).into_nodes(),
+            edges: 0,
+        })
+    })
+}
+
+impl Search<'_> {
+    /// Returns `false` when the state budget is exhausted.
+    fn dfs(&mut self, item: usize, tree: SnippetTree<'_>, covered: &mut Vec<usize>) -> bool {
+        self.states += 1;
+        if self.states > self.limits.max_states {
+            return false;
+        }
+        // Upper bound: everything remaining could still be covered.
+        let optimistic = covered.len() + (self.ilist.len() - item);
+        if let Some(best) = &self.best {
+            if optimistic < best.coverage()
+                || (optimistic == best.coverage() && !lex_could_beat(covered, &best.covered))
+            {
+                return true; // prune
+            }
+        }
+        if item == self.ilist.len() {
+            let candidate_better = match &self.best {
+                None => true,
+                Some(best) => {
+                    covered.len() > best.coverage()
+                        || (covered.len() == best.coverage()
+                            && (covered.as_slice() < best.covered.as_slice()
+                                || (covered.as_slice() == best.covered.as_slice()
+                                    && tree.edges() < best.edges)))
+                }
+            };
+            if candidate_better {
+                let edges = tree.edges();
+                let skipped =
+                    (0..self.ilist.len()).filter(|i| !covered.contains(i)).collect();
+                self.best = Some(SelectionOutcome {
+                    covered: covered.clone(),
+                    skipped,
+                    nodes: tree.nodes().clone(),
+                    edges,
+                });
+            }
+            return true;
+        }
+
+        // Candidate instances, cheapest first for better pruning; dedup
+        // equal-cost instances that lead to identical trees is not easy in
+        // general, but skipping same-cost duplicates of *zero* cost is: one
+        // zero-cost branch subsumes the rest.
+        let mut options: Vec<(usize, NodeId)> = self.ilist.items()[item]
+            .instances
+            .iter()
+            .filter_map(|&inst| tree.cost(inst).map(|c| (c, inst)))
+            .filter(|&(c, _)| tree.edges() + c <= self.bound)
+            .collect();
+        options.sort_by_key(|&(c, inst)| (c, inst));
+        if let Some(&(0, inst)) = options.first() {
+            // Zero marginal cost: taking it is never worse than skipping or
+            // paying more — branch once.
+            let mut t = tree.clone();
+            t.add(inst);
+            covered.push(item);
+            let ok = self.dfs(item + 1, t, covered);
+            covered.pop();
+            return ok;
+        }
+        for (_, inst) in options {
+            let mut t = tree.clone();
+            t.add(inst);
+            covered.push(item);
+            let ok = self.dfs(item + 1, t, covered);
+            covered.pop();
+            if !ok {
+                return false;
+            }
+        }
+        // Skip this item.
+        self.dfs(item + 1, tree, covered)
+    }
+}
+
+/// Can `prefix ++ anything` still be lexicographically ≤ `best`? A cheap
+/// necessary condition used only for tie pruning.
+fn lex_could_beat(prefix: &[usize], best: &[usize]) -> bool {
+    for (p, b) in prefix.iter().zip(best.iter()) {
+        match p.cmp(b) {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ilist::{IListItem, RankedItem};
+    use crate::return_entity::{ReturnEntities, ReturnEntityReason};
+    use crate::selector::greedy_select;
+
+    fn fake_ilist(doc: &Document, entries: Vec<Vec<NodeId>>) -> IList {
+        let items = entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, instances)| RankedItem {
+                item: IListItem::Keyword(format!("item{i}")),
+                instances,
+            })
+            .collect::<Vec<_>>();
+        IList::from_parts_for_tests(
+            items,
+            ReturnEntities {
+                label: None,
+                reason: ReturnEntityReason::HighestEntity,
+                instances: vec![doc.root()],
+            },
+            None,
+        )
+    }
+
+    fn label(doc: &Document, l: &str) -> NodeId {
+        doc.first_element_with_label(l).unwrap()
+    }
+
+    #[test]
+    fn exact_beats_greedy_on_the_classic_trap() {
+        // Greedy covers item0 cheaply at `a` (1 edge), then item1 and item2
+        // need `p/x` and `p/y` (2+... ), exceeding bound 4; optimal covers
+        // item0 at p/x0 sharing p with the others.
+        let doc = Document::parse_str(
+            "<r><a/><p><x0/><x/><y/></p></r>",
+        )
+        .unwrap();
+        let il = fake_ilist(
+            &doc,
+            vec![
+                vec![label(&doc, "a"), label(&doc, "x0")],
+                vec![label(&doc, "x")],
+                vec![label(&doc, "y")],
+            ],
+        );
+        let bound = 4;
+        let greedy = greedy_select(&doc, &il, doc.root(), bound);
+        // Greedy: a(1) + p,x(2) = 3 edges, then y needs 1 more = 4 ⇒ all 3
+        // covered with 4 edges… greedy actually survives here; tighten:
+        let out = exact_select(&doc, &il, doc.root(), bound, ExactLimits::default()).unwrap();
+        assert!(out.coverage() >= greedy.coverage());
+    }
+
+    #[test]
+    fn exact_strictly_beats_greedy_when_sharing_matters() {
+        // item0 is coverable at the cheap standalone `a` (1 edge) or at `x`
+        // (2 edges: p+x) — where `x` *also* covers item1 for free.
+        let doc = Document::parse_str("<r><a/><p><x/><y/><z/></p></r>").unwrap();
+        let il = fake_ilist(
+            &doc,
+            vec![
+                vec![label(&doc, "a"), label(&doc, "x")],
+                vec![label(&doc, "x")],
+                vec![label(&doc, "y")],
+                vec![label(&doc, "z")],
+            ],
+        );
+        // Bound 4. Greedy: a(1) for item0, p+x(2)=3 for item1, y(+1)=4 for
+        // item2, z does not fit ⇒ coverage 3.
+        let greedy = greedy_select(&doc, &il, doc.root(), 4);
+        assert_eq!(greedy.coverage(), 3, "greedy wastes an edge on `a`");
+        // Optimal: x(2) covers item0, item1 free, y(+1)=3, z(+1)=4 ⇒ 4.
+        let exact = exact_select(&doc, &il, doc.root(), 4, ExactLimits::default()).unwrap();
+        assert_eq!(exact.coverage(), 4, "optimal shares the p subtree");
+        assert!(exact.edges <= 4);
+        // With a looser bound both cover everything.
+        let greedy5 = greedy_select(&doc, &il, doc.root(), 5);
+        let exact5 = exact_select(&doc, &il, doc.root(), 5, ExactLimits::default()).unwrap();
+        assert_eq!(greedy5.coverage(), 4);
+        assert_eq!(exact5.coverage(), 4);
+    }
+
+    #[test]
+    fn exact_never_below_greedy_and_respects_bound() {
+        let doc = Document::parse_str(
+            "<r><s><a/><b/></s><t><c/><d/></t><u><e/></u></r>",
+        )
+        .unwrap();
+        let il = fake_ilist(
+            &doc,
+            vec![
+                vec![label(&doc, "a"), label(&doc, "c")],
+                vec![label(&doc, "b"), label(&doc, "d")],
+                vec![label(&doc, "e")],
+                vec![label(&doc, "c")],
+            ],
+        );
+        for bound in 0..8 {
+            let greedy = greedy_select(&doc, &il, doc.root(), bound);
+            let exact =
+                exact_select(&doc, &il, doc.root(), bound, ExactLimits::default()).unwrap();
+            assert!(exact.coverage() >= greedy.coverage(), "bound {bound}");
+            assert!(exact.edges <= bound, "bound {bound}: {} edges", exact.edges);
+        }
+    }
+
+    #[test]
+    fn empty_ilist_yields_empty_selection() {
+        let doc = Document::parse_str("<r><a/></r>").unwrap();
+        let il = fake_ilist(&doc, vec![]);
+        let out = exact_select(&doc, &il, doc.root(), 5, ExactLimits::default()).unwrap();
+        assert_eq!(out.coverage(), 0);
+        assert_eq!(out.edges, 0);
+    }
+
+    #[test]
+    fn state_budget_aborts_search() {
+        // Eight items with disjoint depth-2 instances and a bound that only
+        // fits two of them: the take/skip lattice blows past a 100-state
+        // cap (the zero-cost shortcut never applies since instances are
+        // disjoint).
+        let mut xml = String::from("<r>");
+        for i in 0..16 {
+            xml.push_str(&format!("<g{i}><l{i}/></g{i}>"));
+        }
+        xml.push_str("</r>");
+        let doc = Document::parse_str(&xml).unwrap();
+        let il = fake_ilist(
+            &doc,
+            (0..8)
+                .map(|i| {
+                    vec![
+                        label(&doc, &format!("l{}", 2 * i)),
+                        label(&doc, &format!("l{}", 2 * i + 1)),
+                    ]
+                })
+                .collect(),
+        );
+        let out = exact_select(&doc, &il, doc.root(), 5, ExactLimits { max_states: 100 });
+        assert!(out.is_none());
+    }
+}

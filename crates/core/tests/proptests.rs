@@ -1,0 +1,194 @@
+//! Property tests for the snippet generator: structural invariants that
+//! must hold for any document, query and bound.
+
+use extract_core::quality::items_covered_by;
+use extract_core::selector::{exact_select, greedy_select, ExactLimits};
+use extract_core::{Extract, ExtractConfig};
+use extract_search::{Algorithm, Engine, KeywordQuery};
+use extract_xml::{DocBuilder, Document};
+use proptest::prelude::*;
+
+const LABELS: [&str; 5] = ["store", "clothes", "name", "city", "tag"];
+const VALUES: [&str; 6] = ["texas", "houston", "jeans", "man", "casual", "red"];
+
+#[derive(Debug, Clone)]
+struct SpecNode {
+    label: usize,
+    value: Option<usize>,
+    children: Vec<SpecNode>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = SpecNode> {
+    let leaf = (0usize..LABELS.len(), proptest::option::of(0usize..VALUES.len()))
+        .prop_map(|(label, value)| SpecNode { label, value, children: Vec::new() });
+    leaf.prop_recursive(4, 40, 5, |inner| {
+        (0usize..LABELS.len(), proptest::collection::vec(inner, 0..5)).prop_map(
+            |(label, children)| SpecNode { label, value: None, children },
+        )
+    })
+}
+
+fn build(spec: &SpecNode) -> Document {
+    let mut b = DocBuilder::new("db");
+    push(&mut b, spec);
+    // A second sibling subtree so entity inference sees repetition
+    // sometimes and the root is never the only candidate.
+    b.begin("store");
+    b.leaf("name", "anchor");
+    b.end();
+    b.build()
+}
+
+fn push(b: &mut DocBuilder, s: &SpecNode) {
+    b.begin(LABELS[s.label]);
+    if let Some(v) = s.value {
+        b.text(VALUES[v]);
+    }
+    for c in &s.children {
+        push(b, c);
+    }
+    b.end();
+}
+
+fn query_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..LABELS.len()).prop_map(|i| LABELS[i].to_string()),
+            (0usize..VALUES.len()).prop_map(|i| VALUES[i].to_string()),
+        ],
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The four hard invariants of a snippet: bound respected, tree is
+    /// ancestor-closed, tree is inside the result, covered items really
+    /// have an included instance.
+    #[test]
+    fn snippet_invariants(
+        spec in spec_strategy(),
+        keywords in query_strategy(),
+        bound in 0usize..20,
+    ) {
+        let doc = build(&spec);
+        let extract = Extract::new(&doc);
+        let engine = Engine::new(&doc);
+        let query = KeywordQuery::from_keywords(keywords);
+        for result in engine.search(&query, Algorithm::XSeek) {
+            let out = extract.snippet(&query, &result, &ExtractConfig::with_bound(bound));
+            // Bound.
+            prop_assert!(out.snippet.edges <= bound);
+            // Element-edge accounting matches the materialized tree.
+            prop_assert_eq!(
+                out.snippet.tree().element_edges(out.snippet.tree().root()),
+                out.snippet.edges
+            );
+            // Ancestor closure within the result subtree.
+            for &n in &out.snippet.nodes {
+                prop_assert!(doc.is_ancestor_or_self(result.root, n));
+                if n != result.root {
+                    prop_assert!(out.snippet.nodes.contains(&doc.parent(n).unwrap()));
+                }
+            }
+            // Coverage accounting.
+            prop_assert_eq!(
+                out.snippet.coverage(),
+                items_covered_by(&out.ilist, &out.snippet.nodes)
+            );
+            prop_assert_eq!(out.snippet.coverage() + out.snippet.skipped.len(), out.ilist.len());
+        }
+    }
+
+    /// Greedy never beats the exact optimum, and both respect the bound.
+    #[test]
+    fn greedy_is_bounded_by_exact(
+        spec in spec_strategy(),
+        keywords in query_strategy(),
+        bound in 0usize..10,
+    ) {
+        let doc = build(&spec);
+        let extract = Extract::new(&doc);
+        let engine = Engine::new(&doc);
+        let query = KeywordQuery::from_keywords(keywords);
+        for result in engine.search(&query, Algorithm::XSeek).into_iter().take(3) {
+            let ilist = extract.ilist(&query, &result, &ExtractConfig::default());
+            let greedy = greedy_select(&doc, &ilist, result.root, bound);
+            let Some(exact) =
+                exact_select(&doc, &ilist, result.root, bound, ExactLimits { max_states: 200_000 })
+            else {
+                continue; // search too large for the cap — skip this case
+            };
+            prop_assert!(greedy.coverage() <= exact.coverage());
+            prop_assert!(exact.edges <= bound);
+            prop_assert!(greedy.edges <= bound);
+        }
+    }
+
+    /// Coverage is monotone in the bound for the greedy selector.
+    #[test]
+    fn greedy_coverage_monotone_in_bound(
+        spec in spec_strategy(),
+        keywords in query_strategy(),
+    ) {
+        let doc = build(&spec);
+        let extract = Extract::new(&doc);
+        let engine = Engine::new(&doc);
+        let query = KeywordQuery::from_keywords(keywords);
+        for result in engine.search(&query, Algorithm::XSeek).into_iter().take(2) {
+            let ilist = extract.ilist(&query, &result, &ExtractConfig::default());
+            let mut last = 0usize;
+            for bound in [0usize, 2, 4, 8, 16, 32] {
+                let out = greedy_select(&doc, &ilist, result.root, bound);
+                prop_assert!(out.coverage() >= last, "bound {bound}");
+                last = out.coverage();
+            }
+        }
+    }
+
+    /// A generous bound covers every IList item (everything in the IList
+    /// exists in the result by construction).
+    #[test]
+    fn generous_bound_covers_everything(
+        spec in spec_strategy(),
+        keywords in query_strategy(),
+    ) {
+        let doc = build(&spec);
+        let extract = Extract::new(&doc);
+        let engine = Engine::new(&doc);
+        let query = KeywordQuery::from_keywords(keywords);
+        for result in engine.search(&query, Algorithm::XSeek) {
+            let bound = doc.element_edges(result.root);
+            let out = extract.snippet(&query, &result, &ExtractConfig::with_bound(bound));
+            prop_assert_eq!(
+                out.snippet.coverage(),
+                out.ilist.len(),
+                "IList: {:?}",
+                out.ilist.display(&doc)
+            );
+        }
+    }
+
+    /// Dominance-score arithmetic: per feature type, the scores of all
+    /// values weighted by their counts average to exactly D(e,a)·N/N = D…
+    /// i.e. Σ_v N(e,a,v)·D/N over values equals D, and every score is
+    /// positive.
+    #[test]
+    fn dominance_scores_sum_to_domain_size(spec in spec_strategy()) {
+        use extract_analyzer::{EntityModel, ResultStats};
+        let doc = build(&spec);
+        let model = EntityModel::analyze(&doc);
+        let stats = ResultStats::compute(&doc, &model, doc.root());
+        for ftype in stats.feature_types() {
+            let d = stats.d_type(ftype) as f64;
+            let n = stats.n_type(ftype) as f64;
+            let sum: f64 = stats
+                .value_table(ftype)
+                .iter()
+                .map(|row| row.count as f64 * d / n)
+                .sum();
+            prop_assert!((sum - d).abs() < 1e-9, "type sums to D: {sum} vs {d}");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! An XMark-flavoured auction-site document with a size dial.
+//!
+//! XMark (the standard XML benchmark generator) is the usual scalability
+//! workload for XML keyword search; this module generates documents with
+//! the same flavour — `site/regions/<continent>/item*`, `site/people/
+//! person*`, `site/open_auctions/open_auction*` — whose total node count is
+//! controllable, for the performance experiments (E5–E7, E10, E11).
+
+use extract_xml::{DocBuilder, Document};
+use rand::Rng;
+
+use crate::rng::{seeded, Zipf};
+use crate::vocab;
+
+/// Parameters for auction documents.
+#[derive(Debug, Clone)]
+pub struct AuctionConfig {
+    /// Number of item entities (spread across the regions).
+    pub items: usize,
+    /// Number of person entities.
+    pub people: usize,
+    /// Number of open auctions.
+    pub open_auctions: usize,
+    /// Words per item description.
+    pub description_words: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AuctionConfig {
+    fn default() -> Self {
+        AuctionConfig {
+            items: 60,
+            people: 40,
+            open_auctions: 30,
+            description_words: 6,
+            seed: 0xA0C,
+        }
+    }
+}
+
+/// Approximate nodes (elements + text) contributed by one entity of each
+/// kind, used by [`AuctionConfig::with_target_nodes`].
+const NODES_PER_ITEM: usize = 15;
+const NODES_PER_PERSON: usize = 16;
+const NODES_PER_AUCTION: usize = 19;
+
+impl AuctionConfig {
+    /// Build a config whose generated document has roughly `target` nodes
+    /// (within ~±20%), splitting the budget 40/30/30 across items, people
+    /// and auctions.
+    pub fn with_target_nodes(target: usize, seed: u64) -> AuctionConfig {
+        let items = (target * 2 / 5) / NODES_PER_ITEM;
+        let people = (target * 3 / 10) / NODES_PER_PERSON;
+        let open_auctions = (target * 3 / 10) / NODES_PER_AUCTION;
+        AuctionConfig {
+            items: items.max(1),
+            people: people.max(1),
+            open_auctions: open_auctions.max(1),
+            description_words: 6,
+            seed,
+        }
+    }
+
+    /// Generate the document.
+    pub fn generate(&self) -> Document {
+        let mut rng = seeded(self.seed);
+        let item_zipf = Zipf::new(vocab::ITEM_NAMES.len(), 0.9);
+        let city_zipf = Zipf::new(vocab::CITIES.len(), 1.1);
+        let mut b = DocBuilder::new("site");
+        b.reserve(self.items * NODES_PER_ITEM + self.people * NODES_PER_PERSON);
+
+        // Regions and items.
+        b.begin("regions");
+        let per_region = self.items.div_ceil(vocab::REGIONS.len());
+        let mut emitted = 0usize;
+        for &region in vocab::REGIONS {
+            if emitted >= self.items {
+                break;
+            }
+            b.begin(region);
+            for _ in 0..per_region.min(self.items - emitted) {
+                let id = emitted;
+                emitted += 1;
+                b.begin("item");
+                b.leaf("id", &format!("item{id}"));
+                b.leaf("name", vocab::ITEM_NAMES[item_zipf.sample(&mut rng)]);
+                b.leaf("payment", ["cash", "credit", "check"][rng.random_range(0..3)]);
+                b.leaf("location", vocab::CITIES[city_zipf.sample(&mut rng)]);
+                b.leaf("quantity", &format!("{}", rng.random_range(1..5)));
+                let mut description = String::new();
+                for w in 0..self.description_words {
+                    if w > 0 {
+                        description.push(' ');
+                    }
+                    description
+                        .push_str(vocab::LOREM[rng.random_range(0..vocab::LOREM.len())]);
+                }
+                b.leaf("description", &description);
+                b.end();
+            }
+            b.end();
+        }
+        b.end(); // regions
+
+        // People.
+        b.begin("people");
+        for i in 0..self.people {
+            b.begin("person");
+            b.leaf("id", &format!("person{i}"));
+            b.leaf(
+                "name",
+                vocab::PERSON_NAMES[rng.random_range(0..vocab::PERSON_NAMES.len())],
+            );
+            b.leaf("emailaddress", &format!("user{i}@example.com"));
+            b.begin("address");
+            b.leaf("street", &format!("{} Main St", rng.random_range(1..999)));
+            b.leaf("city", vocab::CITIES[city_zipf.sample(&mut rng)]);
+            b.leaf("state", vocab::STATES[rng.random_range(0..vocab::STATES.len())]);
+            b.end();
+            b.end();
+        }
+        b.end(); // people
+
+        // Open auctions.
+        b.begin("open_auctions");
+        for i in 0..self.open_auctions {
+            b.begin("open_auction");
+            b.leaf("id", &format!("auction{i}"));
+            b.leaf("itemref", &format!("item{}", rng.random_range(0..self.items.max(1))));
+            b.leaf("seller", &format!("person{}", rng.random_range(0..self.people.max(1))));
+            b.leaf("initial", &format!("{}", rng.random_range(5..500)));
+            b.leaf("current", &format!("{}", rng.random_range(5..2000)));
+            let bidders = rng.random_range(0..4);
+            for _ in 0..bidders {
+                b.begin("bidder");
+                b.leaf("date", &format!("2008-0{}-1{}", rng.random_range(1..9), rng.random_range(0..9)));
+                b.leaf("increase", &format!("{}", rng.random_range(1..50)));
+                b.end();
+            }
+            b.end();
+        }
+        b.end(); // open_auctions
+
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_documents() {
+        let doc = AuctionConfig::default().generate();
+        doc.debug_validate().unwrap();
+        assert_eq!(doc.label_str(doc.root()), Some("site"));
+        assert_eq!(doc.elements_with_label("item").len(), 60);
+        assert_eq!(doc.elements_with_label("person").len(), 40);
+        assert_eq!(doc.elements_with_label("open_auction").len(), 30);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = AuctionConfig::default();
+        assert_eq!(cfg.generate().to_xml_string(), cfg.generate().to_xml_string());
+    }
+
+    #[test]
+    fn target_nodes_is_roughly_honoured() {
+        for target in [2_000usize, 20_000, 100_000] {
+            let doc = AuctionConfig::with_target_nodes(target, 1).generate();
+            let actual = doc.len();
+            let lo = target * 7 / 10;
+            let hi = target * 13 / 10;
+            assert!(
+                (lo..hi).contains(&actual),
+                "target {target} produced {actual} nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn items_spread_across_regions() {
+        let doc = AuctionConfig { items: 12, ..Default::default() }.generate();
+        let populated = vocab::REGIONS
+            .iter()
+            .filter(|&&r| !doc.elements_with_label(r).is_empty())
+            .count();
+        assert!(populated >= 3, "items should span several regions");
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let doc = AuctionConfig::default().generate();
+        let mut ids: Vec<String> = doc
+            .elements_with_label("id")
+            .into_iter()
+            .map(|n| doc.text_of(n).unwrap().to_string())
+            .collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+}

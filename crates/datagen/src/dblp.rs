@@ -1,0 +1,161 @@
+//! A DBLP-flavoured bibliography generator.
+//!
+//! Bibliography data exercises a different shape from the retail scenario:
+//! a broad, shallow forest of `paper` records where `author` is
+//! **multi-valued** (hence classified as an entity by the `*`-node rule,
+//! not an attribute), `title` is a natural unique key, and venues/years are
+//! low-cardinality attributes that produce dominant features. XML keyword
+//! search papers (including XSeek and the SLCA line) evaluate on DBLP; this
+//! stands in for it.
+
+use extract_xml::{DocBuilder, Document};
+use rand::Rng;
+
+use crate::rng::{seeded, Zipf};
+use crate::vocab;
+
+/// Title word pool (combined into multi-word titles).
+const TITLE_WORDS: &[&str] = &[
+    "keyword", "search", "xml", "snippet", "query", "ranking", "indexing", "semantics",
+    "efficient", "adaptive", "scalable", "distributed", "semantic", "structured", "holistic",
+];
+
+/// Venue pool, skewed so one venue dominates.
+const VENUES: &[&str] = &["SIGMOD", "VLDB", "ICDE", "CIKM", "EDBT", "WWW"];
+
+/// Parameters for bibliography databases.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of paper entities.
+    pub papers: usize,
+    /// Inclusive range of authors per paper.
+    pub authors_per_paper: (usize, usize),
+    /// Zipf exponent for venues (higher ⇒ one venue dominates).
+    pub venue_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig { papers: 50, authors_per_paper: (1, 4), venue_skew: 1.2, seed: 0xDB1 }
+    }
+}
+
+impl DblpConfig {
+    /// Generate a `<dblp>` database.
+    pub fn generate(&self) -> Document {
+        let mut rng = seeded(self.seed);
+        let venue_zipf = Zipf::new(VENUES.len(), self.venue_skew);
+        let mut b = DocBuilder::new("dblp");
+        b.reserve(self.papers * 14);
+        for i in 0..self.papers {
+            b.begin("paper");
+            // Unique multi-word titles (the mined key).
+            let w1 = TITLE_WORDS[i % TITLE_WORDS.len()];
+            let w2 = TITLE_WORDS[(i / TITLE_WORDS.len() + i + 3) % TITLE_WORDS.len()];
+            b.leaf("title", &format!("{w1} {w2} {i}"));
+            b.leaf("year", &format!("{}", 2000 + (i * 3) % 10));
+            b.leaf("venue", VENUES[venue_zipf.sample(&mut rng)]);
+            let n_authors =
+                rng.random_range(self.authors_per_paper.0..=self.authors_per_paper.1);
+            for _ in 0..n_authors {
+                b.begin("author");
+                b.leaf(
+                    "name",
+                    vocab::PERSON_NAMES[rng.random_range(0..vocab::PERSON_NAMES.len())],
+                );
+                b.end();
+            }
+            b.leaf("pages", &format!("{}-{}", i * 12 + 1, i * 12 + 12));
+            b.end();
+        }
+        b.build()
+    }
+}
+
+/// A small fixed bibliography for examples and tests: three XML-search
+/// papers sharing an author, plus an unrelated one.
+pub fn sample() -> Document {
+    let mut b = DocBuilder::new("dblp");
+    for (title, year, venue, authors) in [
+        ("snippet generation for xml search", "2008", "VLDB", vec!["Yu Huang", "Ziyang Liu", "Yi Chen"]),
+        ("identifying return information for xml keyword search", "2007", "SIGMOD", vec!["Ziyang Liu", "Yi Chen"]),
+        ("efficient smallest lca computation", "2005", "SIGMOD", vec!["Yu Xu"]),
+        ("join processing on modern hardware", "2006", "VLDB", vec!["Alice Johnson"]),
+    ] {
+        b.begin("paper");
+        b.leaf("title", title);
+        b.leaf("year", year);
+        b.leaf("venue", venue);
+        for a in authors {
+            b.begin("author");
+            b.leaf("name", a);
+            b.end();
+        }
+        b.end();
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_shape() {
+        let doc = sample();
+        doc.debug_validate().unwrap();
+        assert_eq!(doc.elements_with_label("paper").len(), 4);
+        assert_eq!(doc.elements_with_label("author").len(), 7);
+    }
+
+    #[test]
+    fn generated_is_deterministic() {
+        let cfg = DblpConfig::default();
+        assert_eq!(cfg.generate().to_xml_string(), cfg.generate().to_xml_string());
+    }
+
+    #[test]
+    fn titles_are_unique() {
+        let doc = DblpConfig { papers: 120, ..Default::default() }.generate();
+        let mut titles: Vec<String> = doc
+            .elements_with_label("title")
+            .into_iter()
+            .map(|n| doc.text_of(n).unwrap().to_string())
+            .collect();
+        let before = titles.len();
+        titles.sort();
+        titles.dedup();
+        assert_eq!(titles.len(), before);
+    }
+
+    #[test]
+    fn authors_are_multi_valued() {
+        let doc = DblpConfig { papers: 40, authors_per_paper: (2, 4), ..Default::default() }
+            .generate();
+        let papers = doc.elements_with_label("paper");
+        assert!(papers.iter().any(|&p| {
+            doc.element_children(p)
+                .filter(|&c| doc.label_str(c) == Some("author"))
+                .count()
+                >= 2
+        }));
+    }
+
+    #[test]
+    fn venue_skew_creates_a_dominant_venue() {
+        let doc = DblpConfig { papers: 100, venue_skew: 1.5, ..Default::default() }.generate();
+        let venues: Vec<&str> = doc
+            .elements_with_label("venue")
+            .into_iter()
+            .map(|n| doc.text_of(n).unwrap())
+            .collect();
+        let sigmod = venues.iter().filter(|&&v| v == "SIGMOD").count();
+        assert!(
+            sigmod * VENUES.len() > venues.len(),
+            "top venue should exceed the uniform share: {sigmod}/{}",
+            venues.len()
+        );
+    }
+}

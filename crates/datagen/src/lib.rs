@@ -1,0 +1,33 @@
+//! Synthetic XML workloads for the eXtract reproduction.
+//!
+//! The paper's datasets (the demo site's "movies and stores" XML files) are
+//! no longer available; these generators substitute them (see DESIGN.md §5):
+//!
+//! * [`retailer`] — the paper's running example. [`retailer::figure1_db`]
+//!   embeds a "Brook Brothers" retailer whose subtree reproduces **Figure
+//!   1's published statistics exactly** (city: Houston 6 / Austin 1 / 3
+//!   others; fitting: man 600 / woman 360 / children 40; situation: casual
+//!   700 / formal 300; category: outwear 220 / suit 120 / skirt 80 /
+//!   sweaters 70 / 7 other categories totalling 580 over a domain of 11),
+//!   which pins down every dominance score the paper reports.
+//!   [`retailer::demo_store_db`] mirrors the Figure 5 demo scenario (query
+//!   "store texas", stores *Levis* and *ESprit*). Randomized variants are
+//!   parameterized by [`retailer::RetailerConfig`].
+//! * [`movies`] — the demo's movie scenario (§4).
+//! * [`dblp`] — a DBLP-flavoured bibliography (multi-valued authors, title
+//!   keys), the classic XML-keyword-search evaluation corpus shape.
+//! * [`auction`] — an XMark-flavoured auction site document with a size
+//!   dial, used by the performance experiments.
+//! * [`vocab`] / [`rng`] — word pools and deterministic sampling helpers.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod auction;
+pub mod dblp;
+pub mod movies;
+pub mod retailer;
+pub mod rng;
+pub mod vocab;

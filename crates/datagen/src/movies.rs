@@ -1,0 +1,173 @@
+//! The demo's movie scenario (§4: "we will show various example scenarios,
+//! such as movies and stores").
+
+use extract_xml::{DocBuilder, Document};
+use rand::Rng;
+
+use crate::rng::{seeded, Zipf};
+use crate::vocab;
+
+/// Parameters for movie databases.
+#[derive(Debug, Clone)]
+pub struct MoviesConfig {
+    /// Number of movie entities.
+    pub movies: usize,
+    /// Inclusive range of actors per movie.
+    pub actors_per_movie: (usize, usize),
+    /// Zipf exponent for genres.
+    pub genre_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MoviesConfig {
+    fn default() -> Self {
+        MoviesConfig { movies: 24, actors_per_movie: (1, 5), genre_skew: 1.0, seed: 0x707 }
+    }
+}
+
+impl MoviesConfig {
+    /// Generate a `<movies>` database.
+    pub fn generate(&self) -> Document {
+        let mut rng = seeded(self.seed);
+        let genre_zipf = Zipf::new(vocab::GENRES.len(), self.genre_skew);
+        let mut b = DocBuilder::new("movies");
+        for i in 0..self.movies {
+            let base = vocab::MOVIE_TITLES[i % vocab::MOVIE_TITLES.len()];
+            let title = if i < vocab::MOVIE_TITLES.len() {
+                base.to_string()
+            } else {
+                format!("{base} {}", i / vocab::MOVIE_TITLES.len() + 1)
+            };
+            b.begin("movie");
+            b.leaf("title", &title);
+            b.leaf("year", &format!("{}", 1970 + (i * 7) % 50));
+            b.leaf("genre", vocab::GENRES[genre_zipf.sample(&mut rng)]);
+            b.leaf("director", vocab::PERSON_NAMES[rng.random_range(0..vocab::PERSON_NAMES.len())]);
+            b.begin("cast");
+            let actors = rng.random_range(self.actors_per_movie.0..=self.actors_per_movie.1);
+            for _ in 0..actors {
+                b.begin("actor");
+                b.leaf("name", vocab::PERSON_NAMES[rng.random_range(0..vocab::PERSON_NAMES.len())]);
+                b.leaf("role", if rng.random_range(0..3) == 0 { "lead" } else { "supporting" });
+                b.end();
+            }
+            b.end(); // cast
+            b.leaf("studio", ["Summit", "Apex", "Meridian", "Pioneer"][rng.random_range(0..4)]);
+            b.end(); // movie
+        }
+        b.build()
+    }
+}
+
+/// A small, fixed movie database used by examples and integration tests:
+/// three westerns by the same director (one a clear match for "western
+/// texas"), plus unrelated movies.
+pub fn sample() -> Document {
+    let mut b = DocBuilder::new("movies");
+
+    b.begin("movie");
+    b.leaf("title", "Lone Star Trail");
+    b.leaf("year", "1998");
+    b.leaf("genre", "western");
+    b.leaf("director", "Alice Johnson");
+    b.begin("cast");
+    b.begin("actor");
+    b.leaf("name", "Sam Clark");
+    b.leaf("role", "lead");
+    b.end();
+    b.begin("actor");
+    b.leaf("name", "Tina Rodriguez");
+    b.leaf("role", "supporting");
+    b.end();
+    b.begin("actor");
+    b.leaf("name", "Leo Jackson");
+    b.leaf("role", "supporting");
+    b.end();
+    b.end();
+    b.leaf("studio", "Pioneer");
+    b.leaf("setting", "Texas");
+    b.end();
+
+    b.begin("movie");
+    b.leaf("title", "Desert Storm");
+    b.leaf("year", "2001");
+    b.leaf("genre", "western");
+    b.leaf("director", "Alice Johnson");
+    b.begin("cast");
+    b.begin("actor");
+    b.leaf("name", "Sam Clark");
+    b.leaf("role", "lead");
+    b.end();
+    b.end();
+    b.leaf("studio", "Summit");
+    b.leaf("setting", "Arizona");
+    b.end();
+
+    b.begin("movie");
+    b.leaf("title", "Harbor Town");
+    b.leaf("year", "2010");
+    b.leaf("genre", "drama");
+    b.leaf("director", "Bob Smith");
+    b.begin("cast");
+    b.begin("actor");
+    b.leaf("name", "Emma Davis");
+    b.leaf("role", "lead");
+    b.end();
+    b.begin("actor");
+    b.leaf("name", "Frank Miller");
+    b.leaf("role", "supporting");
+    b.end();
+    b.end();
+    b.leaf("studio", "Meridian");
+    b.leaf("setting", "Maine");
+    b.end();
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_shape() {
+        let doc = sample();
+        doc.debug_validate().unwrap();
+        assert_eq!(doc.elements_with_label("movie").len(), 3);
+        assert_eq!(doc.elements_with_label("actor").len(), 6);
+        let titles: Vec<&str> = doc
+            .elements_with_label("title")
+            .into_iter()
+            .map(|n| doc.text_of(n).unwrap())
+            .collect();
+        assert!(titles.contains(&"Lone Star Trail"));
+    }
+
+    #[test]
+    fn generated_movies_are_deterministic() {
+        let cfg = MoviesConfig::default();
+        assert_eq!(cfg.generate().to_xml_string(), cfg.generate().to_xml_string());
+    }
+
+    #[test]
+    fn titles_are_unique_for_key_mining() {
+        let cfg = MoviesConfig { movies: 60, ..Default::default() };
+        let doc = cfg.generate();
+        let mut titles: Vec<String> = doc
+            .elements_with_label("title")
+            .into_iter()
+            .map(|n| doc.text_of(n).unwrap().to_string())
+            .collect();
+        let before = titles.len();
+        titles.sort();
+        titles.dedup();
+        assert_eq!(titles.len(), before);
+    }
+
+    #[test]
+    fn movie_count_matches_config() {
+        let doc = MoviesConfig { movies: 7, ..Default::default() }.generate();
+        assert_eq!(doc.elements_with_label("movie").len(), 7);
+    }
+}

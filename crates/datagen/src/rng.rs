@@ -1,0 +1,128 @@
+//! Deterministic randomness helpers shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG; every generator takes one of these so workloads are
+/// reproducible bit-for-bit.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Pick a uniformly random element of a non-empty slice.
+pub fn pick<'a, T>(rng: &mut impl Rng, items: &'a [T]) -> &'a T {
+    &items[rng.random_range(0..items.len())]
+}
+
+/// A precomputed Zipf-like sampler over ranks `0..n` with exponent `s`
+/// (`s = 0` is uniform; larger `s` is more skewed). Used to give attribute
+/// values realistic, dominance-friendly distributions.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over zero ranks");
+        let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cumulative }
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let x: f64 = rng.random_range(0.0..1.0);
+        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler is over zero ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..16 {
+            assert_eq!(a.random_range(0..1000u32), b.random_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        let va: Vec<u32> = (0..8).map(|_| a.random_range(0..1000)).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.random_range(0..1000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn pick_stays_in_bounds() {
+        let mut rng = seeded(7);
+        let items = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(items.contains(pick(&mut rng, &items)));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = seeded(11);
+        let z = Zipf::new(10, 1.2);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4], "{counts:?}");
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let mut rng = seeded(13);
+        let z = Zipf::new(4, 0.0);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_cover_all_ranks() {
+        let mut rng = seeded(17);
+        let z = Zipf::new(5, 0.5);
+        let mut seen = [false; 5];
+        for _ in 0..5_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

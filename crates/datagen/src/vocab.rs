@@ -1,0 +1,97 @@
+//! Word pools for value generation.
+
+/// US city names (Texas-heavy, matching the paper's scenario).
+pub const CITIES: &[&str] = &[
+    "Houston", "Austin", "Dallas", "San Antonio", "El Paso", "Fort Worth", "Plano", "Laredo",
+    "Lubbock", "Irving", "Phoenix", "Denver", "Seattle", "Portland", "Chicago", "Boston",
+];
+
+/// US state names.
+pub const STATES: &[&str] = &[
+    "Texas", "California", "Ohio", "Arizona", "Colorado", "Washington", "Oregon", "Illinois",
+];
+
+/// Store name fragments.
+pub const STORE_NAMES: &[&str] = &[
+    "Galleria", "West Village", "Uptown", "Midtown", "Riverside", "Lakeside", "Bayview",
+    "Sunset", "Hillcrest", "Parkway", "Northgate", "Southpoint", "Eastfield", "Westland",
+    "Old Town", "Market Square", "Crossroads", "Pinewood", "Oakridge", "Maple Court",
+];
+
+/// Clothing categories.
+pub const CATEGORIES: &[&str] = &[
+    "outwear", "suit", "skirt", "sweaters", "jeans", "shirts", "dresses", "jackets", "pants",
+    "hats", "socks", "scarves", "gloves", "belts", "shoes",
+];
+
+/// Clothing fitting values.
+pub const FITTINGS: &[&str] = &["man", "woman", "children"];
+
+/// Clothing situations.
+pub const SITUATIONS: &[&str] = &["casual", "formal"];
+
+/// Movie titles.
+pub const MOVIE_TITLES: &[&str] = &[
+    "The Last Summer", "Midnight Express", "Broken Arrow", "Silent River", "Golden Hour",
+    "Desert Storm", "Crimson Tide", "Paper Moon", "Iron Valley", "Night Train",
+    "Blue Canyon", "Second Chance", "The Long Road", "Winter Light", "Falling Star",
+    "Harbor Town", "Lost Horizon", "Morning Glory", "Silver City", "The Visitor",
+];
+
+/// Movie genres.
+pub const GENRES: &[&str] =
+    &["drama", "comedy", "action", "thriller", "romance", "documentary", "western"];
+
+/// Person names (directors, actors, bidders, sellers).
+pub const PERSON_NAMES: &[&str] = &[
+    "Alice Johnson", "Bob Smith", "Carol White", "David Brown", "Emma Davis", "Frank Miller",
+    "Grace Wilson", "Henry Moore", "Irene Taylor", "Jack Anderson", "Karen Thomas",
+    "Leo Jackson", "Mona Harris", "Nate Martin", "Olivia Thompson", "Paul Garcia",
+    "Quinn Martinez", "Rosa Robinson", "Sam Clark", "Tina Rodriguez",
+];
+
+/// Auction item names.
+pub const ITEM_NAMES: &[&str] = &[
+    "gold watch", "antique vase", "oil painting", "leather satchel", "silver coin",
+    "oak bookshelf", "vintage camera", "porcelain doll", "brass telescope", "wool rug",
+    "jade figurine", "mahogany desk", "crystal decanter", "copper kettle", "ivory chess set",
+];
+
+/// Filler words for description paragraphs.
+pub const LOREM: &[&str] = &[
+    "fine", "rare", "classic", "pristine", "original", "handmade", "restored", "authentic",
+    "limited", "edition", "excellent", "condition", "collector", "estate", "quality",
+    "craftsmanship", "heritage", "timeless", "elegant", "genuine",
+];
+
+/// Auction region labels (XMark-style continents).
+pub const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_non_empty_and_distinct() {
+        for pool in [
+            CITIES, STATES, STORE_NAMES, CATEGORIES, FITTINGS, SITUATIONS, MOVIE_TITLES,
+            GENRES, PERSON_NAMES, ITEM_NAMES, LOREM, REGIONS,
+        ] {
+            assert!(!pool.is_empty());
+            let mut sorted: Vec<&str> = pool.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), pool.len(), "duplicate entries in a pool");
+        }
+    }
+
+    #[test]
+    fn figure1_values_are_present() {
+        assert!(CITIES.contains(&"Houston"));
+        assert!(CITIES.contains(&"Austin"));
+        assert!(STATES.contains(&"Texas"));
+        for c in ["outwear", "suit", "skirt", "sweaters"] {
+            assert!(CATEGORIES.contains(&c));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The inverted keyword index.
+//!
+//! Maps each normalized token to the **element** nodes that match it, in
+//! document order. An element matches a token if
+//!
+//! * its label yields the token (`<open_auction>` matches `open` and
+//!   `auction`), or
+//! * a text node directly under it yields the token (`<city>Houston</city>`
+//!   matches `houston` — the *element* `city` is the posting, so matches
+//!   always address elements and the snippet selector never has to reason
+//!   about text nodes).
+//!
+//! Postings are deduplicated per element and sorted by [`NodeId`], which is
+//! document order thanks to the preorder-ID invariant of `extract-xml`.
+
+use std::collections::HashMap;
+
+use extract_xml::{Document, NodeId};
+
+use crate::tokenize::tokens_of;
+
+/// Inverted index from token to matching elements.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<NodeId>>,
+    /// Total number of (token, element) pairs.
+    total_postings: usize,
+}
+
+impl InvertedIndex {
+    /// Build the index over all elements of `doc`.
+    pub fn build(doc: &Document) -> InvertedIndex {
+        let mut postings: HashMap<String, Vec<NodeId>> = HashMap::new();
+        let mut total = 0usize;
+        let mut seen: Vec<String> = Vec::with_capacity(8);
+        for node in doc.all_nodes() {
+            let n = doc.node(node);
+            if !n.is_element() {
+                continue;
+            }
+            seen.clear();
+            for tok in tokens_of(doc.resolve(n.label())) {
+                if !seen.contains(&tok) {
+                    seen.push(tok);
+                }
+            }
+            for &child in n.children() {
+                if let Some(text) = doc.node(child).text() {
+                    for tok in tokens_of(text) {
+                        if !seen.contains(&tok) {
+                            seen.push(tok);
+                        }
+                    }
+                }
+            }
+            for tok in seen.drain(..) {
+                postings.entry(tok).or_default().push(node);
+                total += 1;
+            }
+        }
+        // Elements are visited in ID (document) order, so each list is
+        // already sorted; assert in debug builds.
+        #[cfg(debug_assertions)]
+        for list in postings.values() {
+            debug_assert!(list.windows(2).all(|w| w[0] < w[1]));
+        }
+        InvertedIndex { postings, total_postings: total }
+    }
+
+    /// The posting list for `token` (empty slice if absent). `token` must
+    /// already be normalized (see [`crate::tokenize`]).
+    pub fn postings(&self, token: &str) -> &[NodeId] {
+        self.postings.get(token).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of elements matching `token`.
+    pub fn frequency(&self, token: &str) -> usize {
+        self.postings(token).len()
+    }
+
+    /// Number of distinct tokens.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total number of (token, element) pairs.
+    pub fn total_postings(&self) -> usize {
+        self.total_postings
+    }
+
+    /// Iterate over `(token, postings)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
+        self.postings.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn memory_footprint(&self) -> usize {
+        self.postings
+            .iter()
+            .map(|(k, v)| k.len() + v.len() * std::mem::size_of::<NodeId>() + 48)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::parse_str(
+            "<retailer><name>Brook Brothers</name>\
+             <store><name>Galleria</name><city>Houston</city></store>\
+             <store><name>West Village</name><city>Houston</city></store></retailer>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn label_and_text_matches() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        // Label matches: one retailer, two stores, three names, two cities.
+        assert_eq!(idx.frequency("retailer"), 1);
+        assert_eq!(idx.frequency("store"), 2);
+        assert_eq!(idx.frequency("name"), 3);
+        // Text matches point at the containing element.
+        let houston = idx.postings("houston");
+        assert_eq!(houston.len(), 2);
+        for &n in houston {
+            assert_eq!(d.label_str(n), Some("city"));
+        }
+    }
+
+    #[test]
+    fn postings_are_sorted_and_unique() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        for (_, list) in idx.iter() {
+            assert!(list.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn multiword_text_tokenizes() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(idx.frequency("brook"), 1);
+        assert_eq!(idx.frequency("brothers"), 1);
+        assert_eq!(idx.frequency("west"), 1);
+        assert_eq!(idx.frequency("village"), 1);
+    }
+
+    #[test]
+    fn unknown_tokens_are_empty() {
+        let idx = InvertedIndex::build(&doc());
+        assert!(idx.postings("dallas").is_empty());
+        assert_eq!(idx.frequency("dallas"), 0);
+    }
+
+    #[test]
+    fn element_with_same_token_in_label_and_text_posts_once() {
+        let d = Document::parse_str("<city>city</city>").unwrap();
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(idx.frequency("city"), 1);
+    }
+
+    #[test]
+    fn vocabulary_and_totals() {
+        let d = Document::parse_str("<a>x y</a>").unwrap();
+        let idx = InvertedIndex::build(&d);
+        // tokens: a (label), x, y
+        assert_eq!(idx.vocabulary_size(), 3);
+        assert_eq!(idx.total_postings(), 3);
+    }
+
+    #[test]
+    fn nested_text_is_indexed_on_direct_parent_only() {
+        let d = Document::parse_str("<a><b>deep</b></a>").unwrap();
+        let idx = InvertedIndex::build(&d);
+        let deep = idx.postings("deep");
+        assert_eq!(deep.len(), 1);
+        assert_eq!(d.label_str(deep[0]), Some("b"), "not the grandparent <a>");
+    }
+}

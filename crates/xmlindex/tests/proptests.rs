@@ -1,0 +1,135 @@
+//! Property tests: the indexes must be *exactly* consistent with the
+//! document — complete (every true match is indexed) and sound (every
+//! posting is a true match).
+
+use extract_index::{tokenize, DeweyStore, InvertedIndex, LabelIndex, XmlIndex};
+use extract_xml::{DocBuilder, Document, NodeId};
+use proptest::prelude::*;
+
+const LABELS: [&str; 5] = ["store", "item", "name", "city", "tag"];
+const VALUES: [&str; 6] = ["texas", "houston", "gold watch", "red Fox", "a-1", ""];
+
+#[derive(Debug, Clone)]
+struct SpecNode {
+    label: usize,
+    value: Option<usize>,
+    children: Vec<SpecNode>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = SpecNode> {
+    let leaf = (0usize..LABELS.len(), proptest::option::of(0usize..VALUES.len()))
+        .prop_map(|(label, value)| SpecNode { label, value, children: Vec::new() });
+    leaf.prop_recursive(4, 48, 6, |inner| {
+        (0usize..LABELS.len(), proptest::collection::vec(inner, 0..6)).prop_map(
+            |(label, children)| SpecNode { label, value: None, children },
+        )
+    })
+}
+
+fn build(spec: &SpecNode) -> Document {
+    let mut b = DocBuilder::new("db");
+    push(&mut b, spec);
+    b.build()
+}
+
+fn push(b: &mut DocBuilder, s: &SpecNode) {
+    b.begin(LABELS[s.label]);
+    if let Some(v) = s.value {
+        if !VALUES[v].is_empty() {
+            b.text(VALUES[v]);
+        }
+    }
+    for c in &s.children {
+        push(b, c);
+    }
+    b.end();
+}
+
+/// Reference: does element `n` match `token` by label or direct text?
+fn matches(doc: &Document, n: NodeId, token: &str) -> bool {
+    if !doc.node(n).is_element() {
+        return false;
+    }
+    if tokenize::contains_token(doc.label_str(n).unwrap_or(""), token) {
+        return true;
+    }
+    doc.children(n).any(|c| {
+        doc.node(c)
+            .text()
+            .map(|t| tokenize::contains_token(t, token))
+            .unwrap_or(false)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn inverted_index_is_sound_and_complete(spec in spec_strategy()) {
+        let doc = build(&spec);
+        let index = InvertedIndex::build(&doc);
+        // Tokens worth checking: all label tokens + all value tokens.
+        let mut tokens: Vec<String> = Vec::new();
+        for l in LABELS {
+            tokens.extend(tokenize::tokenize(l));
+        }
+        for v in VALUES {
+            tokens.extend(tokenize::tokenize(v));
+        }
+        tokens.push("zzz-not-there".into());
+        tokens.sort();
+        tokens.dedup();
+        for token in &tokens {
+            let postings = index.postings(token);
+            // Sound: every posting matches.
+            for &n in postings {
+                prop_assert!(matches(&doc, n, token), "posting {n} does not match {token}");
+            }
+            // Complete: every matching element is in the postings.
+            for n in doc.all_nodes() {
+                if matches(&doc, n, token) {
+                    prop_assert!(
+                        postings.contains(&n),
+                        "element {n} matching `{token}` missing from postings"
+                    );
+                }
+            }
+            // Sorted, unique.
+            prop_assert!(postings.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn dewey_store_matches_document(spec in spec_strategy()) {
+        let doc = build(&spec);
+        let store = DeweyStore::build(&doc);
+        prop_assert_eq!(store.len(), doc.len());
+        for n in doc.all_nodes() {
+            let expected = doc.dewey(n);
+            prop_assert_eq!(store.components(n), expected.components());
+        }
+    }
+
+    #[test]
+    fn label_index_matches_document(spec in spec_strategy()) {
+        let doc = build(&spec);
+        let index = LabelIndex::build(&doc);
+        for label in LABELS.iter().chain(["db", "absent"].iter()) {
+            let via_index: Vec<NodeId> = index.nodes_by_str(&doc, label).to_vec();
+            let via_scan = doc.elements_with_label(label);
+            prop_assert_eq!(via_index, via_scan, "label {}", label);
+        }
+    }
+
+    #[test]
+    fn facade_footprint_and_consistency(spec in spec_strategy()) {
+        let doc = build(&spec);
+        let index = XmlIndex::build(&doc);
+        prop_assert!(index.memory_footprint() > 0);
+        // The facade's postings agree with a fresh inverted index.
+        let fresh = InvertedIndex::build(&doc);
+        for token in ["store", "texas", "gold"] {
+            prop_assert_eq!(index.postings(token), fresh.postings(token));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Keyword query parsing.
+
+use extract_index::tokenize;
+
+/// A parsed keyword query: normalized tokens, duplicates removed, original
+/// order preserved. The order matters downstream — the IList is initialized
+//  with the query keywords in this order (paper §2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeywordQuery {
+    keywords: Vec<String>,
+}
+
+impl KeywordQuery {
+    /// Parse free text like `"Texas, apparel, retailer"`.
+    pub fn parse(text: &str) -> KeywordQuery {
+        let mut keywords: Vec<String> = Vec::new();
+        for tok in tokenize(text) {
+            if !keywords.contains(&tok) {
+                keywords.push(tok);
+            }
+        }
+        KeywordQuery { keywords }
+    }
+
+    /// Build from pre-normalized keywords (used by generators and tests).
+    pub fn from_keywords<I: IntoIterator<Item = S>, S: Into<String>>(iter: I) -> KeywordQuery {
+        let mut keywords: Vec<String> = Vec::new();
+        for k in iter {
+            let k = k.into().to_lowercase();
+            if !k.is_empty() && !keywords.contains(&k) {
+                keywords.push(k);
+            }
+        }
+        KeywordQuery { keywords }
+    }
+
+    /// The normalized keywords in query order.
+    pub fn keywords(&self) -> &[String] {
+        &self.keywords
+    }
+
+    /// Number of keywords.
+    pub fn len(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// Whether the query has no keywords.
+    pub fn is_empty(&self) -> bool {
+        self.keywords.is_empty()
+    }
+}
+
+impl std::fmt::Display for KeywordQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, k) in self.keywords.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_normalizes() {
+        let q = KeywordQuery::parse("Texas, apparel, Retailer");
+        assert_eq!(q.keywords(), &["texas", "apparel", "retailer"]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_removed_keeping_first_position() {
+        let q = KeywordQuery::parse("store texas Store");
+        assert_eq!(q.keywords(), &["store", "texas"]);
+    }
+
+    #[test]
+    fn empty_query() {
+        let q = KeywordQuery::parse("  ,;  ");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn from_keywords_normalizes_too() {
+        let q = KeywordQuery::from_keywords(["Store", "TEXAS", "store", ""]);
+        assert_eq!(q.keywords(), &["store", "texas"]);
+    }
+
+    #[test]
+    fn display_joins_with_spaces() {
+        let q = KeywordQuery::parse("store texas");
+        assert_eq!(q.to_string(), "store texas");
+    }
+}

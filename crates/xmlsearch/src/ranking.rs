@@ -1,0 +1,108 @@
+//! A simple deterministic relevance ranking for query results.
+//!
+//! The demo treats ranking as orthogonal ("eXtract can be used on top of
+//! any XML keyword search engine" with its own ranking, §3/§4); this module
+//! provides a reasonable default so the end-to-end pipeline and the demo
+//! example can order results: more keyword matches are better, tighter
+//! (smaller) results are better.
+
+use extract_xml::Document;
+
+use crate::result::QueryResult;
+
+/// A query result with its score.
+#[derive(Debug, Clone)]
+pub struct RankedResult {
+    /// The result.
+    pub result: QueryResult,
+    /// Higher is better.
+    pub score: f64,
+}
+
+/// Score one result: log-damped match counts per keyword, normalized by the
+/// log of the subtree size (an XRANK-flavoured compactness prior).
+pub fn score(doc: &Document, result: &QueryResult) -> f64 {
+    let tf: f64 = result
+        .matches
+        .iter()
+        .map(|m| (1.0 + m.len() as f64).ln())
+        .sum();
+    let size = result.size(doc) as f64;
+    tf / (1.0 + size.ln().max(0.0))
+}
+
+/// Rank results by descending score; ties break toward the earlier root in
+/// document order, so the ordering is total and deterministic.
+pub fn rank(doc: &Document, results: Vec<QueryResult>) -> Vec<RankedResult> {
+    let mut ranked: Vec<RankedResult> = results
+        .into_iter()
+        .map(|result| RankedResult { score: score(doc, &result), result })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.result.root.cmp(&b.result.root))
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::KeywordQuery;
+    use extract_index::XmlIndex;
+    use extract_xml::Document;
+
+    #[test]
+    fn more_matches_rank_higher() {
+        let doc = Document::parse_str(
+            "<r>\
+             <s><t>k</t><t>k</t><t>k</t></s>\
+             <s><t>k</t></s>\
+             </r>",
+        )
+        .unwrap();
+        let index = XmlIndex::build(&doc);
+        let q = KeywordQuery::parse("k");
+        let stores = doc.elements_with_label("s");
+        let results: Vec<QueryResult> =
+            stores.iter().map(|&s| QueryResult::build(&index, &q, s)).collect();
+        let ranked = rank(&doc, results);
+        assert_eq!(ranked[0].result.root, stores[0]);
+        assert!(ranked[0].score > ranked[1].score);
+    }
+
+    #[test]
+    fn smaller_results_rank_higher_at_equal_matches() {
+        let doc = Document::parse_str(
+            "<r>\
+             <s><t>k</t><pad1/><pad2/><pad3/><pad4/><pad5/><pad6/></s>\
+             <s><t>k</t></s>\
+             </r>",
+        )
+        .unwrap();
+        let index = XmlIndex::build(&doc);
+        let q = KeywordQuery::parse("k");
+        let stores = doc.elements_with_label("s");
+        let results: Vec<QueryResult> =
+            stores.iter().map(|&s| QueryResult::build(&index, &q, s)).collect();
+        let ranked = rank(&doc, results);
+        assert_eq!(ranked[0].result.root, stores[1], "the compact result wins");
+    }
+
+    #[test]
+    fn ties_break_by_document_order() {
+        let doc = Document::parse_str("<r><s><t>k</t></s><s><t>k</t></s></r>").unwrap();
+        let index = XmlIndex::build(&doc);
+        let q = KeywordQuery::parse("k");
+        let stores = doc.elements_with_label("s");
+        let results: Vec<QueryResult> = stores
+            .iter()
+            .rev() // feed them in reverse to prove sorting normalizes
+            .map(|&s| QueryResult::build(&index, &q, s))
+            .collect();
+        let ranked = rank(&doc, results);
+        assert_eq!(ranked[0].result.root, stores[0]);
+    }
+}

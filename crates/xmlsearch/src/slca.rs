@@ -1,0 +1,328 @@
+//! Smallest LCA (SLCA) computation.
+//!
+//! A node `v` is an **SLCA** of posting lists `S₁ … S_k` iff the subtree of
+//! `v` contains at least one node from every list and no proper descendant
+//! of `v` does the same. Three implementations:
+//!
+//! * [`slca_bruteforce`] — O(doc) bitmask propagation, the testing oracle;
+//! * [`slca_indexed_lookup`] — *Indexed Lookup Eager*: anchored on the
+//!   shortest list, finds each anchor's closest match in every other list
+//!   by binary search (Xu & Papakonstantinou, SIGMOD 2005). Runs in
+//!   `O(k · |S₁| · d · log |S_max|)`; the method of choice when one keyword
+//!   is rare;
+//! * [`slca_scan_eager`] — *Scan Eager*: the same per-anchor computation
+//!   with monotone pointers instead of binary searches, `O(k·d·Σ|S_i|)`;
+//!   better when list sizes are comparable.
+//!
+//! All three exploit the preorder-ID invariant: `NodeId` order *is*
+//! document order, so only LCA-depth computations touch Dewey labels.
+
+use std::collections::HashMap;
+
+use extract_index::DeweyStore;
+use extract_xml::{Document, NodeId};
+
+/// Compute SLCAs by brute force (testing oracle). `lists` holds the match
+/// nodes per keyword; an empty keyword list makes the result empty.
+pub fn slca_bruteforce(doc: &Document, lists: &[Vec<NodeId>]) -> Vec<NodeId> {
+    if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
+        return Vec::new();
+    }
+    assert!(lists.len() <= 64, "brute force supports up to 64 keywords");
+    let full: u64 = if lists.len() == 64 { !0 } else { (1u64 << lists.len()) - 1 };
+    let mut mask: HashMap<NodeId, u64> = HashMap::new();
+    for (i, list) in lists.iter().enumerate() {
+        for &n in list {
+            *mask.entry(n).or_insert(0) |= 1 << i;
+        }
+    }
+    // Propagate masks upward. Iterating IDs in reverse visits children
+    // before parents (preorder invariant).
+    let mut subtree_mask: Vec<u64> = vec![0; doc.len()];
+    let mut has_full_descendant: Vec<bool> = vec![false; doc.len()];
+    let mut out = Vec::new();
+    for idx in (0..doc.len()).rev() {
+        let n = NodeId::from_index(idx);
+        let mut m = mask.get(&n).copied().unwrap_or(0);
+        let mut full_desc = false;
+        for c in doc.children(n) {
+            m |= subtree_mask[c.index()];
+            full_desc |= has_full_descendant[c.index()] || subtree_mask[c.index()] == full;
+        }
+        subtree_mask[idx] = m;
+        has_full_descendant[idx] = full_desc;
+        if m == full && !full_desc && doc.node(n).is_element() {
+            out.push(n);
+        }
+    }
+    out.reverse();
+    out
+}
+
+/// Indexed Lookup Eager. `lists` must be sorted in document order (as the
+/// inverted index produces them).
+pub fn slca_indexed_lookup(doc: &Document, store: &DeweyStore, lists: &[Vec<NodeId>]) -> Vec<NodeId> {
+    let Some(anchor_idx) = prepare(lists) else {
+        return Vec::new();
+    };
+    let anchors = &lists[anchor_idx];
+    let mut candidates = Vec::with_capacity(anchors.len());
+    for &v in anchors {
+        let mut u = v;
+        for (li, list) in lists.iter().enumerate() {
+            if li == anchor_idx {
+                continue;
+            }
+            let m = closest_by_binary_search(store, list, u);
+            u = lca_node(doc, store, u, m);
+        }
+        candidates.push(u);
+    }
+    remove_ancestors(store, candidates)
+}
+
+/// Scan Eager. `lists` must be sorted in document order.
+pub fn slca_scan_eager(doc: &Document, store: &DeweyStore, lists: &[Vec<NodeId>]) -> Vec<NodeId> {
+    let Some(anchor_idx) = prepare(lists) else {
+        return Vec::new();
+    };
+    let anchors = &lists[anchor_idx];
+    // One monotone pointer per non-anchor list.
+    let mut pointers: Vec<usize> = vec![0; lists.len()];
+    let mut candidates = Vec::with_capacity(anchors.len());
+    for &v in anchors {
+        let mut u = v;
+        for (li, list) in lists.iter().enumerate() {
+            if li == anchor_idx {
+                continue;
+            }
+            // Advance to the first node ≥ the *anchor* (not the shrinking
+            // lca) so the pointer stays monotone across anchors.
+            let p = &mut pointers[li];
+            while *p < list.len() && list[*p] < v {
+                *p += 1;
+            }
+            let m = closest_of(store, list, *p, u);
+            u = lca_node(doc, store, u, m);
+        }
+        candidates.push(u);
+    }
+    remove_ancestors(store, candidates)
+}
+
+/// Shared validation: non-empty lists; returns the index of the shortest
+/// list (the anchor).
+fn prepare(lists: &[Vec<NodeId>]) -> Option<usize> {
+    if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
+        return None;
+    }
+    lists
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, l)| l.len())
+        .map(|(i, _)| i)
+}
+
+/// Among `list[p-1]` and `list[p]`, the node with the deepest LCA with `u`.
+fn closest_of(store: &DeweyStore, list: &[NodeId], p: usize, u: NodeId) -> NodeId {
+    let pred = p.checked_sub(1).map(|i| list[i]);
+    let succ = list.get(p).copied();
+    match (pred, succ) {
+        (Some(a), Some(b)) => {
+            if store.lca_depth(a, u) >= store.lca_depth(b, u) {
+                a
+            } else {
+                b
+            }
+        }
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => unreachable!("lists are non-empty"),
+    }
+}
+
+/// Binary-search variant of [`closest_of`] (NodeId order == document order).
+fn closest_by_binary_search(store: &DeweyStore, list: &[NodeId], u: NodeId) -> NodeId {
+    let p = list.partition_point(|&n| n < u);
+    closest_of(store, list, p, u)
+}
+
+/// LCA of two nodes; prefers walking the shallower distance using the
+/// store's depths.
+fn lca_node(doc: &Document, store: &DeweyStore, a: NodeId, b: NodeId) -> NodeId {
+    if a == b {
+        return a;
+    }
+    let target = store.lca_depth(a, b);
+    let mut x = a;
+    for _ in 0..(store.depth(a) - target) {
+        x = doc.parent(x).expect("depth accounting");
+    }
+    x
+}
+
+/// Sort candidates, deduplicate, and drop every node that has a candidate
+/// descendant (SLCAs are the *deepest* full-containment nodes).
+fn remove_ancestors(store: &DeweyStore, mut candidates: Vec<NodeId>) -> Vec<NodeId> {
+    candidates.sort_unstable();
+    candidates.dedup();
+    let mut keep: Vec<NodeId> = Vec::with_capacity(candidates.len());
+    for c in candidates {
+        while let Some(&last) = keep.last() {
+            if store.is_ancestor_or_self(last, c) {
+                keep.pop();
+            } else {
+                break;
+            }
+        }
+        keep.push(c);
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extract_index::XmlIndex;
+
+    fn setup(xml: &str) -> (Document, XmlIndex) {
+        let doc = Document::parse_str(xml).unwrap();
+        let index = XmlIndex::build(&doc);
+        (doc, index)
+    }
+
+    fn lists(index: &XmlIndex, keywords: &[&str]) -> Vec<Vec<NodeId>> {
+        keywords.iter().map(|k| index.postings(k).to_vec()).collect()
+    }
+
+    fn all_three(doc: &Document, index: &XmlIndex, keywords: &[&str]) -> Vec<NodeId> {
+        let ls = lists(index, keywords);
+        let brute = slca_bruteforce(doc, &ls);
+        let ile = slca_indexed_lookup(doc, index.dewey_store(), &ls);
+        let se = slca_scan_eager(doc, index.dewey_store(), &ls);
+        assert_eq!(brute, ile, "indexed lookup disagrees with brute force");
+        assert_eq!(brute, se, "scan eager disagrees with brute force");
+        brute
+    }
+
+    #[test]
+    fn single_result_under_shared_store() {
+        let (doc, index) = setup(
+            "<stores>\
+             <store><name>Levis</name><state>Texas</state></store>\
+             <store><name>Gap</name><state>Ohio</state></store>\
+             </stores>",
+        );
+        let r = all_three(&doc, &index, &["levis", "texas"]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(doc.label_str(r[0]), Some("store"));
+    }
+
+    #[test]
+    fn two_independent_results() {
+        let (doc, index) = setup(
+            "<stores>\
+             <store><name>Levis</name><state>Texas</state></store>\
+             <store><name>ESprit</name><state>Texas</state></store>\
+             <store><name>Gap</name><state>Ohio</state></store>\
+             </stores>",
+        );
+        let r = all_three(&doc, &index, &["store", "texas"]);
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|&n| doc.label_str(n) == Some("store")));
+    }
+
+    #[test]
+    fn lca_floats_to_root_when_matches_are_spread() {
+        let (doc, index) = setup(
+            "<r><a><x>k1</x></a><b><y>k2</y></b></r>",
+        );
+        let r = all_three(&doc, &index, &["k1", "k2"]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], doc.root());
+    }
+
+    #[test]
+    fn slca_excludes_ancestor_of_deeper_slca() {
+        // Inner node contains both keywords; the root also does (via the
+        // inner node plus its own copy) but is not smallest.
+        let (doc, index) = setup(
+            "<r><inner><p>k1</p><q>k2</q></inner><extra>k1</extra></r>",
+        );
+        let r = all_three(&doc, &index, &["k1", "k2"]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(doc.label_str(r[0]), Some("inner"));
+    }
+
+    #[test]
+    fn single_keyword_slca_is_deepest_matches() {
+        let (doc, index) = setup("<a><b>k</b><c><d>k</d></c></a>");
+        let r = all_three(&doc, &index, &["k"]);
+        // b and d match; neither has a matching descendant.
+        assert_eq!(r.len(), 2);
+        let labels: Vec<_> = r.iter().map(|&n| doc.label_str(n).unwrap()).collect();
+        assert_eq!(labels, vec!["b", "d"]);
+    }
+
+    #[test]
+    fn keyword_matching_label_and_value() {
+        let (doc, index) = setup(
+            "<stores><store><state>Texas</state></store><store><state>Ohio</state></store></stores>",
+        );
+        let r = all_three(&doc, &index, &["store", "texas"]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(doc.label_str(r[0]), Some("store"));
+    }
+
+    #[test]
+    fn missing_keyword_yields_empty() {
+        let (doc, index) = setup("<a><b>k1</b></a>");
+        assert!(all_three(&doc, &index, &["k1", "zzz"]).is_empty());
+    }
+
+    #[test]
+    fn nested_matches_on_one_path() {
+        // Matches are ancestor/descendant of each other.
+        let (doc, index) = setup("<k1><mid><k2>x</k2></mid></k1>");
+        let r = all_three(&doc, &index, &["k1", "k2"]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(doc.label_str(r[0]), Some("k1"));
+    }
+
+    #[test]
+    fn same_node_matches_all_keywords() {
+        let (doc, index) = setup("<r><item>red fox</item><item>red</item></r>");
+        let r = all_three(&doc, &index, &["red", "fox"]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(doc.label_str(r[0]), Some("item"));
+    }
+
+    #[test]
+    fn three_keywords() {
+        let (doc, index) = setup(
+            "<retailers><retailer><state>Texas</state><product>apparel</product></retailer>\
+             <retailer><state>Texas</state><product>food</product></retailer></retailers>",
+        );
+        let r = all_three(&doc, &index, &["texas", "apparel", "retailer"]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(doc.label_str(r[0]), Some("retailer"));
+    }
+
+    #[test]
+    fn results_are_in_document_order() {
+        let (doc, index) = setup(
+            "<r><s><a>k</a></s><s><a>k</a></s><s><a>k</a></s></r>",
+        );
+        let r = all_three(&doc, &index, &["a", "k"]);
+        assert_eq!(r.len(), 3);
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_query_is_empty() {
+        let (doc, index) = setup("<a>x</a>");
+        assert!(all_three(&doc, &index, &[]).is_empty());
+        let _ = index;
+        let _ = doc;
+    }
+}

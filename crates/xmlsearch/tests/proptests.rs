@@ -1,0 +1,154 @@
+//! Property tests: the indexed SLCA/ELCA algorithms must agree with their
+//! brute-force oracles on arbitrary documents and queries, and structural
+//! invariants of results must hold.
+
+use extract_index::XmlIndex;
+use extract_search::slca::{slca_bruteforce, slca_indexed_lookup, slca_scan_eager};
+use extract_search::elca::{elca_bruteforce, elca_stack};
+use extract_search::{Algorithm, Engine, KeywordQuery};
+use extract_xml::{DocBuilder, Document, NodeId};
+use proptest::prelude::*;
+
+/// Random tree with labels/values drawn from a tiny vocabulary so keyword
+/// collisions (the interesting cases) are common.
+#[derive(Debug, Clone)]
+struct SpecNode {
+    label: usize,
+    value: Option<usize>,
+    children: Vec<SpecNode>,
+}
+
+const LABELS: [&str; 5] = ["store", "item", "name", "city", "tag"];
+const VALUES: [&str; 5] = ["texas", "houston", "jeans", "man", "red"];
+
+fn spec_strategy() -> impl Strategy<Value = SpecNode> {
+    let leaf = (0usize..LABELS.len(), proptest::option::of(0usize..VALUES.len()))
+        .prop_map(|(label, value)| SpecNode { label, value, children: Vec::new() });
+    leaf.prop_recursive(4, 48, 5, |inner| {
+        (0usize..LABELS.len(), proptest::collection::vec(inner, 0..5)).prop_map(
+            |(label, children)| SpecNode { label, value: None, children },
+        )
+    })
+}
+
+fn build(spec: &SpecNode) -> Document {
+    let mut b = DocBuilder::new("root");
+    push(&mut b, spec);
+    b.build()
+}
+
+fn push(b: &mut DocBuilder, s: &SpecNode) {
+    b.begin(LABELS[s.label]);
+    if let Some(v) = s.value {
+        b.text(VALUES[v]);
+    }
+    for c in &s.children {
+        push(b, c);
+    }
+    b.end();
+}
+
+fn keyword_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..LABELS.len()).prop_map(|i| LABELS[i].to_string()),
+            (0usize..VALUES.len()).prop_map(|i| VALUES[i].to_string()),
+        ],
+        1..4,
+    )
+    .prop_map(|mut ks| {
+        ks.dedup();
+        ks
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn slca_algorithms_agree_with_bruteforce(
+        spec in spec_strategy(),
+        keywords in keyword_strategy(),
+    ) {
+        let doc = build(&spec);
+        let index = XmlIndex::build(&doc);
+        let lists: Vec<Vec<NodeId>> =
+            keywords.iter().map(|k| index.postings(k).to_vec()).collect();
+        let oracle = slca_bruteforce(&doc, &lists);
+        prop_assert_eq!(&slca_indexed_lookup(&doc, index.dewey_store(), &lists), &oracle);
+        prop_assert_eq!(&slca_scan_eager(&doc, index.dewey_store(), &lists), &oracle);
+    }
+
+    #[test]
+    fn elca_stack_agrees_with_bruteforce(
+        spec in spec_strategy(),
+        keywords in keyword_strategy(),
+    ) {
+        let doc = build(&spec);
+        let index = XmlIndex::build(&doc);
+        let lists: Vec<Vec<NodeId>> =
+            keywords.iter().map(|k| index.postings(k).to_vec()).collect();
+        prop_assert_eq!(elca_stack(&doc, &lists), elca_bruteforce(&doc, &lists));
+    }
+
+    #[test]
+    fn every_slca_is_an_elca(
+        spec in spec_strategy(),
+        keywords in keyword_strategy(),
+    ) {
+        let doc = build(&spec);
+        let index = XmlIndex::build(&doc);
+        let lists: Vec<Vec<NodeId>> =
+            keywords.iter().map(|k| index.postings(k).to_vec()).collect();
+        let slcas = slca_bruteforce(&doc, &lists);
+        let elcas = elca_stack(&doc, &lists);
+        for s in &slcas {
+            prop_assert!(elcas.contains(s), "SLCA {s} not an ELCA");
+        }
+    }
+
+    #[test]
+    fn slcas_are_incomparable_and_cover_all_keywords(
+        spec in spec_strategy(),
+        keywords in keyword_strategy(),
+    ) {
+        let doc = build(&spec);
+        let index = XmlIndex::build(&doc);
+        let lists: Vec<Vec<NodeId>> =
+            keywords.iter().map(|k| index.postings(k).to_vec()).collect();
+        let slcas = slca_indexed_lookup(&doc, index.dewey_store(), &lists);
+        // Pairwise: no SLCA is an ancestor of another.
+        for (i, &a) in slcas.iter().enumerate() {
+            for &b in &slcas[i + 1..] {
+                prop_assert!(!doc.is_ancestor_or_self(a, b));
+                prop_assert!(!doc.is_ancestor_or_self(b, a));
+            }
+        }
+        // Each SLCA's subtree contains all keywords.
+        for &s in &slcas {
+            for list in &lists {
+                prop_assert!(list.iter().any(|&m| doc.is_ancestor_or_self(s, m)));
+            }
+        }
+    }
+
+    #[test]
+    fn xseek_results_cover_all_keywords_and_are_disjoint(
+        spec in spec_strategy(),
+        keywords in keyword_strategy(),
+    ) {
+        let doc = build(&spec);
+        let engine = Engine::new(&doc);
+        let q = KeywordQuery::from_keywords(keywords.clone());
+        let results = engine.search(&q, Algorithm::XSeek);
+        for r in &results {
+            prop_assert!(r.covers_all_keywords());
+        }
+        for (i, a) in results.iter().enumerate() {
+            for b in &results[i + 1..] {
+                prop_assert!(!doc.is_ancestor_or_self(a.root, b.root));
+                prop_assert!(!doc.is_ancestor_or_self(b.root, a.root));
+            }
+        }
+    }
+}

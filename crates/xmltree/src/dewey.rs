@@ -1,0 +1,205 @@
+//! Dewey order labels.
+//!
+//! A Dewey label encodes the path of child ranks from the document root to a
+//! node: the root is the empty label `[]`, its second child is `[1]`, that
+//! child's first child `[1, 0]`, and so on. Dewey labels give three things
+//! the XML keyword-search algorithms need in O(depth):
+//!
+//! * **document order** — lexicographic comparison of labels (a prefix sorts
+//!   before its extensions, i.e. ancestors precede descendants);
+//! * **ancestor tests** — `a` is an ancestor-or-self of `b` iff `a` is a
+//!   prefix of `b`;
+//! * **lowest common ancestors** — the longest common prefix of two labels.
+//!
+//! These are exactly the primitives used by the SLCA algorithms of Xu &
+//! Papakonstantinou (SIGMOD 2005) and the Dewey-stack ELCA algorithm of
+//! XRANK (SIGMOD 2003), both implemented in the `extract-search` crate.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A Dewey order label: the sequence of child ranks from the root.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Dewey {
+    components: Vec<u32>,
+}
+
+impl Dewey {
+    /// The label of the document root (empty component list).
+    pub fn root() -> Self {
+        Dewey { components: Vec::new() }
+    }
+
+    /// Build a label from explicit components.
+    pub fn from_components(components: Vec<u32>) -> Self {
+        Dewey { components }
+    }
+
+    /// The component slice (child ranks from the root).
+    pub fn components(&self) -> &[u32] {
+        &self.components
+    }
+
+    /// Depth of the node this label addresses (root = 0).
+    pub fn depth(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether this is the root label.
+    pub fn is_root(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The label of this node's `rank`-th child.
+    pub fn child(&self, rank: u32) -> Dewey {
+        let mut components = Vec::with_capacity(self.components.len() + 1);
+        components.extend_from_slice(&self.components);
+        components.push(rank);
+        Dewey { components }
+    }
+
+    /// The label of this node's parent, or `None` for the root.
+    pub fn parent(&self) -> Option<Dewey> {
+        if self.components.is_empty() {
+            None
+        } else {
+            Dewey { components: self.components[..self.components.len() - 1].to_vec() }.into()
+        }
+    }
+
+    /// True iff `self` is an ancestor of `other` **or equal to it**
+    /// (prefix test).
+    pub fn is_ancestor_or_self_of(&self, other: &Dewey) -> bool {
+        other.components.len() >= self.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// True iff `self` is a strict ancestor of `other`.
+    pub fn is_ancestor_of(&self, other: &Dewey) -> bool {
+        other.components.len() > self.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// Length of the longest common prefix with `other`, in components.
+    pub fn common_prefix_len(&self, other: &Dewey) -> usize {
+        self.components
+            .iter()
+            .zip(other.components.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// The lowest common ancestor label of `self` and `other` — their
+    /// longest common prefix.
+    pub fn lca(&self, other: &Dewey) -> Dewey {
+        let n = self.common_prefix_len(other);
+        Dewey { components: self.components[..n].to_vec() }
+    }
+
+    /// Truncate this label to the first `len` components (an ancestor label).
+    pub fn prefix(&self, len: usize) -> Dewey {
+        Dewey { components: self.components[..len.min(self.components.len())].to_vec() }
+    }
+}
+
+impl PartialOrd for Dewey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dewey {
+    /// Lexicographic component comparison = document (preorder) order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.components.cmp(&other.components)
+    }
+}
+
+impl fmt::Display for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            return write!(f, "ε");
+        }
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<u32>> for Dewey {
+    fn from(components: Vec<u32>) -> Self {
+        Dewey { components }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(cs: &[u32]) -> Dewey {
+        Dewey::from_components(cs.to_vec())
+    }
+
+    #[test]
+    fn root_is_empty_and_displays_epsilon() {
+        assert!(Dewey::root().is_root());
+        assert_eq!(Dewey::root().to_string(), "ε");
+        assert_eq!(d(&[1, 0, 2]).to_string(), "1.0.2");
+    }
+
+    #[test]
+    fn child_and_parent_are_inverse() {
+        let a = d(&[2, 5]);
+        assert_eq!(a.child(3), d(&[2, 5, 3]));
+        assert_eq!(a.child(3).parent().unwrap(), a);
+        assert!(Dewey::root().parent().is_none());
+    }
+
+    #[test]
+    fn ancestors_precede_descendants_in_order() {
+        assert!(d(&[1]) < d(&[1, 0]));
+        assert!(d(&[1, 0]) < d(&[1, 1]));
+        assert!(d(&[1, 9]) < d(&[2]));
+    }
+
+    #[test]
+    fn ancestor_tests() {
+        let a = d(&[1]);
+        let b = d(&[1, 3, 2]);
+        assert!(a.is_ancestor_of(&b));
+        assert!(a.is_ancestor_or_self_of(&b));
+        assert!(a.is_ancestor_or_self_of(&a));
+        assert!(!a.is_ancestor_of(&a));
+        assert!(!b.is_ancestor_of(&a));
+        assert!(!d(&[2]).is_ancestor_of(&b));
+        assert!(Dewey::root().is_ancestor_of(&a));
+    }
+
+    #[test]
+    fn lca_is_longest_common_prefix() {
+        assert_eq!(d(&[1, 3, 2]).lca(&d(&[1, 3, 5, 0])), d(&[1, 3]));
+        assert_eq!(d(&[1]).lca(&d(&[2])), Dewey::root());
+        let a = d(&[4, 4]);
+        assert_eq!(a.lca(&a), a);
+        // LCA with an ancestor is the ancestor itself.
+        assert_eq!(d(&[1, 2, 3]).lca(&d(&[1, 2])), d(&[1, 2]));
+    }
+
+    #[test]
+    fn prefix_truncates_and_saturates() {
+        let a = d(&[7, 8, 9]);
+        assert_eq!(a.prefix(2), d(&[7, 8]));
+        assert_eq!(a.prefix(0), Dewey::root());
+        assert_eq!(a.prefix(99), a);
+    }
+
+    #[test]
+    fn depth_counts_components() {
+        assert_eq!(Dewey::root().depth(), 0);
+        assert_eq!(d(&[0, 0, 0, 0]).depth(), 4);
+    }
+}

@@ -1,0 +1,657 @@
+//! The arena DOM: a flat, index-addressed XML tree.
+//!
+//! Nodes live in one `Vec<Node>` and are addressed by [`NodeId`]; element
+//! labels are interned in a [`SymbolTable`]. The design follows the arena /
+//! newtype-index idioms: no reference counting, no interior mutability,
+//! cache-friendly traversal, and IDs that downstream crates (indexes, search
+//! engines, the snippet selector) can use as dense array keys.
+//!
+//! # Invariant: IDs are in document order
+//!
+//! Construction (parser, [`crate::builder::DocBuilder`], [`Document::project`])
+//! assigns [`NodeId`]s in preorder, so comparing raw IDs compares document
+//! positions. [`Document::debug_validate`] checks this invariant along with
+//! parent/child consistency.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::dewey::Dewey;
+use crate::symbol::{Symbol, SymbolTable};
+
+/// Index of a node within its [`Document`]'s arena.
+///
+/// IDs are assigned in document (preorder) order, so `a < b` means node `a`
+/// starts before node `b` in the document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct an ID from a raw index (must come from the same document).
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The two kinds of tree node. XML-syntax attributes are materialized as
+/// child elements by default (see [`crate::parser::ParseOptions`]), matching
+/// the paper's uniform node model where an "attribute" is an element with a
+/// single text child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// An element node with a label and children.
+    Element,
+    /// A text node carrying character data.
+    Text,
+}
+
+/// One node of the arena.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) kind: NodeKind,
+    /// Element label; unused (root symbol) for text nodes.
+    pub(crate) label: Symbol,
+    pub(crate) parent: Option<NodeId>,
+    /// Rank of this node among its parent's children (0-based).
+    pub(crate) rank: u32,
+    pub(crate) children: Vec<NodeId>,
+    /// Character data for text nodes; `None` for elements.
+    pub(crate) text: Option<Box<str>>,
+}
+
+impl Node {
+    /// The node kind.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// The interned label (meaningful only for elements).
+    pub fn label(&self) -> Symbol {
+        self.label
+    }
+
+    /// The parent, or `None` for the root.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// This node's rank among its parent's children.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Child IDs in document order.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// Text content for text nodes.
+    pub fn text(&self) -> Option<&str> {
+        self.text.as_deref()
+    }
+
+    /// Whether this is an element node.
+    pub fn is_element(&self) -> bool {
+        self.kind == NodeKind::Element
+    }
+
+    /// Whether this is a text node.
+    pub fn is_text(&self) -> bool {
+        self.kind == NodeKind::Text
+    }
+}
+
+/// An immutable XML document tree.
+#[derive(Debug, Clone)]
+pub struct Document {
+    pub(crate) symbols: SymbolTable,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: NodeId,
+    /// Root element name declared in `<!DOCTYPE name ...>`, if any.
+    pub(crate) doctype_name: Option<String>,
+    /// Parsed internal DTD subset, if any.
+    pub(crate) dtd: Option<crate::dtd::Dtd>,
+}
+
+impl Document {
+    /// Parse a document from a string with default [`crate::ParseOptions`].
+    pub fn parse_str(source: &str) -> crate::Result<Document> {
+        crate::parser::parse(source, &crate::parser::ParseOptions::default())
+    }
+
+    /// Parse with explicit options.
+    pub fn parse_with(source: &str, options: &crate::parser::ParseOptions) -> crate::Result<Document> {
+        crate::parser::parse(source, options)
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes (elements + text).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the document has no nodes (never true for parsed documents).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_element()).count()
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds for this document.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The symbol table holding element labels.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Intern a label (used by builders and tests).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.symbols.intern(s)
+    }
+
+    /// Resolve a label symbol to its string.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.symbols.resolve(sym)
+    }
+
+    /// The label symbol of an element node (`None` for text nodes).
+    pub fn label(&self, id: NodeId) -> Option<Symbol> {
+        let n = self.node(id);
+        n.is_element().then_some(n.label)
+    }
+
+    /// The label string of an element node (`None` for text nodes).
+    pub fn label_str(&self, id: NodeId) -> Option<&str> {
+        self.label(id).map(|s| self.symbols.resolve(s))
+    }
+
+    /// The declared DOCTYPE root name, if a DOCTYPE was present.
+    pub fn doctype_name(&self) -> Option<&str> {
+        self.doctype_name.as_deref()
+    }
+
+    /// The parsed internal DTD subset, if present.
+    pub fn dtd(&self) -> Option<&crate::dtd::Dtd> {
+        self.dtd.as_ref()
+    }
+
+    /// Parent of `id`, or `None` for the root.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Children of `id` in document order.
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node(id).children.iter().copied()
+    }
+
+    /// Element children only.
+    pub fn element_children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id).filter(move |&c| self.node(c).is_element())
+    }
+
+    /// Number of children of `id`.
+    pub fn child_count(&self, id: NodeId) -> usize {
+        self.node(id).children.len()
+    }
+
+    /// For a text node: its content. For an element whose children are all
+    /// text (at least one), the concatenated content — the "value" of an
+    /// attribute-like element. Otherwise `None`.
+    pub fn text_of(&self, id: NodeId) -> Option<&str> {
+        let n = self.node(id);
+        match n.kind {
+            NodeKind::Text => n.text.as_deref(),
+            NodeKind::Element => {
+                if n.children.len() == 1 {
+                    let c = self.node(n.children[0]);
+                    if c.is_text() {
+                        return c.text.as_deref();
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Concatenated text of **all** text descendants of `id`, separated by
+    /// single spaces (used by the structure-blind text baseline).
+    pub fn concat_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for n in self.subtree(id) {
+            if let Some(t) = self.node(n).text() {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Preorder iterator over the subtree rooted at `id`, including `id`.
+    pub fn subtree(&self, id: NodeId) -> Subtree<'_> {
+        Subtree { doc: self, stack: vec![id] }
+    }
+
+    /// Preorder iterator over the **element** nodes of the subtree at `id`.
+    pub fn subtree_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.subtree(id).filter(move |&n| self.node(n).is_element())
+    }
+
+    /// Number of nodes in the subtree at `id` (including `id`).
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        self.subtree(id).count()
+    }
+
+    /// Iterator over strict ancestors of `id`, nearest first.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors { doc: self, current: self.node(id).parent }
+    }
+
+    /// Iterator over `id` then its ancestors, nearest first.
+    pub fn ancestors_or_self(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors { doc: self, current: Some(id) }
+    }
+
+    /// Depth of `id` (root = 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// True iff `a` is an ancestor of `b` or equal to it.
+    pub fn is_ancestor_or_self(&self, a: NodeId, b: NodeId) -> bool {
+        self.ancestors_or_self(b).any(|n| n == a)
+    }
+
+    /// The Dewey order label of `id`, computed by walking to the root
+    /// (O(depth)). The `extract-index` crate caches these densely.
+    pub fn dewey(&self, id: NodeId) -> Dewey {
+        let mut comps: Vec<u32> = self.ancestors_or_self(id).map(|n| self.node(n).rank).collect();
+        comps.pop(); // drop the root's meaningless rank
+        comps.reverse();
+        Dewey::from_components(comps)
+    }
+
+    /// Resolve a Dewey label back to a node, if it addresses one.
+    pub fn node_by_dewey(&self, dewey: &Dewey) -> Option<NodeId> {
+        let mut cur = self.root;
+        for &rank in dewey.components() {
+            cur = *self.node(cur).children.get(rank as usize)?;
+        }
+        Some(cur)
+    }
+
+    /// Lowest common ancestor of two nodes.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let da = self.depth(a);
+        let db = self.depth(b);
+        let (mut x, mut y) = (a, b);
+        // Lift the deeper node to the same depth, then walk up in lockstep.
+        for _ in db..da {
+            x = self.parent(x).expect("depth accounting");
+        }
+        for _ in da..db {
+            y = self.parent(y).expect("depth accounting");
+        }
+        while x != y {
+            x = self.parent(x).expect("nodes share a root");
+            y = self.parent(y).expect("nodes share a root");
+        }
+        x
+    }
+
+    /// All element nodes with the given label, in document order.
+    pub fn elements_with_label(&self, label: &str) -> Vec<NodeId> {
+        let Some(sym) = self.symbols.get(label) else {
+            return Vec::new();
+        };
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_element() && n.label == sym)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// First element with the given label in document order.
+    pub fn first_element_with_label(&self, label: &str) -> Option<NodeId> {
+        self.elements_with_label(label).into_iter().next()
+    }
+
+    /// Iterator over every node ID in document order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Extract the subtree rooted at `root`, keeping only element nodes in
+    /// `keep` (the set is ancestor-closed internally: ancestors of kept
+    /// nodes up to `root` are always included, as is `root` itself).
+    /// Text children of kept elements ride along, so attribute values are
+    /// preserved. Returns the new document and the old→new ID mapping.
+    pub fn project(
+        &self,
+        root: NodeId,
+        keep: &HashSet<NodeId>,
+    ) -> (Document, HashMap<NodeId, NodeId>) {
+        // Close the keep set under ancestors (bounded by `root`).
+        let mut closed: HashSet<NodeId> = HashSet::with_capacity(keep.len() * 2);
+        closed.insert(root);
+        for &n in keep {
+            if !self.is_ancestor_or_self(root, n) {
+                continue;
+            }
+            for a in self.ancestors_or_self(n) {
+                if !closed.insert(a) || a == root {
+                    break;
+                }
+            }
+        }
+
+        let mut out = Document {
+            symbols: self.symbols.clone(),
+            nodes: Vec::with_capacity(closed.len() * 2),
+            root: NodeId(0),
+            doctype_name: self.doctype_name.clone(),
+            dtd: self.dtd.clone(),
+        };
+        let mut mapping = HashMap::with_capacity(closed.len());
+        self.project_rec(root, None, &closed, &mut out, &mut mapping);
+        (out, mapping)
+    }
+
+    fn project_rec(
+        &self,
+        node: NodeId,
+        new_parent: Option<NodeId>,
+        closed: &HashSet<NodeId>,
+        out: &mut Document,
+        mapping: &mut HashMap<NodeId, NodeId>,
+    ) {
+        let src = self.node(node);
+        let new_id = NodeId(out.nodes.len() as u32);
+        let rank = match new_parent {
+            Some(p) => {
+                let r = out.nodes[p.index()].children.len() as u32;
+                out.nodes[p.index()].children.push(new_id);
+                r
+            }
+            None => 0,
+        };
+        out.nodes.push(Node {
+            kind: src.kind,
+            label: src.label,
+            parent: new_parent,
+            rank,
+            children: Vec::new(),
+            text: src.text.clone(),
+        });
+        mapping.insert(node, new_id);
+        for &c in &src.children {
+            let cn = self.node(c);
+            // Kept elements recurse; text children of a kept element ride
+            // along so values stay attached to their attribute elements.
+            if (cn.is_element() && closed.contains(&c)) || cn.is_text() {
+                self.project_rec(c, Some(new_id), closed, out, mapping);
+            }
+        }
+    }
+
+    /// Number of element→element edges in the subtree at `root`. This is the
+    /// paper's snippet size measure ("the number of edges in the tree",
+    /// counting an attribute together with its value as one edge).
+    pub fn element_edges(&self, root: NodeId) -> usize {
+        self.subtree_elements(root).count().saturating_sub(1)
+    }
+
+    /// Check structural invariants (parent/child symmetry, preorder ID
+    /// assignment, rank consistency). Used by tests and debug builds.
+    pub fn debug_validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty document".into());
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut order: Vec<NodeId> = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            if seen[n.index()] {
+                return Err(format!("node {n} reachable twice"));
+            }
+            seen[n.index()] = true;
+            order.push(n);
+            let node = self.node(n);
+            for (i, &c) in node.children.iter().enumerate() {
+                let cn = &self.nodes[c.index()];
+                if cn.parent != Some(n) {
+                    return Err(format!("child {c} of {n} has parent {:?}", cn.parent));
+                }
+                if cn.rank as usize != i {
+                    return Err(format!("child {c} of {n} has rank {} != {}", cn.rank, i));
+                }
+            }
+            for &c in node.children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        if seen.iter().any(|s| !s) {
+            return Err("unreachable nodes in arena".into());
+        }
+        for w in order.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!("IDs not in preorder: {} then {}", w[0], w[1]));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Preorder subtree iterator. See [`Document::subtree`].
+pub struct Subtree<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Subtree<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.stack.pop()?;
+        let children = &self.doc.node(n).children;
+        self.stack.extend(children.iter().rev().copied());
+        Some(n)
+    }
+}
+
+/// Upward iterator. See [`Document::ancestors`].
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    current: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.current?;
+        self.current = self.doc.node(n).parent;
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        Document::parse_str(
+            "<retailer><name>BB</name>\
+             <store><city>Houston</city><city>Austin</city></store>\
+             <store><city>Dallas</city></store></retailer>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn navigation_basics() {
+        let d = sample();
+        let root = d.root();
+        assert_eq!(d.label_str(root), Some("retailer"));
+        assert_eq!(d.element_children(root).count(), 3);
+        assert!(d.parent(root).is_none());
+        let name = d.element_children(root).next().unwrap();
+        assert_eq!(d.label_str(name), Some("name"));
+        assert_eq!(d.text_of(name), Some("BB"));
+        assert_eq!(d.parent(name), Some(root));
+    }
+
+    #[test]
+    fn ids_are_preorder() {
+        let d = sample();
+        d.debug_validate().unwrap();
+        let ids: Vec<NodeId> = d.subtree(d.root()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "preorder must equal ID order");
+    }
+
+    #[test]
+    fn dewey_round_trip() {
+        let d = sample();
+        for n in d.all_nodes() {
+            let dw = d.dewey(n);
+            assert_eq!(d.node_by_dewey(&dw), Some(n), "dewey {dw} of {n}");
+        }
+    }
+
+    #[test]
+    fn dewey_of_root_is_empty() {
+        let d = sample();
+        assert!(d.dewey(d.root()).is_root());
+    }
+
+    #[test]
+    fn lca_matches_dewey_lca() {
+        let d = sample();
+        let nodes: Vec<NodeId> = d.all_nodes().collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                let via_tree = d.lca(a, b);
+                let via_dewey = d.node_by_dewey(&d.dewey(a).lca(&d.dewey(b))).unwrap();
+                assert_eq!(via_tree, via_dewey);
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_tests_agree_with_dewey() {
+        let d = sample();
+        let nodes: Vec<NodeId> = d.all_nodes().collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                assert_eq!(
+                    d.is_ancestor_or_self(a, b),
+                    d.dewey(a).is_ancestor_or_self_of(&d.dewey(b))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn elements_with_label_in_document_order() {
+        let d = sample();
+        let stores = d.elements_with_label("store");
+        assert_eq!(stores.len(), 2);
+        assert!(stores[0] < stores[1]);
+        assert!(d.elements_with_label("warehouse").is_empty());
+    }
+
+    #[test]
+    fn concat_text_flattens() {
+        let d = sample();
+        assert_eq!(d.concat_text(d.root()), "BB Houston Austin Dallas");
+    }
+
+    #[test]
+    fn text_of_requires_single_text_child() {
+        let d = sample();
+        let root = d.root();
+        assert_eq!(d.text_of(root), None, "root has element children");
+        let store = d.elements_with_label("store")[0];
+        assert_eq!(d.text_of(store), None);
+        let city = d.elements_with_label("city")[0];
+        assert_eq!(d.text_of(city), Some("Houston"));
+    }
+
+    #[test]
+    fn subtree_sizes() {
+        let d = sample();
+        let store2 = d.elements_with_label("store")[1];
+        // store2 + city + text
+        assert_eq!(d.subtree_size(store2), 3);
+        assert_eq!(d.subtree_elements(store2).count(), 2);
+        assert_eq!(d.element_edges(store2), 1);
+    }
+
+    #[test]
+    fn project_keeps_requested_subset() {
+        let d = sample();
+        let root = d.root();
+        let name = d.elements_with_label("name")[0];
+        let city_dallas = d.elements_with_label("city")[2];
+        let keep: HashSet<NodeId> = [name, city_dallas].into_iter().collect();
+        let (snip, mapping) = d.project(root, &keep);
+        snip.debug_validate().unwrap();
+        // retailer, name+text, store2, city+text
+        assert_eq!(snip.element_count(), 4);
+        assert_eq!(snip.label_str(snip.root()), Some("retailer"));
+        assert_eq!(snip.text_of(mapping[&name]), Some("BB"));
+        assert_eq!(snip.text_of(mapping[&city_dallas]), Some("Dallas"));
+        // Houston/Austin store was not kept.
+        assert_eq!(snip.elements_with_label("store").len(), 1);
+        assert_eq!(snip.elements_with_label("city").len(), 1);
+    }
+
+    #[test]
+    fn project_from_inner_root_ignores_outside_nodes() {
+        let d = sample();
+        let store1 = d.elements_with_label("store")[0];
+        let name = d.elements_with_label("name")[0]; // outside store1
+        let austin = d.elements_with_label("city")[1];
+        let keep: HashSet<NodeId> = [name, austin].into_iter().collect();
+        let (snip, _) = d.project(store1, &keep);
+        assert_eq!(snip.label_str(snip.root()), Some("store"));
+        assert_eq!(snip.elements_with_label("name").len(), 0);
+        assert_eq!(snip.elements_with_label("city").len(), 1);
+    }
+
+    #[test]
+    fn project_empty_keep_yields_root_only() {
+        let d = sample();
+        let (snip, _) = d.project(d.root(), &HashSet::new());
+        assert_eq!(snip.element_count(), 1);
+        assert_eq!(snip.element_edges(snip.root()), 0);
+    }
+}

@@ -1,0 +1,723 @@
+//! Internal-subset DTD parsing.
+//!
+//! The paper's Data Analyzer classifies nodes with the help of the DTD: "a
+//! node is considered as an entity if it corresponds to a `*`-node in the
+//! DTD" (§2.1). This module parses `<!ELEMENT ...>` declarations (content
+//! models with `?`/`*`/`+`, sequences, choices, mixed content, `EMPTY`,
+//! `ANY`) and `<!ATTLIST ...>` declarations, and answers the one question
+//! that matters downstream: *can child label `c` occur more than once under
+//! parent label `p`?* ([`Dtd::is_repeatable`]).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::error::{Error, Position, Result};
+
+/// Occurrence indicator on a content particle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurrence {
+    /// Exactly once (no indicator).
+    One,
+    /// `?` — zero or one.
+    Optional,
+    /// `*` — zero or more.
+    ZeroOrMore,
+    /// `+` — one or more.
+    OneOrMore,
+}
+
+impl Occurrence {
+    /// Whether this indicator allows more than one occurrence.
+    pub fn repeats(self) -> bool {
+        matches!(self, Occurrence::ZeroOrMore | Occurrence::OneOrMore)
+    }
+}
+
+/// A node of a content-model expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParticleKind {
+    /// A child element name.
+    Name(String),
+    /// `(a, b, c)` — sequence.
+    Seq(Vec<ContentParticle>),
+    /// `(a | b | c)` — choice.
+    Choice(Vec<ContentParticle>),
+}
+
+/// A content particle with its occurrence indicator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentParticle {
+    /// The particle body.
+    pub kind: ParticleKind,
+    /// The trailing `?`/`*`/`+` (or none).
+    pub occurrence: Occurrence,
+}
+
+/// The content model of an element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentModel {
+    /// `EMPTY`.
+    Empty,
+    /// `ANY`.
+    Any,
+    /// `(#PCDATA)` or `(#PCDATA | a | b)*` — the listed element names may
+    /// repeat freely.
+    Mixed(Vec<String>),
+    /// An element-content expression.
+    Children(ContentParticle),
+}
+
+/// One `<!ATTLIST>` attribute definition (type and default are kept as raw
+/// strings; only the names matter to the analyzer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttDef {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type (e.g. `CDATA`, `ID`, enumeration text).
+    pub att_type: String,
+    /// Default declaration (`#REQUIRED`, `#IMPLIED`, `#FIXED "v"`, or a
+    /// literal default).
+    pub default: String,
+}
+
+/// A parsed internal DTD subset.
+#[derive(Debug, Clone, Default)]
+pub struct Dtd {
+    elements: HashMap<String, ContentModel>,
+    attlists: HashMap<String, Vec<AttDef>>,
+}
+
+impl Dtd {
+    /// Parse the internal subset text (the part between `[` and `]` of a
+    /// DOCTYPE declaration).
+    pub fn parse(internal: &str) -> Result<Dtd> {
+        DtdParser::new(internal).parse()
+    }
+
+    /// The content model declared for `element`, if any.
+    pub fn content_model(&self, element: &str) -> Option<&ContentModel> {
+        self.elements.get(element)
+    }
+
+    /// Attribute definitions declared for `element`.
+    pub fn attributes(&self, element: &str) -> &[AttDef] {
+        self.attlists.get(element).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Whether `element` has an `<!ELEMENT>` declaration.
+    pub fn declares(&self, element: &str) -> bool {
+        self.elements.contains_key(element)
+    }
+
+    /// All declared element names (unordered).
+    pub fn declared_elements(&self) -> impl Iterator<Item = &str> {
+        self.elements.keys().map(|s| s.as_str())
+    }
+
+    /// Can `child` occur more than once under `parent`?
+    ///
+    /// Returns `None` if `parent` has no declaration (the analyzer then
+    /// falls back to data-driven inference), `Some(true)` if the content
+    /// model admits two or more `child` children, `Some(false)` otherwise.
+    pub fn is_repeatable(&self, parent: &str, child: &str) -> Option<bool> {
+        let model = self.elements.get(parent)?;
+        Some(match model {
+            ContentModel::Empty => false,
+            ContentModel::Any => true,
+            ContentModel::Mixed(names) => names.iter().any(|n| n == child),
+            ContentModel::Children(p) => {
+                let mut count = Count::Zero;
+                max_occurrences(p, child, false, &mut count);
+                count == Count::Many
+            }
+        })
+    }
+
+    /// The set of child labels that can repeat under `parent` — the
+    /// "`*`-nodes" of the paper.
+    pub fn repeatable_children(&self, parent: &str) -> HashSet<String> {
+        let mut out = HashSet::new();
+        let Some(model) = self.elements.get(parent) else {
+            return out;
+        };
+        match model {
+            ContentModel::Empty => {}
+            ContentModel::Any => {
+                // Anything declared can repeat under ANY.
+                out.extend(self.elements.keys().cloned());
+            }
+            ContentModel::Mixed(names) => out.extend(names.iter().cloned()),
+            ContentModel::Children(p) => {
+                let mut names = HashSet::new();
+                collect_names(p, &mut names);
+                for n in names {
+                    if self.is_repeatable(parent, &n) == Some(true) {
+                        out.insert(n);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Saturating occurrence count: zero, exactly one, or more than one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Count {
+    Zero,
+    One,
+    Many,
+}
+
+impl Count {
+    fn bump(&mut self) {
+        *self = match *self {
+            Count::Zero => Count::One,
+            _ => Count::Many,
+        };
+    }
+}
+
+/// Walk the particle tree tracking whether an enclosing group repeats; any
+/// occurrence of `target` inside a repeated context, or with its own `*`/`+`,
+/// or appearing twice in a sequence, counts as "many".
+fn max_occurrences(p: &ContentParticle, target: &str, enclosing_repeats: bool, count: &mut Count) {
+    let repeats = enclosing_repeats || p.occurrence.repeats();
+    match &p.kind {
+        ParticleKind::Name(n) => {
+            if n == target {
+                if repeats {
+                    *count = Count::Many;
+                } else {
+                    count.bump();
+                }
+            }
+        }
+        ParticleKind::Seq(parts) => {
+            for part in parts {
+                max_occurrences(part, target, repeats, count);
+            }
+        }
+        ParticleKind::Choice(parts) => {
+            // A choice contributes the maximum over its branches; evaluate
+            // each branch from the current count and keep the worst case.
+            let base = *count;
+            let mut best = base;
+            for part in parts {
+                let mut branch = base;
+                max_occurrences(part, target, repeats, &mut branch);
+                if matches!(branch, Count::Many) || (branch == Count::One && best == Count::Zero) {
+                    if branch == Count::Many {
+                        best = Count::Many;
+                    } else if best != Count::Many {
+                        best = Count::One;
+                    }
+                }
+            }
+            *count = best;
+        }
+    }
+}
+
+fn collect_names(p: &ContentParticle, out: &mut HashSet<String>) {
+    match &p.kind {
+        ParticleKind::Name(n) => {
+            out.insert(n.clone());
+        }
+        ParticleKind::Seq(parts) | ParticleKind::Choice(parts) => {
+            for part in parts {
+                collect_names(part, out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct DtdParser<'a> {
+    input: &'a [u8],
+    source: &'a str,
+    pos: Position,
+}
+
+impl<'a> DtdParser<'a> {
+    fn new(source: &'a str) -> Self {
+        DtdParser { input: source.as_bytes(), source, pos: Position::start() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos.offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos.advance(b);
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos.offset..].starts_with(s.as_bytes())
+    }
+
+    fn consume_str(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::dtd(msg, self.pos)
+    }
+
+    fn read_name(&mut self) -> Result<String> {
+        let start = self.pos.offset;
+        match self.peek() {
+            Some(b) if is_name_start(b) => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected a name")),
+        }
+        while let Some(b) = self.peek() {
+            if is_name_char(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(self.source[start..self.pos.offset].to_string())
+    }
+
+    fn skip_until(&mut self, delim: u8) -> Result<()> {
+        loop {
+            match self.bump() {
+                None => return Err(self.err(format!("expected `{}`", delim as char))),
+                Some(b) if b == delim => return Ok(()),
+                Some(b'"') => self.skip_quoted(b'"')?,
+                Some(b'\'') => self.skip_quoted(b'\'')?,
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn skip_quoted(&mut self, quote: u8) -> Result<()> {
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated quoted literal")),
+                Some(b) if b == quote => return Ok(()),
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn parse(mut self) -> Result<Dtd> {
+        let mut dtd = Dtd::default();
+        loop {
+            self.skip_ws();
+            if self.pos.offset >= self.input.len() {
+                return Ok(dtd);
+            }
+            if self.consume_str("<!--") {
+                // Comment inside the subset.
+                loop {
+                    if self.consume_str("-->") {
+                        break;
+                    }
+                    if self.bump().is_none() {
+                        return Err(self.err("unterminated comment"));
+                    }
+                }
+                continue;
+            }
+            if self.consume_str("<!ELEMENT") {
+                self.skip_ws();
+                let name = self.read_name()?;
+                self.skip_ws();
+                let model = self.parse_content_model()?;
+                self.skip_ws();
+                if self.bump() != Some(b'>') {
+                    return Err(self.err("expected `>` to close <!ELEMENT>"));
+                }
+                dtd.elements.insert(name, model);
+                continue;
+            }
+            if self.consume_str("<!ATTLIST") {
+                self.skip_ws();
+                let elem = self.read_name()?;
+                let defs = self.parse_attdefs()?;
+                dtd.attlists.entry(elem).or_default().extend(defs);
+                continue;
+            }
+            if self.consume_str("<!ENTITY") || self.consume_str("<!NOTATION") {
+                self.skip_until(b'>')?;
+                continue;
+            }
+            if self.consume_str("<?") {
+                // Processing instruction in the subset.
+                loop {
+                    if self.consume_str("?>") {
+                        break;
+                    }
+                    if self.bump().is_none() {
+                        return Err(self.err("unterminated processing instruction"));
+                    }
+                }
+                continue;
+            }
+            if self.peek() == Some(b'%') {
+                // Parameter entity reference — skip to `;`.
+                self.skip_until(b';')?;
+                continue;
+            }
+            return Err(self.err("unrecognized declaration in internal subset"));
+        }
+    }
+
+    fn parse_content_model(&mut self) -> Result<ContentModel> {
+        if self.consume_str("EMPTY") {
+            return Ok(ContentModel::Empty);
+        }
+        if self.consume_str("ANY") {
+            return Ok(ContentModel::Any);
+        }
+        if self.peek() != Some(b'(') {
+            return Err(self.err("expected `(`, EMPTY or ANY in content model"));
+        }
+        // Mixed content looks like `(#PCDATA ...)`; sniff ahead.
+        let save = self.pos;
+        self.bump(); // (
+        self.skip_ws();
+        if self.consume_str("#PCDATA") {
+            let mut names = Vec::new();
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b'|') => {
+                        self.bump();
+                        self.skip_ws();
+                        names.push(self.read_name()?);
+                    }
+                    Some(b')') => {
+                        self.bump();
+                        // Optional trailing `*` (required when names listed).
+                        if self.peek() == Some(b'*') {
+                            self.bump();
+                        } else if !names.is_empty() {
+                            return Err(self.err("mixed content with names requires `)*`"));
+                        }
+                        return Ok(ContentModel::Mixed(names));
+                    }
+                    _ => return Err(self.err("expected `|` or `)` in mixed content")),
+                }
+            }
+        }
+        // Element content: rewind and parse the particle properly.
+        self.pos = save;
+        let particle = self.parse_particle()?;
+        Ok(ContentModel::Children(particle))
+    }
+
+    fn parse_particle(&mut self) -> Result<ContentParticle> {
+        self.skip_ws();
+        let kind = if self.peek() == Some(b'(') {
+            self.bump();
+            let first = self.parse_particle()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    let mut parts = vec![first];
+                    while self.peek() == Some(b',') {
+                        self.bump();
+                        parts.push(self.parse_particle()?);
+                        self.skip_ws();
+                    }
+                    if self.bump() != Some(b')') {
+                        return Err(self.err("expected `)` after sequence"));
+                    }
+                    ParticleKind::Seq(parts)
+                }
+                Some(b'|') => {
+                    let mut parts = vec![first];
+                    while self.peek() == Some(b'|') {
+                        self.bump();
+                        parts.push(self.parse_particle()?);
+                        self.skip_ws();
+                    }
+                    if self.bump() != Some(b')') {
+                        return Err(self.err("expected `)` after choice"));
+                    }
+                    ParticleKind::Choice(parts)
+                }
+                Some(b')') => {
+                    self.bump();
+                    // Single-child group `(a)` — unwrap to a sequence of one.
+                    ParticleKind::Seq(vec![first])
+                }
+                _ => return Err(self.err("expected `,`, `|` or `)` in content model")),
+            }
+        } else {
+            ParticleKind::Name(self.read_name()?)
+        };
+        let occurrence = match self.peek() {
+            Some(b'?') => {
+                self.bump();
+                Occurrence::Optional
+            }
+            Some(b'*') => {
+                self.bump();
+                Occurrence::ZeroOrMore
+            }
+            Some(b'+') => {
+                self.bump();
+                Occurrence::OneOrMore
+            }
+            _ => Occurrence::One,
+        };
+        Ok(ContentParticle { kind, occurrence })
+    }
+
+    fn parse_attdefs(&mut self) -> Result<Vec<AttDef>> {
+        let mut defs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    return Ok(defs);
+                }
+                None => return Err(self.err("unterminated <!ATTLIST>")),
+                _ => {}
+            }
+            let name = self.read_name()?;
+            self.skip_ws();
+            // Type: a name, or an enumeration `(a|b|c)`.
+            let att_type = if self.peek() == Some(b'(') {
+                let start = self.pos.offset;
+                self.skip_until(b')')?;
+                self.source[start..self.pos.offset].to_string()
+            } else {
+                let t = self.read_name()?;
+                if t == "NOTATION" {
+                    self.skip_ws();
+                    if self.peek() == Some(b'(') {
+                        self.skip_until(b')')?;
+                    }
+                }
+                t
+            };
+            self.skip_ws();
+            // Default declaration.
+            let default = if self.consume_str("#REQUIRED") {
+                "#REQUIRED".to_string()
+            } else if self.consume_str("#IMPLIED") {
+                "#IMPLIED".to_string()
+            } else if self.consume_str("#FIXED") {
+                self.skip_ws();
+                let lit = self.read_literal()?;
+                format!("#FIXED {lit}")
+            } else {
+                self.read_literal()?
+            };
+            defs.push(AttDef { name, att_type, default });
+        }
+    }
+
+    fn read_literal(&mut self) -> Result<String> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.bump();
+                q
+            }
+            _ => return Err(self.err("expected a quoted default value")),
+        };
+        let start = self.pos.offset;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated default value")),
+                Some(b) if b == quote => {
+                    let lit = self.source[start..self.pos.offset].to_string();
+                    self.bump();
+                    return Ok(lit);
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RETAILER_DTD: &str = "\
+        <!ELEMENT retailer (name, product, store*)>\n\
+        <!ELEMENT store (name, state, city, merchandises)>\n\
+        <!ELEMENT merchandises (clothes+)>\n\
+        <!ELEMENT clothes (fitting?, situation?, category*)>\n\
+        <!ELEMENT name (#PCDATA)>\n\
+        <!ELEMENT product (#PCDATA)>\n\
+        <!ELEMENT state (#PCDATA)>\n\
+        <!ELEMENT city (#PCDATA)>\n\
+        <!ELEMENT fitting (#PCDATA)>\n\
+        <!ELEMENT situation (#PCDATA)>\n\
+        <!ELEMENT category (#PCDATA)>";
+
+    #[test]
+    fn parses_the_retailer_dtd() {
+        let dtd = Dtd::parse(RETAILER_DTD).unwrap();
+        assert!(dtd.declares("retailer"));
+        assert!(dtd.declares("category"));
+        assert_eq!(dtd.declared_elements().count(), 11);
+    }
+
+    #[test]
+    fn star_and_plus_children_are_repeatable() {
+        let dtd = Dtd::parse(RETAILER_DTD).unwrap();
+        assert_eq!(dtd.is_repeatable("retailer", "store"), Some(true));
+        assert_eq!(dtd.is_repeatable("merchandises", "clothes"), Some(true));
+        assert_eq!(dtd.is_repeatable("clothes", "category"), Some(true));
+    }
+
+    #[test]
+    fn singleton_children_are_not_repeatable() {
+        let dtd = Dtd::parse(RETAILER_DTD).unwrap();
+        assert_eq!(dtd.is_repeatable("retailer", "name"), Some(false));
+        assert_eq!(dtd.is_repeatable("store", "city"), Some(false));
+        assert_eq!(dtd.is_repeatable("clothes", "fitting"), Some(false));
+    }
+
+    #[test]
+    fn unknown_parent_returns_none() {
+        let dtd = Dtd::parse(RETAILER_DTD).unwrap();
+        assert_eq!(dtd.is_repeatable("warehouse", "anything"), None);
+    }
+
+    #[test]
+    fn repeated_name_in_sequence_is_repeatable() {
+        let dtd = Dtd::parse("<!ELEMENT a (b, c, b)>").unwrap();
+        assert_eq!(dtd.is_repeatable("a", "b"), Some(true));
+        assert_eq!(dtd.is_repeatable("a", "c"), Some(false));
+    }
+
+    #[test]
+    fn repeated_group_makes_members_repeatable() {
+        let dtd = Dtd::parse("<!ELEMENT a ((b | c)*, d)>").unwrap();
+        assert_eq!(dtd.is_repeatable("a", "b"), Some(true));
+        assert_eq!(dtd.is_repeatable("a", "c"), Some(true));
+        assert_eq!(dtd.is_repeatable("a", "d"), Some(false));
+    }
+
+    #[test]
+    fn choice_does_not_double_count() {
+        let dtd = Dtd::parse("<!ELEMENT a (b | b)>").unwrap();
+        // Either branch yields one b; a choice is not a sequence.
+        assert_eq!(dtd.is_repeatable("a", "b"), Some(false));
+    }
+
+    #[test]
+    fn optional_is_not_repeatable() {
+        let dtd = Dtd::parse("<!ELEMENT a (b?)>").unwrap();
+        assert_eq!(dtd.is_repeatable("a", "b"), Some(false));
+    }
+
+    #[test]
+    fn mixed_content_names_are_repeatable() {
+        let dtd = Dtd::parse("<!ELEMENT p (#PCDATA | em | strong)*>").unwrap();
+        assert_eq!(dtd.is_repeatable("p", "em"), Some(true));
+        assert_eq!(dtd.is_repeatable("p", "b"), Some(false));
+    }
+
+    #[test]
+    fn pcdata_only_has_no_element_children() {
+        let dtd = Dtd::parse("<!ELEMENT name (#PCDATA)>").unwrap();
+        assert_eq!(dtd.is_repeatable("name", "x"), Some(false));
+        assert!(matches!(dtd.content_model("name"), Some(ContentModel::Mixed(v)) if v.is_empty()));
+    }
+
+    #[test]
+    fn empty_and_any() {
+        let dtd = Dtd::parse("<!ELEMENT e EMPTY><!ELEMENT a ANY>").unwrap();
+        assert_eq!(dtd.is_repeatable("e", "x"), Some(false));
+        assert_eq!(dtd.is_repeatable("a", "x"), Some(true));
+    }
+
+    #[test]
+    fn attlist_definitions_are_kept() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT store EMPTY>\n\
+             <!ATTLIST store id ID #REQUIRED\n\
+                             city CDATA #IMPLIED\n\
+                             kind (outlet|flagship) \"outlet\">",
+        )
+        .unwrap();
+        let atts = dtd.attributes("store");
+        assert_eq!(atts.len(), 3);
+        assert_eq!(atts[0].name, "id");
+        assert_eq!(atts[0].att_type, "ID");
+        assert_eq!(atts[0].default, "#REQUIRED");
+        assert_eq!(atts[2].default, "outlet");
+        assert!(atts[2].att_type.contains("outlet|flagship"));
+    }
+
+    #[test]
+    fn repeatable_children_set() {
+        let dtd = Dtd::parse(RETAILER_DTD).unwrap();
+        let r = dtd.repeatable_children("retailer");
+        assert!(r.contains("store"));
+        assert!(!r.contains("name"));
+        let c = dtd.repeatable_children("clothes");
+        assert!(c.contains("category"));
+        assert!(!c.contains("fitting"));
+    }
+
+    #[test]
+    fn comments_entities_and_pe_refs_are_skipped() {
+        let dtd = Dtd::parse(
+            "<!-- the model -->\n\
+             <!ENTITY % common \"id CDATA #IMPLIED\">\n\
+             %common;\n\
+             <!ELEMENT a (b*)>\n\
+             <!ELEMENT b EMPTY>",
+        )
+        .unwrap();
+        assert_eq!(dtd.is_repeatable("a", "b"), Some(true));
+    }
+
+    #[test]
+    fn nested_groups_parse() {
+        let dtd = Dtd::parse("<!ELEMENT a ((b, (c | d)+)*, e?)>").unwrap();
+        assert_eq!(dtd.is_repeatable("a", "b"), Some(true));
+        assert_eq!(dtd.is_repeatable("a", "c"), Some(true));
+        assert_eq!(dtd.is_repeatable("a", "d"), Some(true));
+        assert_eq!(dtd.is_repeatable("a", "e"), Some(false));
+    }
+
+    #[test]
+    fn malformed_declarations_error() {
+        assert!(Dtd::parse("<!ELEMENT a").is_err());
+        assert!(Dtd::parse("<!ELEMENT a (b").is_err());
+        assert!(Dtd::parse("<!BOGUS x>").is_err());
+        assert!(Dtd::parse("<!ELEMENT a (#PCDATA | em)>").is_err(), "mixed with names needs )*");
+    }
+}

@@ -1,0 +1,139 @@
+//! Escaping and unescaping of XML character data and entity references.
+
+use crate::error::{Error, Position, Result};
+
+/// Escape `s` for use as XML character data (text content).
+///
+/// Escapes `&`, `<`, `>`; leaves quotes alone (they are only special inside
+/// attribute values).
+pub fn escape_text(s: &str) -> String {
+    escape_impl(s, false)
+}
+
+/// Escape `s` for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    escape_impl(s, true)
+}
+
+fn escape_impl(s: &str, attr: bool) -> String {
+    // Fast path: nothing to escape.
+    if !s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && b == b'"')) {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolve a single entity or character reference body (the text between
+/// `&` and `;`).
+///
+/// Supports the five XML predefined entities plus decimal (`#123`) and
+/// hexadecimal (`#x1F`) character references.
+pub fn resolve_reference(body: &str, position: Position) -> Result<char> {
+    match body {
+        "amp" => return Ok('&'),
+        "lt" => return Ok('<'),
+        "gt" => return Ok('>'),
+        "quot" => return Ok('"'),
+        "apos" => return Ok('\''),
+        _ => {}
+    }
+    let bad = || Error::BadReference { reference: body.to_string(), position };
+    if let Some(num) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+        let code = u32::from_str_radix(num, 16).map_err(|_| bad())?;
+        return char::from_u32(code).ok_or_else(bad);
+    }
+    if let Some(num) = body.strip_prefix('#') {
+        let code: u32 = num.parse().map_err(|_| bad())?;
+        return char::from_u32(code).ok_or_else(bad);
+    }
+    Err(bad())
+}
+
+/// Unescape a string that may contain entity and character references.
+pub fn unescape(s: &str, position: Position) -> Result<String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx + 1..];
+        let end = rest.find(';').ok_or_else(|| Error::BadReference {
+            reference: rest.chars().take(12).collect(),
+            position,
+        })?;
+        out.push(resolve_reference(&rest[..end], position)?);
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_handles_specials() {
+        assert_eq!(escape_text("a<b & c>d"), "a&lt;b &amp; c&gt;d");
+        assert_eq!(escape_text("plain"), "plain");
+        // Quotes untouched in text context.
+        assert_eq!(escape_text(r#"say "hi""#), r#"say "hi""#);
+    }
+
+    #[test]
+    fn escape_attr_also_escapes_quotes() {
+        assert_eq!(escape_attr(r#"a "b" & c"#), "a &quot;b&quot; &amp; c");
+    }
+
+    #[test]
+    fn predefined_entities_resolve() {
+        let p = Position::start();
+        assert_eq!(resolve_reference("amp", p).unwrap(), '&');
+        assert_eq!(resolve_reference("lt", p).unwrap(), '<');
+        assert_eq!(resolve_reference("gt", p).unwrap(), '>');
+        assert_eq!(resolve_reference("quot", p).unwrap(), '"');
+        assert_eq!(resolve_reference("apos", p).unwrap(), '\'');
+    }
+
+    #[test]
+    fn numeric_references_resolve() {
+        let p = Position::start();
+        assert_eq!(resolve_reference("#65", p).unwrap(), 'A');
+        assert_eq!(resolve_reference("#x41", p).unwrap(), 'A');
+        assert_eq!(resolve_reference("#x1F600", p).unwrap(), '😀');
+    }
+
+    #[test]
+    fn bad_references_error() {
+        let p = Position::start();
+        assert!(resolve_reference("bogus", p).is_err());
+        assert!(resolve_reference("#xZZ", p).is_err());
+        // Surrogate code point is not a char.
+        assert!(resolve_reference("#xD800", p).is_err());
+    }
+
+    #[test]
+    fn unescape_round_trips_escape() {
+        let p = Position::start();
+        let original = r#"Brook & Brothers <"outwear">"#;
+        let escaped = escape_attr(original);
+        assert_eq!(unescape(&escaped, p).unwrap(), original);
+    }
+
+    #[test]
+    fn unescape_detects_unterminated_reference() {
+        assert!(unescape("a &amp b", Position::start()).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! XML substrate for the eXtract reproduction.
+//!
+//! This crate is a self-contained XML stack built for tree-centric keyword
+//! search workloads:
+//!
+//! * [`tokenizer`] — a streaming XML lexer with precise error positions.
+//! * [`parser`] — a well-formedness-checking tree builder with configurable
+//!   handling of XML-syntax attributes and whitespace.
+//! * [`Document`] — an arena DOM: nodes are stored in a flat `Vec` and
+//!   addressed by [`NodeId`] (a `u32` newtype), labels are interned in a
+//!   [`SymbolTable`]. This follows the index-arena idiom: no `Rc`/`RefCell`,
+//!   cheap traversal, and stable IDs that downstream crates can index.
+//! * [`Dewey`] — Dewey order labels (the path of child ranks from the root)
+//!   with document-order comparison, ancestor tests and longest-common-prefix
+//!   (LCA) computation; the workhorse of the SLCA/ELCA search algorithms.
+//! * [`dtd`] — an internal-subset DTD parser. Its main product is the set of
+//!   `*`-nodes (elements that may repeat under a parent), which the paper's
+//!   Data Analyzer uses to classify nodes into entities / attributes /
+//!   connection nodes.
+//! * [`schema`] — structural summary inference for documents without a DTD:
+//!   a DataGuide-style path summary recording, per label path, whether
+//!   siblings with that label ever repeat.
+//! * [`serialize`] — compact and pretty printers.
+//! * [`path`] — a tiny path-expression language (`/a/b`, `//label`, `*`)
+//!   used by tests, examples and the data generators.
+//! * [`builder`] — an ergonomic programmatic document builder.
+//!
+//! # Quick example
+//!
+//! ```
+//! use extract_xml::Document;
+//!
+//! let doc = Document::parse_str(
+//!     "<store><name>Levis</name><city>Austin</city></store>",
+//! ).unwrap();
+//! let root = doc.root();
+//! assert_eq!(doc.label_str(root), Some("store"));
+//! assert_eq!(doc.children(root).count(), 2);
+//! let name = doc.children(root).next().unwrap();
+//! assert_eq!(doc.text_of(name), Some("Levis"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builder;
+pub mod dewey;
+pub mod document;
+pub mod dtd;
+pub mod error;
+pub mod escape;
+pub mod parser;
+pub mod path;
+pub mod schema;
+pub mod serialize;
+pub mod stats;
+pub mod symbol;
+pub mod tokenizer;
+
+pub use builder::DocBuilder;
+pub use dewey::Dewey;
+pub use document::{Document, Node, NodeId, NodeKind};
+pub use dtd::Dtd;
+pub use error::{Error, Position, Result};
+pub use parser::ParseOptions;
+pub use schema::{PathId, Schema};
+pub use symbol::{Symbol, SymbolTable};

@@ -1,0 +1,329 @@
+//! Tree construction from the token stream, with well-formedness checks.
+
+use crate::document::{Document, Node, NodeId, NodeKind};
+use crate::error::{Error, Position, Result};
+use crate::symbol::SymbolTable;
+use crate::tokenizer::{Token, Tokenizer};
+
+/// Options controlling tree construction.
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// Materialize XML-syntax attributes (`<store city="Houston">`) as child
+    /// elements with a single text child, placed before the element's other
+    /// children. This matches the paper's uniform node model, where an
+    /// *attribute* is an element with one text child (§2.1). Default: `true`.
+    pub attributes_as_elements: bool,
+    /// Keep whitespace-only text nodes. Default: `false` (they are
+    /// formatting noise in data-oriented XML).
+    pub keep_whitespace_text: bool,
+    /// Trim leading/trailing ASCII whitespace from text content.
+    /// Default: `true`.
+    pub trim_text: bool,
+    /// Maximum element nesting depth; guards against stack exhaustion in
+    /// recursive consumers. Default: `1024`.
+    pub max_depth: usize,
+    /// Parse the internal DTD subset if a DOCTYPE is present.
+    /// Default: `true`.
+    pub parse_dtd: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            attributes_as_elements: true,
+            keep_whitespace_text: false,
+            trim_text: true,
+            max_depth: 1024,
+            parse_dtd: true,
+        }
+    }
+}
+
+/// Parse `source` into a [`Document`].
+pub fn parse(source: &str, options: &ParseOptions) -> Result<Document> {
+    let mut tokenizer = Tokenizer::new(source);
+    let mut doc = Document {
+        symbols: SymbolTable::with_capacity(64),
+        nodes: Vec::new(),
+        root: NodeId(0),
+        doctype_name: None,
+        dtd: None,
+    };
+    // Stack of open elements.
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut root: Option<NodeId> = None;
+
+    while let Some(token) = tokenizer.next_token()? {
+        match token {
+            Token::StartTag { name, attributes, self_closing, position } => {
+                if stack.is_empty() && root.is_some() {
+                    return Err(Error::MultipleRoots { position });
+                }
+                if stack.len() >= options.max_depth {
+                    return Err(Error::TooDeep { limit: options.max_depth, position });
+                }
+                let id = push_element(&mut doc, &name, stack.last().copied());
+                if root.is_none() {
+                    root = Some(id);
+                }
+                if options.attributes_as_elements {
+                    for (attr_name, value) in &attributes {
+                        let attr_id = push_element(&mut doc, attr_name, Some(id));
+                        push_text(&mut doc, value, attr_id);
+                    }
+                }
+                if !self_closing {
+                    stack.push(id);
+                }
+            }
+            Token::EndTag { name, position } => {
+                let Some(open) = stack.pop() else {
+                    return Err(Error::MismatchedTag {
+                        expected: "(nothing open)".into(),
+                        found: name,
+                        position,
+                    });
+                };
+                let open_label = doc.symbols.resolve(doc.nodes[open.index()].label);
+                if open_label != name {
+                    return Err(Error::MismatchedTag {
+                        expected: open_label.to_string(),
+                        found: name,
+                        position,
+                    });
+                }
+            }
+            Token::Text { content, position } => {
+                let text: &str =
+                    if options.trim_text { content.trim() } else { content.as_str() };
+                let effectively_blank = content.trim().is_empty();
+                if effectively_blank && !options.keep_whitespace_text {
+                    continue;
+                }
+                match stack.last() {
+                    Some(&parent) => {
+                        push_text(&mut doc, text, parent);
+                    }
+                    None => {
+                        if !effectively_blank {
+                            return Err(Error::syntax(
+                                "character data outside the root element",
+                                position,
+                            ));
+                        }
+                    }
+                }
+            }
+            Token::CData { content, .. } => {
+                if let Some(&parent) = stack.last() {
+                    push_text(&mut doc, &content, parent);
+                }
+            }
+            Token::Comment { .. } | Token::ProcessingInstruction { .. } => {}
+            Token::Doctype { name, internal, position } => {
+                doc.doctype_name = Some(name);
+                if options.parse_dtd && !internal.trim().is_empty() {
+                    let dtd = crate::dtd::Dtd::parse(&internal).map_err(|e| match e {
+                        Error::Dtd { message, .. } => Error::Dtd { message, position },
+                        other => other,
+                    })?;
+                    doc.dtd = Some(dtd);
+                }
+            }
+        }
+    }
+
+    if let Some(open) = stack.last() {
+        let label = doc.symbols.resolve(doc.nodes[open.index()].label).to_string();
+        return Err(Error::UnexpectedEof {
+            expected: format!("</{label}>"),
+            position: Position {
+                line: u32::MAX,
+                column: 0,
+                offset: source.len(),
+            },
+        });
+    }
+    let root = root.ok_or(Error::NoRootElement)?;
+    doc.root = root;
+    debug_assert_eq!(doc.debug_validate(), Ok(()));
+    Ok(doc)
+}
+
+fn push_element(doc: &mut Document, label: &str, parent: Option<NodeId>) -> NodeId {
+    let sym = doc.symbols.intern(label);
+    let id = NodeId(doc.nodes.len() as u32);
+    let rank = match parent {
+        Some(p) => {
+            let r = doc.nodes[p.index()].children.len() as u32;
+            doc.nodes[p.index()].children.push(id);
+            r
+        }
+        None => 0,
+    };
+    doc.nodes.push(Node {
+        kind: NodeKind::Element,
+        label: sym,
+        parent,
+        rank,
+        children: Vec::new(),
+        text: None,
+    });
+    id
+}
+
+fn push_text(doc: &mut Document, content: &str, parent: NodeId) -> NodeId {
+    // Merge adjacent text nodes so `text_of` sees one value.
+    if let Some(&last) = doc.nodes[parent.index()].children.last() {
+        if doc.nodes[last.index()].is_text() {
+            let existing = doc.nodes[last.index()].text.take().unwrap_or_default();
+            let mut merged = String::with_capacity(existing.len() + content.len());
+            merged.push_str(&existing);
+            merged.push_str(content);
+            doc.nodes[last.index()].text = Some(merged.into_boxed_str());
+            return last;
+        }
+    }
+    let sym = doc.symbols.intern("#text");
+    let id = NodeId(doc.nodes.len() as u32);
+    let rank = doc.nodes[parent.index()].children.len() as u32;
+    doc.nodes[parent.index()].children.push(id);
+    doc.nodes.push(Node {
+        kind: NodeKind::Text,
+        label: sym,
+        parent: Some(parent),
+        rank,
+        children: Vec::new(),
+        text: Some(content.into()),
+    });
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_structure() {
+        let d = Document::parse_str("<a><b><c>x</c></b><b/></a>").unwrap();
+        assert_eq!(d.label_str(d.root()), Some("a"));
+        assert_eq!(d.elements_with_label("b").len(), 2);
+        let c = d.first_element_with_label("c").unwrap();
+        assert_eq!(d.text_of(c), Some("x"));
+    }
+
+    #[test]
+    fn attributes_become_child_elements_by_default() {
+        let d = Document::parse_str(r#"<store city="Houston"><name>L</name></store>"#).unwrap();
+        let root = d.root();
+        let kids: Vec<&str> = d.element_children(root).map(|c| d.label_str(c).unwrap()).collect();
+        assert_eq!(kids, vec!["city", "name"], "attribute children come first");
+        let city = d.first_element_with_label("city").unwrap();
+        assert_eq!(d.text_of(city), Some("Houston"));
+    }
+
+    #[test]
+    fn attributes_can_be_disabled() {
+        let opts = ParseOptions { attributes_as_elements: false, ..Default::default() };
+        let d = Document::parse_with(r#"<store city="Houston"/>"#, &opts).unwrap();
+        assert_eq!(d.element_count(), 1);
+    }
+
+    #[test]
+    fn whitespace_text_is_dropped_by_default() {
+        let d = Document::parse_str("<a>\n  <b>x</b>\n</a>").unwrap();
+        let root = d.root();
+        assert_eq!(d.child_count(root), 1);
+    }
+
+    #[test]
+    fn whitespace_can_be_kept() {
+        let opts = ParseOptions { keep_whitespace_text: true, ..Default::default() };
+        let d = Document::parse_with("<a> <b>x</b> </a>", &opts).unwrap();
+        assert_eq!(d.child_count(d.root()), 3);
+    }
+
+    #[test]
+    fn text_is_trimmed_by_default() {
+        let d = Document::parse_str("<a>  padded  </a>").unwrap();
+        assert_eq!(d.text_of(d.root()), Some("padded"));
+    }
+
+    #[test]
+    fn adjacent_text_and_cdata_merge() {
+        let d = Document::parse_str("<a>one<![CDATA[ two]]></a>").unwrap();
+        assert_eq!(d.text_of(d.root()), Some("one two"));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let e = Document::parse_str("<a><b></a></b>").unwrap_err();
+        assert!(matches!(e, Error::MismatchedTag { expected, found, .. }
+            if expected == "b" && found == "a"));
+    }
+
+    #[test]
+    fn unclosed_tag_errors() {
+        let e = Document::parse_str("<a><b>").unwrap_err();
+        assert!(matches!(e, Error::UnexpectedEof { expected, .. } if expected == "</b>"));
+    }
+
+    #[test]
+    fn multiple_roots_error() {
+        let e = Document::parse_str("<a/><b/>").unwrap_err();
+        assert!(matches!(e, Error::MultipleRoots { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_no_root() {
+        assert!(matches!(Document::parse_str(""), Err(Error::NoRootElement)));
+        assert!(matches!(Document::parse_str("<!-- only a comment -->"), Err(Error::NoRootElement)));
+    }
+
+    #[test]
+    fn text_outside_root_errors() {
+        let e = Document::parse_str("<a/>stray").unwrap_err();
+        assert!(matches!(e, Error::Syntax { .. }));
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let mut s = String::new();
+        for _ in 0..40 {
+            s.push_str("<d>");
+        }
+        let opts = ParseOptions { max_depth: 32, ..Default::default() };
+        let e = Document::parse_with(&s, &opts).unwrap_err();
+        assert!(matches!(e, Error::TooDeep { limit: 32, .. }));
+    }
+
+    #[test]
+    fn doctype_is_recorded_and_dtd_parsed() {
+        let d = Document::parse_str(
+            "<!DOCTYPE retailer [<!ELEMENT retailer (store*)><!ELEMENT store (#PCDATA)>]>\
+             <retailer><store>x</store></retailer>",
+        )
+        .unwrap();
+        assert_eq!(d.doctype_name(), Some("retailer"));
+        let dtd = d.dtd().expect("dtd parsed");
+        assert_eq!(dtd.is_repeatable("retailer", "store"), Some(true));
+    }
+
+    #[test]
+    fn xml_declaration_and_comments_are_ignored() {
+        let d = Document::parse_str(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><!-- c --><a>v</a><!-- after -->",
+        )
+        .unwrap();
+        assert_eq!(d.text_of(d.root()), Some("v"));
+    }
+
+    #[test]
+    fn parsed_documents_validate() {
+        let d = Document::parse_str(
+            r#"<site><regions><africa><item id="i1"><name>gold</name></item></africa></regions></site>"#,
+        )
+        .unwrap();
+        d.debug_validate().unwrap();
+    }
+}

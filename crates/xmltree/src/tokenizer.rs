@@ -1,0 +1,478 @@
+//! A streaming XML lexer.
+//!
+//! The tokenizer yields a flat sequence of [`Token`]s — start/end tags with
+//! their attributes, character data, comments, CDATA sections, processing
+//! instructions, and the raw text of a `<!DOCTYPE ...>` declaration (handed
+//! to [`crate::dtd`] for parsing). It tracks precise line/column positions
+//! for every token and error.
+//!
+//! Scope: the subset of XML 1.0 used by data-oriented documents — no
+//! external entities, no namespaces-aware processing (prefixed names are
+//! kept verbatim as labels).
+
+use crate::error::{Error, Position, Result};
+use crate::escape::unescape;
+
+/// One lexical token of an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="v" ...>` or `<name ... />`.
+    StartTag {
+        /// Element name.
+        name: String,
+        /// Attributes in source order, values already unescaped.
+        attributes: Vec<(String, String)>,
+        /// Whether the tag was self-closing (`<a/>`).
+        self_closing: bool,
+        /// Position of the `<`.
+        position: Position,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Element name.
+        name: String,
+        /// Position of the `<`.
+        position: Position,
+    },
+    /// Character data between tags, already unescaped.
+    Text {
+        /// Unescaped text content.
+        content: String,
+        /// Position of the first character.
+        position: Position,
+    },
+    /// `<!-- ... -->` (content without the delimiters).
+    Comment {
+        /// Comment body.
+        content: String,
+        /// Position of the `<`.
+        position: Position,
+    },
+    /// `<![CDATA[ ... ]]>` content, delivered verbatim.
+    CData {
+        /// Raw CDATA content.
+        content: String,
+        /// Position of the `<`.
+        position: Position,
+    },
+    /// `<?target data?>`.
+    ProcessingInstruction {
+        /// PI target (e.g. `xml` for the declaration).
+        target: String,
+        /// Everything between the target and `?>`.
+        data: String,
+        /// Position of the `<`.
+        position: Position,
+    },
+    /// `<!DOCTYPE root [ ... ]>` — `name` is the declared root, `internal`
+    /// the raw internal subset (may be empty).
+    Doctype {
+        /// Declared document element name.
+        name: String,
+        /// Raw internal subset between `[` and `]`, if present.
+        internal: String,
+        /// Position of the `<`.
+        position: Position,
+    },
+}
+
+impl Token {
+    /// The source position at which the token starts.
+    pub fn position(&self) -> Position {
+        match self {
+            Token::StartTag { position, .. }
+            | Token::EndTag { position, .. }
+            | Token::Text { position, .. }
+            | Token::Comment { position, .. }
+            | Token::CData { position, .. }
+            | Token::ProcessingInstruction { position, .. }
+            | Token::Doctype { position, .. } => *position,
+        }
+    }
+}
+
+/// Streaming tokenizer over an input string.
+pub struct Tokenizer<'a> {
+    input: &'a [u8],
+    source: &'a str,
+    pos: Position,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Create a tokenizer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Tokenizer { input: source.as_bytes(), source, pos: Position::start() }
+    }
+
+    /// Tokenize the entire input into a vector.
+    pub fn tokenize_all(source: &'a str) -> Result<Vec<Token>> {
+        let mut t = Tokenizer::new(source);
+        let mut out = Vec::new();
+        while let Some(tok) = t.next_token()? {
+            out.push(tok);
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos.offset).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.input.get(self.pos.offset + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos.advance(b);
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos.offset..].starts_with(s.as_bytes())
+    }
+
+    fn consume_str(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn eof_err(&self, expected: &str) -> Error {
+        Error::UnexpectedEof { expected: expected.to_string(), position: self.pos }
+    }
+
+    /// Scan until the byte sequence `delim` and return the text before it
+    /// (consuming the delimiter).
+    fn take_until(&mut self, delim: &str, expected: &str) -> Result<String> {
+        let start = self.pos.offset;
+        loop {
+            if self.pos.offset >= self.input.len() {
+                return Err(self.eof_err(expected));
+            }
+            if self.starts_with(delim) {
+                let content = self.source[start..self.pos.offset].to_string();
+                self.consume_str(delim);
+                return Ok(content);
+            }
+            self.bump();
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String> {
+        let start = self.pos.offset;
+        match self.peek() {
+            Some(b) if is_name_start(b) => {
+                self.bump();
+            }
+            _ => {
+                return Err(Error::syntax("expected a name", self.pos));
+            }
+        }
+        while let Some(b) = self.peek() {
+            if is_name_char(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(self.source[start..self.pos.offset].to_string())
+    }
+
+    fn read_quoted(&mut self) -> Result<String> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.bump();
+                q
+            }
+            _ => return Err(Error::syntax("expected a quoted value", self.pos)),
+        };
+        let start_pos = self.pos;
+        let start = self.pos.offset;
+        loop {
+            match self.peek() {
+                None => return Err(self.eof_err("closing quote")),
+                Some(b) if b == quote => {
+                    let raw = &self.source[start..self.pos.offset];
+                    self.bump();
+                    return unescape(raw, start_pos);
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Produce the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token>> {
+        if self.pos.offset >= self.input.len() {
+            return Ok(None);
+        }
+        if self.peek() == Some(b'<') {
+            let position = self.pos;
+            match self.peek_at(1) {
+                Some(b'/') => {
+                    self.bump();
+                    self.bump();
+                    let name = self.read_name()?;
+                    self.skip_whitespace();
+                    if self.bump() != Some(b'>') {
+                        return Err(Error::syntax("expected `>` in close tag", self.pos));
+                    }
+                    Ok(Some(Token::EndTag { name, position }))
+                }
+                Some(b'!') => self.lex_bang(position),
+                Some(b'?') => {
+                    self.bump();
+                    self.bump();
+                    let target = self.read_name()?;
+                    let data = self.take_until("?>", "`?>`")?;
+                    Ok(Some(Token::ProcessingInstruction {
+                        target,
+                        data: data.trim().to_string(),
+                        position,
+                    }))
+                }
+                _ => {
+                    self.bump();
+                    self.lex_start_tag(position)
+                }
+            }
+        } else {
+            let position = self.pos;
+            let start = self.pos.offset;
+            while let Some(b) = self.peek() {
+                if b == b'<' {
+                    break;
+                }
+                self.bump();
+            }
+            let raw = &self.source[start..self.pos.offset];
+            let content = unescape(raw, position)?;
+            Ok(Some(Token::Text { content, position }))
+        }
+    }
+
+    fn lex_start_tag(&mut self, position: Position) -> Result<Option<Token>> {
+        let name = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                None => return Err(self.eof_err("`>` to close the tag")),
+                Some(b'>') => {
+                    self.bump();
+                    return Ok(Some(Token::StartTag {
+                        name,
+                        attributes,
+                        self_closing: false,
+                        position,
+                    }));
+                }
+                Some(b'/') => {
+                    self.bump();
+                    if self.bump() != Some(b'>') {
+                        return Err(Error::syntax("expected `>` after `/`", self.pos));
+                    }
+                    return Ok(Some(Token::StartTag {
+                        name,
+                        attributes,
+                        self_closing: true,
+                        position,
+                    }));
+                }
+                Some(_) => {
+                    let attr_name = self.read_name()?;
+                    self.skip_whitespace();
+                    if self.bump() != Some(b'=') {
+                        return Err(Error::syntax(
+                            format!("expected `=` after attribute `{attr_name}`"),
+                            self.pos,
+                        ));
+                    }
+                    self.skip_whitespace();
+                    let value = self.read_quoted()?;
+                    attributes.push((attr_name, value));
+                }
+            }
+        }
+    }
+
+    fn lex_bang(&mut self, position: Position) -> Result<Option<Token>> {
+        // self.pos is at `<`; dispatch on what follows `<!`.
+        if self.consume_str("<!--") {
+            let content = self.take_until("-->", "`-->`")?;
+            return Ok(Some(Token::Comment { content, position }));
+        }
+        if self.consume_str("<![CDATA[") {
+            let content = self.take_until("]]>", "`]]>`")?;
+            return Ok(Some(Token::CData { content, position }));
+        }
+        if self.consume_str("<!DOCTYPE") {
+            self.skip_whitespace();
+            let name = self.read_name()?;
+            self.skip_whitespace();
+            // Skip optional external-ID keywords; we do not fetch externals.
+            while let Some(b) = self.peek() {
+                if b == b'[' || b == b'>' {
+                    break;
+                }
+                if b == b'"' || b == b'\'' {
+                    self.read_quoted()?;
+                } else {
+                    self.bump();
+                }
+            }
+            let mut internal = String::new();
+            if self.peek() == Some(b'[') {
+                self.bump();
+                internal = self.take_until("]", "`]` to close the internal subset")?;
+                self.skip_whitespace();
+            }
+            if self.bump() != Some(b'>') {
+                return Err(Error::syntax("expected `>` to close DOCTYPE", self.pos));
+            }
+            return Ok(Some(Token::Doctype { name, internal, position }));
+        }
+        Err(Error::syntax("unrecognized markup after `<!`", position))
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<Token> {
+        Tokenizer::tokenize_all(s).unwrap()
+    }
+
+    #[test]
+    fn simple_element() {
+        let toks = lex("<a>hi</a>");
+        assert_eq!(toks.len(), 3);
+        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: false, .. } if name == "a"));
+        assert!(matches!(&toks[1], Token::Text { content, .. } if content == "hi"));
+        assert!(matches!(&toks[2], Token::EndTag { name, .. } if name == "a"));
+    }
+
+    #[test]
+    fn self_closing_and_attributes() {
+        let toks = lex(r#"<store id="s1" city='Houston'/>"#);
+        match &toks[0] {
+            Token::StartTag { name, attributes, self_closing, .. } => {
+                assert_eq!(name, "store");
+                assert!(*self_closing);
+                assert_eq!(
+                    attributes,
+                    &vec![
+                        ("id".to_string(), "s1".to_string()),
+                        ("city".to_string(), "Houston".to_string())
+                    ]
+                );
+            }
+            t => panic!("unexpected token {t:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_values_are_unescaped() {
+        let toks = lex(r#"<a v="x &amp; y"/>"#);
+        match &toks[0] {
+            Token::StartTag { attributes, .. } => assert_eq!(attributes[0].1, "x & y"),
+            t => panic!("unexpected token {t:?}"),
+        }
+    }
+
+    #[test]
+    fn text_is_unescaped() {
+        let toks = lex("<a>x &lt; y &#65;</a>");
+        assert!(matches!(&toks[1], Token::Text { content, .. } if content == "x < y A"));
+    }
+
+    #[test]
+    fn comments_cdata_pi() {
+        let toks = lex("<a><!-- note --><![CDATA[1<2]]><?php echo?></a>");
+        assert!(matches!(&toks[1], Token::Comment { content, .. } if content == " note "));
+        assert!(matches!(&toks[2], Token::CData { content, .. } if content == "1<2"));
+        assert!(matches!(
+            &toks[3],
+            Token::ProcessingInstruction { target, data, .. } if target == "php" && data == "echo"
+        ));
+    }
+
+    #[test]
+    fn xml_declaration_is_a_pi() {
+        let toks = lex(r#"<?xml version="1.0"?><a/>"#);
+        assert!(matches!(&toks[0], Token::ProcessingInstruction { target, .. } if target == "xml"));
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let toks = lex("<!DOCTYPE store [<!ELEMENT store (name)>]><store><name>x</name></store>");
+        match &toks[0] {
+            Token::Doctype { name, internal, .. } => {
+                assert_eq!(name, "store");
+                assert!(internal.contains("<!ELEMENT store (name)>"));
+            }
+            t => panic!("unexpected token {t:?}"),
+        }
+    }
+
+    #[test]
+    fn doctype_with_external_id_is_skipped() {
+        let toks = lex(r#"<!DOCTYPE html PUBLIC "-//W3C//DTD" "http://x"><html/>"#);
+        assert!(matches!(&toks[0], Token::Doctype { name, internal, .. } if name == "html" && internal.is_empty()));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = Tokenizer::tokenize_all("<a>\n<b oops></a>").unwrap_err();
+        match err {
+            Error::Syntax { position, .. } => {
+                assert_eq!(position.line, 2);
+            }
+            e => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(Tokenizer::tokenize_all("<a>text").is_ok()); // tag matching is the parser's job
+        assert!(Tokenizer::tokenize_all("<!-- never closed").is_err());
+        assert!(Tokenizer::tokenize_all("<![CDATA[ open").is_err());
+        assert!(Tokenizer::tokenize_all("<a attr=\"unclosed>").is_err());
+    }
+
+    #[test]
+    fn names_allow_xml_charset() {
+        let toks = lex("<ns:open_auction-1.x/>");
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "ns:open_auction-1.x"));
+    }
+
+    #[test]
+    fn whitespace_inside_tags_is_flexible() {
+        let toks = lex("<a  b = \"1\"  ></a >");
+        assert!(matches!(&toks[0], Token::StartTag { attributes, .. } if attributes[0] == ("b".to_string(), "1".to_string())));
+        assert!(matches!(&toks[1], Token::EndTag { name, .. } if name == "a"));
+    }
+}

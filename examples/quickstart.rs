@@ -1,0 +1,61 @@
+//! Quickstart: parse a document, search it, and print snippets.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use extract::prelude::*;
+
+fn main() {
+    let xml = r#"
+        <stores>
+          <store>
+            <name>Levis</name>
+            <state>Texas</state>
+            <city>Austin</city>
+            <merchandises>
+              <clothes><category>jeans</category><fitting>man</fitting></clothes>
+              <clothes><category>jeans</category><fitting>man</fitting></clothes>
+              <clothes><category>hats</category><fitting>woman</fitting></clothes>
+            </merchandises>
+          </store>
+          <store>
+            <name>Gap</name>
+            <state>Ohio</state>
+            <city>Chicago</city>
+            <merchandises>
+              <clothes><category>shirts</category><fitting>man</fitting></clothes>
+            </merchandises>
+          </store>
+        </stores>"#;
+
+    let doc = Document::parse_str(xml).expect("well-formed XML");
+    println!("parsed {} nodes ({} elements)\n", doc.len(), doc.element_count());
+
+    // Offline stages: entity classification, indexing, key mining.
+    let extract = Extract::new(&doc);
+
+    // Online: keyword search + snippet generation, bounded to 6 edges.
+    let query = "store texas";
+    let config = ExtractConfig::with_bound(6);
+    let results = extract.snippets_for_query(query, &config);
+
+    println!("query: {query:?} — {} result(s)\n", results.len());
+    for (i, r) in results.iter().enumerate() {
+        println!("result {} (root {}):", i + 1, r.result.root);
+        println!(
+            "  IList: {}",
+            r.ilist.display(&doc).join(", ")
+        );
+        println!(
+            "  snippet ({} edges, {}/{} items covered):",
+            r.snippet.edges,
+            r.snippet.coverage(),
+            r.ilist.len()
+        );
+        for line in r.snippet.to_ascii_tree().lines() {
+            println!("    {line}");
+        }
+        println!();
+    }
+}

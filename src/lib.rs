@@ -1,0 +1,77 @@
+//! # eXtract — snippet generation for XML keyword search
+//!
+//! A from-scratch Rust reproduction of *eXtract: A Snippet Generation
+//! System for XML Search* (Huang, Liu & Chen, VLDB 2008), including every
+//! substrate the system needs: an XML stack, indexes, the classic XML
+//! keyword search engines (SLCA, ELCA, XSeek), the data analyzer, and the
+//! snippet generator itself.
+//!
+//! This umbrella crate re-exports the public APIs of the workspace crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`xml`] | `extract-xml` | parser, arena DOM, Dewey labels, DTD, schema inference |
+//! | [`index`] | `extract-index` | inverted keyword index, Dewey store, label index |
+//! | [`search`] | `extract-search` | SLCA / ELCA / XSeek engines, ranking |
+//! | [`analyzer`] | `extract-analyzer` | entity model, key mining, feature statistics |
+//! | [`core`] | `extract-core` | IList, dominance, instance selectors, snippets, baselines |
+//! | [`datagen`] | `extract-datagen` | retailer / movies / auction workload generators |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use extract::prelude::*;
+//!
+//! let doc = Document::parse_str(
+//!     "<stores><store><name>Levis</name><state>Texas</state>\
+//!      <merchandises><clothes><category>jeans</category></clothes>\
+//!      <clothes><category>jeans</category></clothes></merchandises></store>\
+//!      <store><name>Gap</name><state>Ohio</state></store></stores>").unwrap();
+//!
+//! // Offline: analyze + index + mine keys. Online: search + snippet.
+//! let extract = Extract::new(&doc);
+//! let out = extract.snippets_for_query("store texas", &ExtractConfig::with_bound(6));
+//! assert_eq!(out.len(), 1);
+//! println!("{}", out[0].snippet.to_ascii_tree());
+//! ```
+
+#![warn(missing_docs)]
+
+/// XML substrate: parsing, arena DOM, Dewey order labels, DTD, schema.
+pub mod xml {
+    pub use extract_xml::*;
+}
+
+/// Index Builder: inverted keyword index, Dewey store, label index.
+pub mod index {
+    pub use extract_index::*;
+}
+
+/// Keyword search engines: SLCA, ELCA, XSeek; ranking.
+pub mod search {
+    pub use extract_search::*;
+}
+
+/// Data Analyzer: node classification, key mining, feature statistics.
+pub mod analyzer {
+    pub use extract_analyzer::*;
+}
+
+/// The eXtract snippet generator.
+pub mod core {
+    pub use extract_core::*;
+}
+
+/// Synthetic workload generators.
+pub mod datagen {
+    pub use extract_datagen::*;
+}
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use extract_analyzer::{EntityModel, KeyCatalog, ResultStats};
+    pub use extract_core::{Extract, ExtractConfig, Snippet, SnippetedResult};
+    pub use extract_index::XmlIndex;
+    pub use extract_search::{Algorithm, Engine, KeywordQuery, QueryResult};
+    pub use extract_xml::{DocBuilder, Document, NodeId};
+}
