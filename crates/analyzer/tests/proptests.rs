@@ -59,7 +59,7 @@ proptest! {
                     // Attributes never have element children anywhere on
                     // their path (path-level classification).
                     prop_assert!(doc.element_children(n).next().is_none()
-                        || model.schema().info(model.schema().path_of(n)).has_element_child == false);
+                        || !model.schema().info(model.schema().path_of(n)).has_element_child);
                 }
                 NodeCategory::Entity => {
                     // Starred by the schema.

@@ -41,12 +41,10 @@ impl<'d> SnippetTree<'d> {
     /// to the nearest included node) would add; `None` if `node` is not in
     /// the root's subtree.
     pub fn cost(&self, node: NodeId) -> Option<usize> {
-        let mut cost = 0usize;
-        for a in self.doc.ancestors_or_self(node) {
+        for (cost, a) in self.doc.ancestors_or_self(node).enumerate() {
             if self.included.contains(&a) {
                 return Some(cost);
             }
-            cost += 1;
         }
         // Fell off the document root without meeting an included node (the
         // snippet root at the latest): `node` lies outside the result

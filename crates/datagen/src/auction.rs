@@ -85,7 +85,7 @@ impl AuctionConfig {
                 b.begin("item");
                 b.leaf("id", &format!("item{id}"));
                 b.leaf("name", vocab::ITEM_NAMES[item_zipf.sample(&mut rng)]);
-                b.leaf("payment", ["cash", "credit", "check"][rng.random_range(0..3)]);
+                b.leaf("payment", ["cash", "credit", "check"][rng.random_range(0..3usize)]);
                 b.leaf("location", vocab::CITIES[city_zipf.sample(&mut rng)]);
                 b.leaf("quantity", &format!("{}", rng.random_range(1..5)));
                 let mut description = String::new();

@@ -53,7 +53,7 @@ impl MoviesConfig {
                 b.end();
             }
             b.end(); // cast
-            b.leaf("studio", ["Summit", "Apex", "Meridian", "Pioneer"][rng.random_range(0..4)]);
+            b.leaf("studio", ["Summit", "Apex", "Meridian", "Pioneer"][rng.random_range(0..4usize)]);
             b.end(); // movie
         }
         b.build()

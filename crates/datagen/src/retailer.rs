@@ -73,7 +73,7 @@ pub fn figure1_clothes_specs() -> Vec<ClothesSpec> {
     fn expand<T: Copy>(counts: &[(T, usize)], total: usize) -> Vec<T> {
         let mut out = Vec::with_capacity(total);
         for &(v, n) in counts {
-            out.extend(std::iter::repeat(v).take(n));
+            out.extend(std::iter::repeat_n(v, n));
         }
         assert_eq!(out.len(), total, "count table must sum to {total}");
         out
@@ -409,8 +409,8 @@ impl RetailerConfig {
                     rng.random_range(self.clothes_per_store.0..=self.clothes_per_store.1);
                 for _ in 0..clothes {
                     b.begin("clothes");
-                    b.leaf("fitting", vocab::FITTINGS[rng.random_range(0..3).min(2)]);
-                    b.leaf("situation", vocab::SITUATIONS[rng.random_range(0..2)]);
+                    b.leaf("fitting", vocab::FITTINGS[rng.random_range(0..3usize)]);
+                    b.leaf("situation", vocab::SITUATIONS[rng.random_range(0..2usize)]);
                     b.leaf("category", vocab::CATEGORIES[cat_zipf.sample(&mut rng)]);
                     b.end();
                 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the eXtract workspace.
+#
+# Usage: scripts/verify.sh
+#
+# Runs, in order:
+#   1. cargo build --release          — every crate, bin, and example
+#   2. cargo test -q                  — unit, integration, property, doc tests
+#   3. cargo clippy ... -D warnings   — lint-clean across all targets
+#   4. cargo bench --no-run           — all six Criterion benches compile
+#
+# All commands run with --offline: every dependency is a path-local
+# vendored shim (vendor/), so no registry access is needed or wanted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline
+run cargo test -q --offline
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo bench --no-run --offline
+
+echo "verify: all gates green"

@@ -20,6 +20,57 @@ fn retailer_pipeline_end_to_end() {
     assert!(report.key_present);
 }
 
+/// The tier-1 oracle for the whole pipeline: the paper's Figure-1 snippet
+/// for "Texas apparel retailer" must have the shape eXtract promises —
+/// rooted at the return *entity*, carrying the result *key*
+/// (`name = Brook Brothers`), showing the *dominant* feature values
+/// (Houston city, man fitting, casual situation, outwear category), and
+/// staying within the size bound.
+#[test]
+fn figure1_snippet_shape() {
+    let doc = retailer::figure1_db();
+    let extract = Extract::new(&doc);
+    let bound = 13;
+    let out = extract.snippets_for_query("texas apparel retailer", &ExtractConfig::with_bound(bound));
+    assert_eq!(out.len(), 1, "exactly one Texas apparel retailer");
+    let s = &out[0];
+
+    // (1) Entity: the snippet is rooted at the return entity node.
+    assert!(extract.model().is_entity(s.result.root), "result root is an entity");
+    let snip = s.snippet.tree();
+    assert_eq!(snip.label_str(snip.root()), Some("retailer"), "snippet rooted at the entity");
+
+    // (2) Key: the mined `name = Brook Brothers` key is in the IList and
+    // survives into the rendered snippet.
+    let key = s.ilist.result_key.as_ref().expect("retailer has a name key");
+    assert_eq!(doc.symbols().resolve(key.attribute), "name");
+    assert_eq!(key.value, "Brook Brothers");
+    let xml = s.snippet.to_xml();
+    assert!(xml.contains("<name>Brook Brothers</name>"), "key missing from {xml}");
+
+    // (3) Dominant features: the paper's dominance ranking (Figure 3)
+    // puts Houston, man, casual, and outwear in the snippet.
+    for dominant in [
+        "<city>Houston</city>",
+        "<fitting>man</fitting>",
+        "<situation>casual</situation>",
+        "<category>outwear</category>",
+    ] {
+        assert!(xml.contains(dominant), "dominant feature {dominant} missing from {xml}");
+    }
+    // The snippet summarises — non-dominant values stay out.
+    for minor in ["Austin", "children", "formal"] {
+        assert!(!xml.contains(minor), "non-dominant {minor} leaked into {xml}");
+    }
+
+    // (4) Bound: edge count both as reported and as re-derived from the
+    // rendered tree (nodes - 1 == edges of a tree).
+    assert!(s.snippet.edges <= bound);
+    let reparsed = Document::parse_str(&xml).unwrap();
+    let tree_nodes = reparsed.all_nodes().filter(|&n| !reparsed.node(n).is_text()).count();
+    assert_eq!(tree_nodes - 1, s.snippet.edges, "rendered tree matches reported edge count");
+}
+
 #[test]
 fn demo_store_pipeline_end_to_end() {
     let doc = retailer::demo_store_db();

@@ -1,0 +1,269 @@
+//! Offline, dependency-free shim for the slice of the Criterion API this
+//! workspace's benches use: `benchmark_group`, `bench_with_input`,
+//! `bench_function`, `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of Criterion's full statistical machinery it runs a warm-up,
+//! then a fixed number of timed samples, and prints the median per-sample
+//! mean. Good enough for smoke runs and for `cargo bench --no-run`
+//! compile coverage; swap in real Criterion when the registry is
+//! reachable.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export for parity with `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function_name` parameterised by `parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// A benchmark identified only by its parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation for a group (recorded, reported per-element).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    /// Mean per-iteration duration of the best (median) sample.
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record its mean per-call time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also used to size the batch so each sample is ~1ms+.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut calls: u64 = 0;
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            calls += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        self.result = Some(Duration::from_secs_f64(median));
+    }
+}
+
+/// A named collection of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target total measurement time for each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up time run before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set how many timed samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Record the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        routine(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Benchmark `routine` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        routine(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        match b.result {
+            Some(d) => {
+                let per = format_duration(d);
+                match self.throughput {
+                    Some(Throughput::Elements(n)) if n > 0 => {
+                        let rate = n as f64 / d.as_secs_f64();
+                        println!("{}/{:<40} {:>12}/iter  {:>14.0} elem/s", self.name, id, per, rate);
+                    }
+                    Some(Throughput::Bytes(n)) if n > 0 => {
+                        let rate = n as f64 / d.as_secs_f64();
+                        println!("{}/{:<40} {:>12}/iter  {:>14.0} B/s", self.name, id, per, rate);
+                    }
+                    _ => println!("{}/{:<40} {:>12}/iter", self.name, id, per),
+                }
+            }
+            None => println!("{}/{:<40} (no measurement)", self.name, id),
+        }
+    }
+
+    /// Finish the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark driver, a stand-in for `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Parse command-line arguments (accepted and ignored by the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a benchmark group with default timing settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string()).bench_function("default", routine);
+        self
+    }
+}
+
+/// Define a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` invoking one or more `criterion_group!` functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; the shim ignores arguments.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,800 @@
+//! Offline, dependency-free shim for the slice of the `proptest` API this
+//! workspace's property tests use.
+//!
+//! It keeps proptest's surface — `proptest!`, `Strategy`, `prop_map`,
+//! `prop_recursive`, `prop_oneof!`, `Just`, `any`, `collection::vec`,
+//! `option::of`, regex-literal string strategies, `prop_assert*!`,
+//! `prop_assume!`, `ProptestConfig::with_cases` — but not shrinking: a
+//! failing case panics with the un-shrunk input's `Debug` rendering.
+//! Generation is deterministic (fixed seed per test body), so failures
+//! reproduce across runs.
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Case runner, configuration, and the error type threaded through
+    //! `prop_assert*!` / `prop_assume!`.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic RNG used for all value generation.
+    pub type TestRng = StdRng;
+
+    /// Runner configuration; `ProptestConfig` in the prelude.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful (non-rejected) cases each test must pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` — generate another.
+        Reject(String),
+        /// An assertion failed — the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure error.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection (assumption not met).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Drives one property test: generates inputs and applies the body.
+    pub struct Runner {
+        config: Config,
+    }
+
+    impl Runner {
+        /// Create a runner with the given config.
+        pub fn new(config: Config) -> Self {
+            Runner { config }
+        }
+
+        /// Run `test` against `config.cases` generated values.
+        ///
+        /// # Panics
+        /// Panics (failing the enclosing `#[test]`) on the first failing
+        /// case, or if too many cases are rejected by `prop_assume!`.
+        pub fn run<S, F>(&mut self, strategy: &S, test: F)
+        where
+            S: crate::strategy::Strategy,
+            S::Value: std::fmt::Debug,
+            F: Fn(S::Value) -> Result<(), TestCaseError>,
+        {
+            let mut rng = TestRng::seed_from_u64(GENERATION_SEED);
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            let max_rejects = self.config.cases.saturating_mul(16).max(1024);
+            while passed < self.config.cases {
+                // Snapshot the RNG so a failing value can be regenerated
+                // for the report — passing cases never pay for a Debug
+                // rendering.
+                let rng_before = rng.clone();
+                let value = strategy.gen_value(&mut rng);
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > max_rejects {
+                            panic!(
+                                "proptest: too many rejected cases \
+                                 ({rejected} rejects for {passed} passes)"
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        let mut replay = rng_before;
+                        let rendered = format!("{:?}", strategy.gen_value(&mut replay));
+                        panic!(
+                            "proptest case failed after {passed} passing cases: \
+                             {msg}\n  input: {rendered}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fixed generation seed: every run of a test sees the same cases.
+    const GENERATION_SEED: u64 = 0x00E0_57AC_7C0D_E5ED;
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value: fmt::Debug;
+
+        /// Generate one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: fmt::Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Build a recursive strategy: `recurse` receives a strategy for
+        /// "smaller" values and returns a strategy for composite values.
+        /// `_desired_size` and `_expected_branch_size` are accepted for
+        /// API parity but unused — recursion depth alone bounds growth.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base: BoxedStrategy<Self::Value> = self.boxed();
+            let mut current = base.clone();
+            for _ in 0..depth {
+                let deeper = recurse(current).boxed();
+                current = Union::new(vec![base.clone(), deeper]).boxed();
+            }
+            current
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: fmt::Debug,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between several strategies with the same value type;
+    /// backs `prop_oneof!`.
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V: fmt::Debug> Union<V> {
+        /// Build a union over `arms`.
+        ///
+        /// # Panics
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V: fmt::Debug> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.random_range(0..self.arms.len());
+            self.arms[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// String strategies from regex-like literals (`"[a-z]{1,8}"`,
+    /// `".{0,200}"`). Supports literal characters, `.`, simple character
+    /// classes with ranges, and `{m}` / `{m,n}` / `*` / `+` / `?`
+    /// quantifiers — the subset this workspace's tests use.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($S:ident . $idx:tt),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Inclusive-exclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod option {
+    //! Strategies for `Option`.
+
+    use std::fmt;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing `Option<T>` (`None` one time in four, like
+    /// upstream's default 3:1 weighting of `Some`).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.random_range(0..4usize) == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of`: `Some` values from `inner`, or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`prop::sample::Index`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An index "into any slice": resolved against a concrete slice with
+    /// [`Index::get`], wrapping modulo the slice length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Resolve against `slice`.
+        ///
+        /// # Panics
+        /// Panics if `slice` is empty.
+        pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+            assert!(!slice.is_empty(), "Index::get on empty slice");
+            &slice[self.0 % slice.len()]
+        }
+
+        /// Resolve to a raw index below `len`.
+        ///
+        /// # Panics
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index with len 0");
+            self.0 % len
+        }
+    }
+
+    /// Strategy generating [`Index`] values.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct IndexStrategy;
+
+    impl Strategy for IndexStrategy {
+        type Value = Index;
+        fn gen_value(&self, rng: &mut TestRng) -> Index {
+            Index(rng.random_range(0..usize::MAX))
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait backing `any::<T>()`.
+
+    use std::fmt;
+    use std::ops::RangeInclusive;
+
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Sized + fmt::Debug {
+        /// The strategy `any::<Self>()` returns.
+        type Strategy: Strategy<Value = Self>;
+        /// Build the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// `proptest::prelude::any`: the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        type Strategy = crate::sample::IndexStrategy;
+        fn arbitrary() -> Self::Strategy {
+            crate::sample::IndexStrategy
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = RangeInclusive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    <$t>::MIN..=<$t>::MAX
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for `bool` values.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            use rand::Rng;
+            rng.random_range(0..2u8) == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = BoolStrategy;
+        fn arbitrary() -> Self::Strategy {
+            BoolStrategy
+        }
+    }
+}
+
+pub mod string {
+    //! Tiny regex-literal value generator for string strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        Literal(char),
+        Any,
+        Class(Vec<(char, char)>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    /// Generate one string matching `pattern` (supported subset: literal
+    /// chars, `.`, `[a-z0-9_]`-style classes, `{m}`, `{m,n}`, `*`, `+`,
+    /// `?`). Unsupported syntax is treated as literal characters.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = if p.min == p.max { p.min } else { rng.random_range(p.min..=p.max) };
+            for _ in 0..n {
+                out.push(sample_atom(&p.atom, rng));
+            }
+        }
+        out
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            // Mostly printable ASCII, but also control characters and
+            // multi-byte UTF-8 — the inputs most likely to expose
+            // byte-vs-char slicing bugs in parser fuzz tests.
+            Atom::Any => match rng.random_range(0..10usize) {
+                0 => char::from_u32(rng.random_range(0x00..0x20u32)).unwrap(),
+                1 => {
+                    const WIDE: [char; 12] = [
+                        'é', 'ß', 'λ', '中', '日', '🦀', '∀', '—', '\u{80}', '\u{7FF}',
+                        '\u{FFFD}', '\u{10FFFF}',
+                    ];
+                    WIDE[rng.random_range(0..WIDE.len())]
+                }
+                _ => char::from_u32(rng.random_range(0x20..0x7Fu32)).unwrap(),
+            },
+            Atom::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                let mut k = rng.random_range(0..total);
+                for (a, b) in ranges {
+                    let span = *b as u32 - *a as u32 + 1;
+                    if k < span {
+                        return char::from_u32(*a as u32 + k).unwrap();
+                    }
+                    k -= span;
+                }
+                unreachable!()
+            }
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    let close = chars[i + 1..].iter().position(|&c| c == ']');
+                    match close {
+                        Some(off) => {
+                            let inner: Vec<char> = chars[i + 1..i + 1 + off].to_vec();
+                            i += off + 2;
+                            Atom::Class(parse_class(&inner))
+                        }
+                        None => {
+                            i += 1;
+                            Atom::Literal('[')
+                        }
+                    }
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 2;
+                    Atom::Literal(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i);
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn parse_class(inner: &[char]) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        let mut j = 0;
+        while j < inner.len() {
+            if j + 2 < inner.len() && inner[j + 1] == '-' {
+                ranges.push((inner[j], inner[j + 2]));
+                j += 3;
+            } else if j + 2 == inner.len() && inner[j + 1] == '-' {
+                // trailing "x-" at end: treat '-' as literal
+                ranges.push((inner[j], inner[j]));
+                ranges.push(('-', '-'));
+                j += 2;
+            } else {
+                ranges.push((inner[j], inner[j]));
+                j += 1;
+            }
+        }
+        if ranges.is_empty() {
+            ranges.push(('a', 'z'));
+        }
+        ranges
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize) -> (usize, usize) {
+        if *i >= chars.len() {
+            return (1, 1);
+        }
+        match chars[*i] {
+            '*' => {
+                *i += 1;
+                (0, 8)
+            }
+            '+' => {
+                *i += 1;
+                (1, 8)
+            }
+            '?' => {
+                *i += 1;
+                (0, 1)
+            }
+            '{' => {
+                if let Some(off) = chars[*i + 1..].iter().position(|&c| c == '}') {
+                    let body: String = chars[*i + 1..*i + 1 + off].iter().collect();
+                    if let Some(parsed) = parse_braces(&body) {
+                        *i += off + 2;
+                        return parsed;
+                    }
+                }
+                (1, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_braces(body: &str) -> Option<(usize, usize)> {
+        if let Some((lo, hi)) = body.split_once(',') {
+            let lo = lo.trim().parse().ok()?;
+            let hi = hi.trim().parse().ok()?;
+            (lo <= hi).then_some((lo, hi))
+        } else {
+            let n = body.trim().parse().ok()?;
+            Some((n, n))
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// The `prop` module alias (`prop::sample::Index`, `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut runner = $crate::test_runner::Runner::new(config);
+                let strategy = ($($strat,)+);
+                runner.run(&strategy, |($($arg,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            lhs,
+            rhs,
+            stringify!($lhs),
+            stringify!($rhs)
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} (`{:?}` != `{:?}`)",
+                format!($($fmt)+),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs != rhs,
+            "assertion failed: `{:?}` == `{:?}` ({} == {})",
+            lhs,
+            rhs,
+            stringify!($lhs),
+            stringify!($rhs)
+        );
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,114 @@
+//! Shim honesty checks: the runner must actually execute cases, report
+//! failures, and honor `prop_assume!` — otherwise every downstream
+//! property test would be vacuously green.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_ranges_stay_in_bounds(x in 3usize..17, y in 0u64..=5) {
+        prop_assert!((3..17).contains(&x));
+        prop_assert!(y <= 5);
+    }
+
+    #[test]
+    fn regex_class_strategy_matches_shape(s in "[a-z]{1,8}") {
+        prop_assert!(!s.is_empty() && s.len() <= 8);
+        prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn dot_strategy_is_bounded(s in ".{0,200}") {
+        prop_assert!(s.chars().count() <= 200);
+    }
+
+    #[test]
+    fn vec_and_option_strategies_compose(
+        v in proptest::collection::vec(proptest::option::of(0usize..10), 0..20)
+    ) {
+        prop_assert!(v.len() < 20);
+        prop_assert!(v.iter().flatten().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn oneof_and_just_produce_only_listed_values(
+        s in prop_oneof![Just("a".to_string()), Just("b".to_string())]
+    ) {
+        prop_assert!(s == "a" || s == "b");
+    }
+
+    #[test]
+    fn sample_index_resolves_into_slice(i in any::<prop::sample::Index>()) {
+        let items = [10, 20, 30];
+        prop_assert!(items.contains(i.get(&items)));
+    }
+
+    #[test]
+    fn assume_rejects_without_failing(x in 0usize..10) {
+        prop_assume!(x % 2 == 0);
+        prop_assert!(x % 2 == 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Recursion must terminate and produce both shallow and deep values.
+    #[test]
+    fn recursive_strategy_terminates(v in nested_vec_strategy()) {
+        prop_assert!(depth(&v) <= 5);
+        prop_assert!(max_leaf(&v) < 255);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Nested {
+    Leaf(u8),
+    Node(Vec<Nested>),
+}
+
+fn nested_vec_strategy() -> impl Strategy<Value = Nested> {
+    let leaf = (0u8..255).prop_map(Nested::Leaf);
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(Nested::Node)
+    })
+}
+
+fn depth(n: &Nested) -> usize {
+    match n {
+        Nested::Leaf(_) => 1,
+        Nested::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+    }
+}
+
+fn max_leaf(n: &Nested) -> u8 {
+    match n {
+        Nested::Leaf(v) => *v,
+        Nested::Node(children) => children.iter().map(max_leaf).max().unwrap_or(0),
+    }
+}
+
+#[test]
+#[should_panic(expected = "proptest case failed")]
+fn failing_property_actually_fails() {
+    let mut runner =
+        proptest::test_runner::Runner::new(proptest::test_runner::Config::with_cases(16));
+    runner.run(&(0usize..10,), |(x,)| {
+        if x >= 5 {
+            return Err(proptest::test_runner::TestCaseError::fail(format!("{x} >= 5")));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+#[should_panic(expected = "too many rejected cases")]
+fn rejecting_everything_panics() {
+    let mut runner =
+        proptest::test_runner::Runner::new(proptest::test_runner::Config::with_cases(4));
+    runner.run(&(0usize..10,), |(_x,)| {
+        Err(proptest::test_runner::TestCaseError::reject("never satisfied"))
+    });
+}
