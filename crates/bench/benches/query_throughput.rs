@@ -1,0 +1,50 @@
+//! Criterion registration of the PR-2 query-path workload: cold vs cached
+//! vs threaded end-to-end answering on the retailer corpus (the
+//! `query_throughput` binary covers the full matrix and emits JSON).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extract::prelude::*;
+use extract_bench::throughput::retailer_corpus;
+use std::hint::black_box;
+
+fn bench_query_throughput(c: &mut Criterion) {
+    let corpus = retailer_corpus();
+    let config = ExtractConfig::with_bound(10);
+    let extract = Extract::new(&corpus.doc);
+    let session = QuerySession::with_options(&corpus.doc, 4, extract_bench::throughput::CACHE_CAPACITY);
+    for q in &corpus.queries {
+        session.answer(q, &config); // warm the cache
+    }
+    let batch: Vec<&str> =
+        corpus.queries.iter().cycle().take(corpus.queries.len() * 4).copied().collect();
+
+    let mut group = c.benchmark_group("query_throughput");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::new("cold", corpus.name), &(), |b, _| {
+        b.iter(|| {
+            for q in &corpus.queries {
+                black_box(extract.snippets_for_query(q, &config));
+            }
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("cached", corpus.name), &(), |b, _| {
+        b.iter(|| {
+            for q in &corpus.queries {
+                black_box(session.answer(q, &config));
+            }
+        });
+    });
+    // Pure pool speedup: caches disabled so every batched query computes.
+    let uncached = QuerySession::with_options(&corpus.doc, 4, 0);
+    group.bench_with_input(BenchmarkId::new("threaded-x4", corpus.name), &(), |b, _| {
+        b.iter(|| black_box(uncached.answer_batch(&batch, &config)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_throughput);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! The PR-2 query-path throughput benchmark.
+//!
+//! Measures, per corpus (retailer / dblp):
+//!
+//! * inverted-index construction — flat arena vs the pre-PR `HashMap`
+//!   design;
+//! * posting lookups — by string on both, plus hash-free `TokenId` hits;
+//! * SLCA — Indexed Lookup vs Scan Eager vs the automatic heuristic;
+//! * end-to-end query answering — cold (no cache), cached (warm
+//!   `SnippetCache`), and threaded (a 4-worker `QuerySession` batch).
+//!
+//! ```text
+//! query_throughput [--json PATH] [--quick]
+//! ```
+//!
+//! `--json PATH` writes the machine-readable payload committed as
+//! `BENCH_PR2.json`; `--quick` cuts the sample counts for smoke runs.
+
+use extract_bench::throughput::{run_all, speedups, to_json, Effort};
+use extract_bench::{fmt_duration, Table};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut effort = Effort::full();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json needs a path").clone());
+            }
+            "--quick" => effort = Effort::quick(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: query_throughput [--json PATH] [--quick]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("running query_throughput (samples={})…", effort.samples);
+    let results = run_all(effort);
+
+    let mut table = Table::new(["corpus", "scenario", "median/op", "unit"]);
+    for r in &results {
+        let rendered = if r.unit == "bytes" {
+            format!("{:.0} B", r.median_ns)
+        } else {
+            fmt_duration(Duration::from_nanos(r.median_ns as u64))
+        };
+        table.row([r.corpus.to_string(), r.scenario.to_string(), rendered, r.unit.to_string()]);
+    }
+    println!("{}", table.render());
+
+    let mut sp = Table::new(["speedup", "x"]);
+    for (name, x) in speedups(&results) {
+        sp.row([name, format!("{x:.2}")]);
+    }
+    println!("{}", sp.render());
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&results)).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

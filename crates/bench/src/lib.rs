@@ -4,6 +4,8 @@
 
 #![warn(missing_docs)]
 
+pub mod throughput;
+
 use std::time::{Duration, Instant};
 
 use extract_datagen::vocab;

@@ -1,0 +1,329 @@
+//! A keyed snippet cache for hot queries.
+//!
+//! Search-result pages re-issue the same queries constantly; the IList +
+//! instance-selection work per result is deterministic given the document,
+//! so recomputing it per call is pure waste (the ROADMAP's "snippet cache"
+//! item). [`SnippetCache`] memoizes fully-generated [`SnippetedResult`]s
+//! keyed by **normalized query string + result root + snippet config** —
+//! anything that can change the output. The document itself is not part of
+//! the key: a cache belongs to one [`crate::Extract`] (and therefore one
+//! immutable document); keep one cache per document.
+//!
+//! Eviction is least-recently-used with a configurable capacity, built on
+//! the generic [`LruCache`] (which the serving layer also reuses for whole
+//! result pages). The cache is a plain mutable structure; concurrent
+//! callers (e.g. a query session's worker pool) wrap it in a `Mutex`,
+//! holding the lock only for `get`/`insert` — never during snippet
+//! computation.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+use extract_search::KeywordQuery;
+use extract_xml::NodeId;
+
+use crate::pipeline::{ExtractConfig, SelectorKind, SnippetedResult};
+
+/// The lookup key: everything that determines a snippet's bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Normalized query ([`KeywordQuery`] display form: lowercased tokens,
+    /// deduplicated, original order), so `"Store texas"` and `"store,
+    /// TEXAS"` share an entry.
+    query: String,
+    /// The result root the snippet was generated for.
+    root: NodeId,
+    /// Snippet size bound.
+    size_bound: usize,
+    /// Dominant-feature cap.
+    max_dominant_features: Option<usize>,
+    /// Selector algorithm.
+    selector: SelectorKind,
+}
+
+impl CacheKey {
+    /// Build the key for one (query, result root, config) triple.
+    pub fn new(query: &KeywordQuery, root: NodeId, config: &ExtractConfig) -> CacheKey {
+        CacheKey {
+            query: query.to_string(),
+            root,
+            size_bound: config.size_bound,
+            max_dominant_features: config.max_dominant_features,
+            selector: config.selector,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    /// Authoritative recency (bumped on every hit).
+    last_used: u64,
+    /// The tick this entry is filed under in the recency index (only
+    /// maintained at insert/requeue time — hits stay `O(1)`).
+    recency_tick: u64,
+}
+
+/// Hit/miss counters of a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Default retention capacity of `Default`-constructed caches.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// A generic LRU cache with `O(1)` hits and amortized `O(log n)` inserts.
+///
+/// `capacity` bounds the number of retained entries; inserting into a full
+/// cache evicts the least-recently-used one. Recency lives in a `BTreeMap`
+/// keyed by a strictly increasing tick; hits only bump the entry's
+/// `last_used` field, and stale recency positions are repaired lazily
+/// during eviction (each repair re-files one entry, so eviction stays
+/// amortized logarithmic). A capacity of `0` disables retention entirely
+/// (every `get` misses).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, Entry<V>>,
+    /// `recency_tick` → key; the first *accurate* entry is the LRU victim.
+    recency: BTreeMap<u64, K>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for LruCache<K, V> {
+    fn default() -> Self {
+        LruCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// A cache retaining at most `capacity` values.
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            recency: BTreeMap::new(),
+            capacity,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up a value, refreshing its recency. Returns a clone — the
+    /// cache stays the owner so eviction never invalidates callers. (Wrap
+    /// big values in `Arc` to make the clone `O(1)`.)
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting the least-recently-used one
+    /// when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let entry = Entry { value, last_used: self.tick, recency_tick: self.tick };
+        if let Some(old) = self.map.insert(key.clone(), entry) {
+            self.recency.remove(&old.recency_tick);
+        } else if self.map.len() > self.capacity {
+            self.evict_lru();
+        }
+        self.recency.insert(self.tick, key);
+    }
+
+    /// Pop recency positions until one matches its entry's true
+    /// `last_used`; entries touched since their last filing are re-filed
+    /// at their current recency instead of being evicted.
+    fn evict_lru(&mut self) {
+        while let Some((tick, key)) = self.recency.pop_first() {
+            let Some(entry) = self.map.get_mut(&key) else { continue };
+            if entry.last_used == tick {
+                self.map.remove(&key);
+                self.stats.evictions += 1;
+                return;
+            }
+            let fresh = entry.last_used;
+            entry.recency_tick = fresh;
+            self.recency.insert(fresh, key);
+        }
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss/eviction counters since construction (or the last
+    /// [`LruCache::clear`]).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop all entries and reset the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+        self.stats = CacheStats::default();
+        self.tick = 0;
+    }
+}
+
+/// An LRU cache of generated snippets: the per-result memo of the hot
+/// query path (see the module docs for key semantics).
+pub type SnippetCache = LruCache<CacheKey, SnippetedResult>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extract_search::QueryResult;
+    use extract_xml::Document;
+
+    fn snippet_for(doc: &Document, extract: &crate::Extract<'_>, q: &str) -> SnippetedResult {
+        let query = KeywordQuery::parse(q);
+        let root = doc.root();
+        let result = QueryResult::build(extract.index(), &query, root);
+        extract.snippet(&query, &result, &ExtractConfig::default())
+    }
+
+    fn setup() -> Document {
+        Document::parse_str(
+            "<stores><store><name>Levis</name><state>Texas</state></store>\
+             <store><name>Gap</name><state>Ohio</state></store></stores>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let doc = setup();
+        let extract = crate::Extract::new(&doc);
+        let mut cache = SnippetCache::new(4);
+        let query = KeywordQuery::parse("texas");
+        let key = CacheKey::new(&query, doc.root(), &ExtractConfig::default());
+        assert!(cache.get(&key).is_none());
+        let value = snippet_for(&doc, &extract, "texas");
+        cache.insert(key.clone(), value.clone());
+        let hit = cache.get(&key).expect("cached");
+        assert_eq!(hit.snippet.to_xml(), value.snippet.to_xml());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn key_normalizes_query_text() {
+        let config = ExtractConfig::default();
+        let doc = setup();
+        let a = CacheKey::new(&KeywordQuery::parse("Store TEXAS"), doc.root(), &config);
+        let b = CacheKey::new(&KeywordQuery::parse("store,texas"), doc.root(), &config);
+        assert_eq!(a, b);
+        // Different config → different key.
+        let c = CacheKey::new(
+            &KeywordQuery::parse("store texas"),
+            doc.root(),
+            &ExtractConfig::with_bound(3),
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache: LruCache<&str, u32> = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert_eq!(cache.get(&"a"), Some(1), "refresh a; b is now LRU");
+        cache.insert("c", 3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&"b"), None, "b was evicted");
+        assert_eq!(cache.get(&"a"), Some(1));
+        assert_eq!(cache.get(&"c"), Some(3));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn heavily_touched_entries_survive_many_evictions() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(4);
+        cache.insert(0, 0);
+        for i in 1..100u32 {
+            cache.insert(i, i);
+            // Key 0 is touched after every insert, so it must never be the
+            // LRU victim even though its recency filing goes stale.
+            assert_eq!(cache.get(&0), Some(0), "round {i}");
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().evictions, 96);
+    }
+
+    #[test]
+    fn reinserting_a_key_updates_value_without_growing() {
+        let mut cache: LruCache<&str, u32> = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("a", 10);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&"a"), Some(10));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let mut cache: LruCache<&str, u32> = LruCache::new(0);
+        cache.insert("a", 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&"a"), None);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut cache: LruCache<&str, u32> = LruCache::default();
+        assert_eq!(cache.capacity(), DEFAULT_CAPACITY);
+        cache.insert("a", 1);
+        cache.get(&"a");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.stats().hit_ratio(), 0.0);
+        // Usable after clear.
+        cache.insert("b", 2);
+        assert_eq!(cache.get(&"b"), Some(2));
+        assert!(cache.stats().hit_ratio() > 0.99);
+    }
+}

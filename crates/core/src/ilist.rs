@@ -132,6 +132,15 @@ pub struct IListOptions {
     pub max_dominant_features: Option<usize>,
 }
 
+/// Reusable working buffers for IList construction. One query produces one
+/// IList per result; threading a scratch through the loop keeps the dedup
+/// set's allocation alive across results instead of reallocating per call.
+#[derive(Debug, Default)]
+pub struct IListScratch {
+    /// Case-folded dedup tokens of the items pushed so far.
+    seen: Vec<String>,
+}
+
 /// Build the IList of `result` for `query` (paper §2.1–§2.3).
 pub fn build_ilist(
     doc: &Document,
@@ -155,8 +164,26 @@ pub fn build_ilist_with_stats(
     stats: &ResultStats,
     options: &IListOptions,
 ) -> IList {
+    let mut scratch = IListScratch::default();
+    build_ilist_with_scratch(doc, model, catalog, query, result, stats, options, &mut scratch)
+}
+
+/// [`build_ilist_with_stats`] with caller-owned scratch buffers (the hot
+/// query path reuses one [`IListScratch`] across all results of a query).
+#[allow(clippy::too_many_arguments)]
+pub fn build_ilist_with_scratch(
+    doc: &Document,
+    model: &EntityModel,
+    catalog: &KeyCatalog,
+    query: &KeywordQuery,
+    result: &QueryResult,
+    stats: &ResultStats,
+    options: &IListOptions,
+    scratch: &mut IListScratch,
+) -> IList {
     let mut items: Vec<RankedItem> = Vec::new();
-    let mut seen: Vec<String> = Vec::new();
+    scratch.seen.clear();
+    let seen = &mut scratch.seen;
 
     let mut push = |item: IListItem, instances: Vec<NodeId>, seen: &mut Vec<String>| {
         let token = item.dedup_token(doc);
@@ -171,7 +198,7 @@ pub fn build_ilist_with_stats(
     //    query keywords", §2).
     for (i, k) in query.keywords().iter().enumerate() {
         let instances = result.matches.get(i).cloned().unwrap_or_default();
-        push(IListItem::Keyword(k.clone()), instances, &mut seen);
+        push(IListItem::Keyword(k.clone()), instances, seen);
     }
 
     // 2. Entity names (§2.1). Group entity instances by label; order types
@@ -190,7 +217,7 @@ pub fn build_ilist_with_stats(
             .then_with(|| doc.resolve(a.0).cmp(doc.resolve(b.0)))
     });
     for (label, instances) in types {
-        push(IListItem::EntityName { label }, instances, &mut seen);
+        push(IListItem::EntityName { label }, instances, seen);
     }
 
     // 3. The result key (§2.2).
@@ -204,7 +231,7 @@ pub fn build_ilist_with_stats(
                 value: k.value.clone(),
             },
             k.instances.clone(),
-            &mut seen,
+            seen,
         );
     }
 
@@ -223,7 +250,7 @@ pub fn build_ilist_with_stats(
                 score: d.score,
             },
             instances,
-            &mut seen,
+            seen,
         );
     }
 

@@ -33,6 +33,8 @@
 //! * [`baselines`] — comparison strategies, including the structure-blind
 //!   text snippet standing in for the Google Desktop comparison of §4;
 //! * [`quality`] — objective proxies for the paper's four snippet goals;
+//! * [`cache`] — an LRU [`SnippetCache`] memoizing generated snippets for
+//!   hot queries (keyed by normalized query + result root + config);
 //! * [`render`] — HTML results page (the demo's web UI, Figure 5) and
 //!   JSON export;
 //! * [`pipeline`] — [`Extract`], the end-to-end system facade.
@@ -58,6 +60,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baselines;
+pub mod cache;
 pub mod dominance;
 pub mod ilist;
 pub mod key;
@@ -68,8 +71,9 @@ pub mod return_entity;
 pub mod selector;
 pub mod snippet;
 
+pub use cache::{CacheKey, CacheStats, LruCache, SnippetCache};
 pub use dominance::{dominant_features, DominantFeature};
 pub use ilist::{IList, IListItem, RankedItem};
-pub use pipeline::{Extract, ExtractConfig, SnippetedResult};
+pub use pipeline::{Extract, ExtractConfig, SelectorKind, SnippetedResult};
 pub use selector::{exact_select, greedy_select, SelectionOutcome};
 pub use snippet::Snippet;

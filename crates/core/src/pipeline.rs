@@ -5,18 +5,20 @@
 //! through Return Entity Identifier → Query Result Key Identifier →
 //! Dominant Feature Identifier → IList → Instance Selector.
 
-use extract_analyzer::{EntityModel, KeyCatalog};
+use extract_analyzer::{EntityModel, KeyCatalog, ResultStats};
 use extract_index::XmlIndex;
+use extract_search::ranking::RankedResult;
 use extract_search::xseek::{self, RootPolicy};
 use extract_search::{KeywordQuery, QueryResult};
 use extract_xml::{Document, NodeId};
 
-use crate::ilist::{build_ilist, IList, IListOptions};
+use crate::cache::{CacheKey, SnippetCache};
+use crate::ilist::{build_ilist, build_ilist_with_scratch, IList, IListOptions, IListScratch};
 use crate::selector::{exact_select, greedy_select, ExactLimits, SelectionOutcome};
 use crate::snippet::Snippet;
 
 /// Which instance selector to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SelectorKind {
     /// The paper's greedy algorithm (default).
     #[default]
@@ -27,7 +29,7 @@ pub enum SelectorKind {
 }
 
 /// Snippet generation parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExtractConfig {
     /// Maximum snippet size in element edges (the demo UI's "snippet size
     /// upper bound … defined as the number of edges in the tree").
@@ -129,7 +131,29 @@ impl<'d> Extract<'d> {
         result: &QueryResult,
         config: &ExtractConfig,
     ) -> SnippetedResult {
-        let ilist = self.ilist(query, result, config);
+        self.snippet_with_scratch(query, result, config, &mut IListScratch::default())
+    }
+
+    /// [`Extract::snippet`] reusing caller-owned IList scratch buffers
+    /// (one scratch serves every result of a query).
+    pub fn snippet_with_scratch(
+        &self,
+        query: &KeywordQuery,
+        result: &QueryResult,
+        config: &ExtractConfig,
+        scratch: &mut IListScratch,
+    ) -> SnippetedResult {
+        let stats = ResultStats::compute(self.doc, &self.model, result.root);
+        let ilist = build_ilist_with_scratch(
+            self.doc,
+            &self.model,
+            &self.keys,
+            query,
+            result,
+            &stats,
+            &IListOptions { max_dominant_features: config.max_dominant_features },
+            scratch,
+        );
         let outcome = self.select(&ilist, result.root, config);
         let snippet = Snippet::from_selection(self.doc, &ilist, outcome);
         SnippetedResult { result: result.clone(), ilist, snippet }
@@ -145,16 +169,50 @@ impl<'d> Extract<'d> {
         }
     }
 
+    /// Run the built-in XSeek-style engine on `query` and rank the results
+    /// (the shared front half of every end-to-end entry point).
+    pub fn ranked_results(&self, query: &KeywordQuery) -> Vec<RankedResult> {
+        let results =
+            xseek::search(self.doc, &self.index, &self.model, query, RootPolicy::Entity);
+        extract_search::rank(self.doc, results)
+    }
+
     /// End-to-end: run the built-in XSeek-style engine on `query_str`, then
     /// generate a snippet per result (ranked result order).
     pub fn snippets_for_query(&self, query_str: &str, config: &ExtractConfig) -> Vec<SnippetedResult> {
         let query = KeywordQuery::parse(query_str);
-        let results =
-            xseek::search(self.doc, &self.index, &self.model, &query, RootPolicy::Entity);
-        let ranked = extract_search::rank(self.doc, results);
-        ranked
+        let mut scratch = IListScratch::default();
+        self.ranked_results(&query)
             .into_iter()
-            .map(|r| self.snippet(&query, &r.result, config))
+            .map(|r| self.snippet_with_scratch(&query, &r.result, config, &mut scratch))
+            .collect()
+    }
+
+    /// [`Extract::snippets_for_query`] backed by a [`SnippetCache`]: each
+    /// (query, result root, config) triple is computed at most once while
+    /// it stays resident. Search and ranking still run (they determine
+    /// *which* roots to show); the expensive IList + selection work is
+    /// what the cache skips.
+    pub fn snippets_for_query_cached(
+        &self,
+        query_str: &str,
+        config: &ExtractConfig,
+        cache: &mut SnippetCache,
+    ) -> Vec<SnippetedResult> {
+        let query = KeywordQuery::parse(query_str);
+        let mut scratch = IListScratch::default();
+        self.ranked_results(&query)
+            .into_iter()
+            .map(|r| {
+                let key = CacheKey::new(&query, r.result.root, config);
+                if let Some(hit) = cache.get(&key) {
+                    return hit;
+                }
+                let computed =
+                    self.snippet_with_scratch(&query, &r.result, config, &mut scratch);
+                cache.insert(key, computed.clone());
+                computed
+            })
             .collect()
     }
 }

@@ -101,6 +101,49 @@ proptest! {
         }
     }
 
+    /// A SnippetCache hit is byte-identical to cold computation: for any
+    /// document, query sequence and config, the cached end-to-end path
+    /// renders exactly what the uncached path renders.
+    #[test]
+    fn cache_hits_are_byte_identical_to_cold(
+        spec in spec_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 1..4),
+        bound in 0usize..16,
+        cap in prop_oneof![Just(None), Just(Some(1usize)), Just(Some(3usize))],
+    ) {
+        let doc = build(&spec);
+        let extract = Extract::new(&doc);
+        let config = ExtractConfig {
+            size_bound: bound,
+            max_dominant_features: cap,
+            ..Default::default()
+        };
+        let mut cache = extract_core::SnippetCache::new(8);
+        // Issue each query twice (second pass hits the cache), interleaved
+        // so eviction and cross-query pollution get a chance to bite.
+        let texts: Vec<String> = queries.iter().map(|ks| ks.join(" ")).collect();
+        let mut total_results = 0u64;
+        for pass in 0..2 {
+            for q in &texts {
+                let cold = extract.snippets_for_query(q, &config);
+                let cached = extract.snippets_for_query_cached(q, &config, &mut cache);
+                total_results += cached.len() as u64;
+                prop_assert_eq!(cold.len(), cached.len(), "pass {} query {}", pass, q);
+                for (a, b) in cold.iter().zip(cached.iter()) {
+                    prop_assert_eq!(a.result.root, b.result.root);
+                    prop_assert_eq!(a.snippet.to_xml(), b.snippet.to_xml());
+                    prop_assert_eq!(a.snippet.to_ascii_tree(), b.snippet.to_ascii_tree());
+                    prop_assert_eq!(a.ilist.display(&doc), b.ilist.display(&doc));
+                    prop_assert_eq!(a.snippet.edges, b.snippet.edges);
+                    prop_assert_eq!(&a.snippet.nodes, &b.snippet.nodes);
+                }
+            }
+        }
+        // The cached path does exactly one lookup per produced result.
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, total_results);
+    }
+
     /// Greedy never beats the exact optimum, and both respect the bound.
     #[test]
     fn greedy_is_bounded_by_exact(

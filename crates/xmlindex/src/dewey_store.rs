@@ -96,9 +96,13 @@ impl DeweyStore {
             .count()
     }
 
-    /// Estimated heap footprint in bytes.
+    /// Estimated heap footprint in bytes, counting **allocated capacity**
+    /// (not just live length) of both vectors. The build constructs each
+    /// with `vec![0; n]`, so capacity equals length and the footprint is
+    /// exactly `(nodes + 1 + Σ depth(n)) * 4`.
     pub fn memory_footprint(&self) -> usize {
-        self.offsets.len() * 4 + self.components.len() * 4
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.components.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -173,5 +177,16 @@ mod tests {
         let small = DeweyStore::build(&Document::parse_str("<a/>").unwrap());
         let big = DeweyStore::build(&doc());
         assert!(big.memory_footprint() > small.memory_footprint());
+    }
+
+    #[test]
+    fn memory_footprint_arithmetic_is_pinned() {
+        let d = doc();
+        let store = DeweyStore::build(&d);
+        // offsets: one u32 per node plus the sentinel; components: one u32
+        // per Dewey component, i.e. the sum of all node depths.
+        let total_components: usize = d.all_nodes().map(|n| d.depth(n)).sum();
+        let expected = (d.len() + 1) * 4 + total_components * 4;
+        assert_eq!(store.memory_footprint(), expected);
     }
 }

@@ -41,12 +41,15 @@ impl LabelIndex {
         self.nodes(sym).len()
     }
 
-    /// Estimated heap footprint in bytes.
+    /// Estimated heap footprint in bytes, counting allocated capacity of
+    /// the outer table and every per-label list.
     pub fn memory_footprint(&self) -> usize {
-        self.by_label
-            .iter()
-            .map(|v| v.len() * std::mem::size_of::<NodeId>() + std::mem::size_of::<Vec<NodeId>>())
-            .sum()
+        self.by_label.capacity() * std::mem::size_of::<Vec<NodeId>>()
+            + self
+                .by_label
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<NodeId>())
+                .sum::<usize>()
     }
 }
 

@@ -36,7 +36,7 @@ pub mod labels;
 pub mod tokenize;
 
 pub use dewey_store::DeweyStore;
-pub use inverted::InvertedIndex;
+pub use inverted::{InvertedIndex, TokenId};
 pub use labels::LabelIndex;
 pub use tokenize::{tokenize, tokens_of};
 
@@ -79,6 +79,18 @@ impl XmlIndex {
     /// token. Returns an empty slice for unknown tokens.
     pub fn postings(&self, token: &str) -> &[NodeId] {
         self.inverted.postings(token)
+    }
+
+    /// Resolve a normalized token to its interned id (see
+    /// [`InvertedIndex::token_id`]); later lookups through
+    /// [`XmlIndex::postings_by_id`] skip string hashing entirely.
+    pub fn token_id(&self, token: &str) -> Option<TokenId> {
+        self.inverted.token_id(token)
+    }
+
+    /// Postings for an interned token id.
+    pub fn postings_by_id(&self, id: TokenId) -> &[NodeId] {
+        self.inverted.postings_by_id(id)
     }
 
     /// Dewey components of a node.

@@ -100,6 +100,49 @@ proptest! {
     }
 
     #[test]
+    fn arena_index_matches_hashmap_reference_model(spec in spec_strategy()) {
+        // Reference model: the pre-arena design — a HashMap from token to
+        // per-token Vec, built by the same per-element dedup semantics.
+        let doc = build(&spec);
+        let mut reference: std::collections::HashMap<String, Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for node in doc.all_nodes() {
+            if !doc.node(node).is_element() {
+                continue;
+            }
+            let mut toks: Vec<String> =
+                tokenize::tokenize(doc.label_str(node).unwrap_or(""));
+            for c in doc.children(node) {
+                if let Some(t) = doc.node(c).text() {
+                    toks.extend(tokenize::tokenize(t));
+                }
+            }
+            toks.sort();
+            toks.dedup();
+            for t in toks {
+                reference.entry(t).or_default().push(node);
+            }
+        }
+        let index = InvertedIndex::build(&doc);
+        prop_assert_eq!(index.vocabulary_size(), reference.len());
+        prop_assert_eq!(
+            index.total_postings(),
+            reference.values().map(Vec::len).sum::<usize>()
+        );
+        // Every reference list is reachable by string AND by interned id.
+        for (token, expected) in &reference {
+            prop_assert_eq!(index.postings(token), expected.as_slice(), "token {}", token);
+            let id = index.token_id(token).expect("token interned");
+            prop_assert_eq!(index.postings_by_id(id), expected.as_slice());
+            prop_assert_eq!(index.token_str(id), Some(token.as_str()));
+        }
+        // And iter() exposes exactly the reference's entries.
+        for (token, list) in index.iter() {
+            prop_assert_eq!(Some(list), reference.get(token).map(Vec::as_slice), "token {}", token);
+        }
+    }
+
+    #[test]
     fn dewey_store_matches_document(spec in spec_strategy()) {
         let doc = build(&spec);
         let store = DeweyStore::build(&doc);

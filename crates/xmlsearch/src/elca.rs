@@ -18,15 +18,15 @@ use std::collections::HashMap;
 use extract_xml::{Document, NodeId};
 
 /// Brute-force ELCA (testing oracle): quadratic in the worst case.
-pub fn elca_bruteforce(doc: &Document, lists: &[Vec<NodeId>]) -> Vec<NodeId> {
-    if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
+pub fn elca_bruteforce<L: AsRef<[NodeId]>>(doc: &Document, lists: &[L]) -> Vec<NodeId> {
+    if lists.is_empty() || lists.iter().any(|l| l.as_ref().is_empty()) {
         return Vec::new();
     }
     assert!(lists.len() <= 64, "brute force supports up to 64 keywords");
     let full: u64 = if lists.len() == 64 { !0 } else { (1u64 << lists.len()) - 1 };
     let mut own: HashMap<NodeId, u64> = HashMap::new();
     for (i, list) in lists.iter().enumerate() {
-        for &n in list {
+        for &n in list.as_ref() {
             *own.entry(n).or_insert(0) |= 1 << i;
         }
     }
@@ -70,8 +70,8 @@ struct StackEntry {
 }
 
 /// Single-pass Dewey-stack ELCA.
-pub fn elca_stack(doc: &Document, lists: &[Vec<NodeId>]) -> Vec<NodeId> {
-    if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
+pub fn elca_stack<L: AsRef<[NodeId]>>(doc: &Document, lists: &[L]) -> Vec<NodeId> {
+    if lists.is_empty() || lists.iter().any(|l| l.as_ref().is_empty()) {
         return Vec::new();
     }
     assert!(lists.len() <= 64, "stack ELCA supports up to 64 keywords");
@@ -80,9 +80,10 @@ pub fn elca_stack(doc: &Document, lists: &[Vec<NodeId>]) -> Vec<NodeId> {
     // Merge the lists into one document-ordered stream of (node, mask).
     // NodeId order is document order, so a k-way merge by NodeId suffices;
     // equal nodes combine their masks.
-    let mut stream: Vec<(NodeId, u64)> = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+    let mut stream: Vec<(NodeId, u64)> =
+        Vec::with_capacity(lists.iter().map(|l| l.as_ref().len()).sum());
     for (i, list) in lists.iter().enumerate() {
-        for &n in list {
+        for &n in list.as_ref() {
             stream.push((n, 1u64 << i));
         }
     }

@@ -9,7 +9,7 @@ use crate::elca::elca_stack;
 use crate::query::KeywordQuery;
 use crate::ranking::{rank, RankedResult};
 use crate::result::QueryResult;
-use crate::slca::{slca_indexed_lookup, slca_scan_eager};
+use crate::slca::{slca_auto, slca_indexed_lookup, slca_scan_eager};
 use crate::xseek::{self, RootPolicy};
 
 /// The available search algorithms / result semantics.
@@ -19,6 +19,9 @@ pub enum Algorithm {
     SlcaIndexedLookup,
     /// SLCA via Scan Eager (Xu & Papakonstantinou).
     SlcaScanEager,
+    /// SLCA with the eager algorithm picked per query from list-length
+    /// ratios (see [`crate::slca::choose_strategy`]).
+    SlcaAuto,
     /// ELCA via the Dewey stack (XRANK semantics).
     Elca,
     /// SLCA lifted to entity roots (XSeek semantics — the engine the demo
@@ -60,10 +63,11 @@ impl<'d> Engine<'d> {
         &self.model
     }
 
-    /// Result roots only (no match scoping).
+    /// Result roots only (no match scoping). Posting lists are borrowed
+    /// straight from the index — no per-query copies.
     pub fn roots(&self, query: &KeywordQuery, algorithm: Algorithm) -> Vec<NodeId> {
-        let lists: Vec<Vec<NodeId>> =
-            query.keywords().iter().map(|k| self.index.postings(k).to_vec()).collect();
+        let lists: Vec<&[NodeId]> =
+            query.keywords().iter().map(|k| self.index.postings(k)).collect();
         match algorithm {
             Algorithm::SlcaIndexedLookup => {
                 slca_indexed_lookup(self.doc, self.index.dewey_store(), &lists)
@@ -71,6 +75,7 @@ impl<'d> Engine<'d> {
             Algorithm::SlcaScanEager => {
                 slca_scan_eager(self.doc, self.index.dewey_store(), &lists)
             }
+            Algorithm::SlcaAuto => slca_auto(self.doc, self.index.dewey_store(), &lists),
             Algorithm::Elca => elca_stack(self.doc, &lists),
             Algorithm::XSeek => {
                 xseek::result_roots(self.doc, &self.index, &self.model, query, RootPolicy::Entity)
@@ -121,6 +126,7 @@ mod tests {
         for algo in [
             Algorithm::SlcaIndexedLookup,
             Algorithm::SlcaScanEager,
+            Algorithm::SlcaAuto,
             Algorithm::XSeek,
         ] {
             let results = engine.search(&q, algo);

@@ -14,26 +14,91 @@
 //!   with monotone pointers instead of binary searches, `O(k·d·Σ|S_i|)`;
 //!   better when list sizes are comparable.
 //!
-//! All three exploit the preorder-ID invariant: `NodeId` order *is*
-//! document order, so only LCA-depth computations touch Dewey labels.
-
-use std::collections::HashMap;
+//! [`slca_auto`] picks between the two eager algorithms from the list-length
+//! ratios (see [`choose_strategy`]), so callers on the hot query path don't
+//! have to.
+//!
+//! All implementations exploit the preorder-ID invariant: `NodeId` order
+//! *is* document order, so only LCA-depth computations touch Dewey labels.
+//!
+//! # Hot-path variants
+//!
+//! Every algorithm `slca_x` has a `slca_x_with(…, &mut SlcaScratch, &mut
+//! Vec<NodeId>)` twin that is **allocation-free on the per-anchor path**:
+//! intermediate candidates and monotone pointers live in a caller-owned
+//! [`SlcaScratch`] and results are written into a caller-owned output
+//! vector, so a server answering many queries reuses the same buffers.
+//! List arguments are generic over `AsRef<[NodeId]>`: pass `&[Vec<NodeId>]`
+//! (owned lists) or `&[&[NodeId]]` (borrowed straight from the inverted
+//! index, zero copies).
 
 use extract_index::DeweyStore;
 use extract_xml::{Document, NodeId};
 
+/// Reusable buffers for the eager SLCA algorithms. One instance per thread
+/// (or per query loop); `Default::default()` starts empty and the buffers
+/// grow to the high-water mark of the queries they serve.
+#[derive(Debug, Default)]
+pub struct SlcaScratch {
+    /// Per-anchor candidate SLCAs, before ancestor removal.
+    candidates: Vec<NodeId>,
+    /// Monotone per-list cursors (Scan Eager only).
+    pointers: Vec<usize>,
+}
+
+impl SlcaScratch {
+    /// A scratch with all buffers empty.
+    pub fn new() -> SlcaScratch {
+        SlcaScratch::default()
+    }
+}
+
+/// Which eager SLCA algorithm [`slca_auto`] would run for given lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlcaStrategy {
+    /// Binary-search lookups anchored on the rarest keyword.
+    IndexedLookup,
+    /// Monotone pointer scan over all lists.
+    ScanEager,
+}
+
+/// Pick the cheaper eager algorithm from list lengths alone. Indexed
+/// Lookup costs roughly `(k−1) · |S_min| · log₂ |S_max|` comparisons while
+/// Scan Eager walks every list once (`Σ|S_i|`); we compare the two
+/// estimates. With a rare anchor (the common interactive case) Indexed
+/// Lookup wins; with comparable list sizes Scan Eager's linear pointers
+/// beat repeated binary searches.
+pub fn choose_strategy<L: AsRef<[NodeId]>>(lists: &[L]) -> SlcaStrategy {
+    let k = lists.len();
+    if k < 2 {
+        return SlcaStrategy::ScanEager;
+    }
+    let min = lists.iter().map(|l| l.as_ref().len()).min().unwrap_or(0);
+    let max = lists.iter().map(|l| l.as_ref().len()).max().unwrap_or(0);
+    let total: usize = lists.iter().map(|l| l.as_ref().len()).sum();
+    let log_max = (usize::BITS - max.leading_zeros()) as usize; // ⌈log₂(max+1)⌉
+    let indexed_cost = (k - 1).saturating_mul(min).saturating_mul(log_max.max(1));
+    if indexed_cost < total {
+        SlcaStrategy::IndexedLookup
+    } else {
+        SlcaStrategy::ScanEager
+    }
+}
+
 /// Compute SLCAs by brute force (testing oracle). `lists` holds the match
 /// nodes per keyword; an empty keyword list makes the result empty.
-pub fn slca_bruteforce(doc: &Document, lists: &[Vec<NodeId>]) -> Vec<NodeId> {
-    if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
+pub fn slca_bruteforce<L: AsRef<[NodeId]>>(doc: &Document, lists: &[L]) -> Vec<NodeId> {
+    if lists.is_empty() || lists.iter().any(|l| l.as_ref().is_empty()) {
         return Vec::new();
     }
     assert!(lists.len() <= 64, "brute force supports up to 64 keywords");
     let full: u64 = if lists.len() == 64 { !0 } else { (1u64 << lists.len()) - 1 };
-    let mut mask: HashMap<NodeId, u64> = HashMap::new();
+    // Dense per-node keyword masks (NodeIds are dense preorder indexes, so
+    // a flat vector beats a HashMap here).
+    let mut mask: Vec<u64> = vec![0; doc.len()];
     for (i, list) in lists.iter().enumerate() {
-        for &n in list {
-            *mask.entry(n).or_insert(0) |= 1 << i;
+        for &n in list.as_ref() {
+            mask[n.index()] |= 1 << i;
         }
     }
     // Propagate masks upward. Iterating IDs in reverse visits children
@@ -43,7 +108,7 @@ pub fn slca_bruteforce(doc: &Document, lists: &[Vec<NodeId>]) -> Vec<NodeId> {
     let mut out = Vec::new();
     for idx in (0..doc.len()).rev() {
         let n = NodeId::from_index(idx);
-        let mut m = mask.get(&n).copied().unwrap_or(0);
+        let mut m = mask[idx];
         let mut full_desc = false;
         for c in doc.children(n) {
             m |= subtree_mask[c.index()];
@@ -61,65 +126,135 @@ pub fn slca_bruteforce(doc: &Document, lists: &[Vec<NodeId>]) -> Vec<NodeId> {
 
 /// Indexed Lookup Eager. `lists` must be sorted in document order (as the
 /// inverted index produces them).
-pub fn slca_indexed_lookup(doc: &Document, store: &DeweyStore, lists: &[Vec<NodeId>]) -> Vec<NodeId> {
+pub fn slca_indexed_lookup<L: AsRef<[NodeId]>>(
+    doc: &Document,
+    store: &DeweyStore,
+    lists: &[L],
+) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    slca_indexed_lookup_with(doc, store, lists, &mut SlcaScratch::new(), &mut out);
+    out
+}
+
+/// [`slca_indexed_lookup`] into caller-owned buffers: `out` is cleared and
+/// receives the SLCAs; no other allocation happens once `scratch` has
+/// warmed up.
+pub fn slca_indexed_lookup_with<L: AsRef<[NodeId]>>(
+    doc: &Document,
+    store: &DeweyStore,
+    lists: &[L],
+    scratch: &mut SlcaScratch,
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
     let Some(anchor_idx) = prepare(lists) else {
-        return Vec::new();
+        return;
     };
-    let anchors = &lists[anchor_idx];
-    let mut candidates = Vec::with_capacity(anchors.len());
+    let anchors = lists[anchor_idx].as_ref();
+    scratch.candidates.clear();
+    scratch.candidates.reserve(anchors.len());
     for &v in anchors {
         let mut u = v;
         for (li, list) in lists.iter().enumerate() {
             if li == anchor_idx {
                 continue;
             }
-            let m = closest_by_binary_search(store, list, u);
+            let m = closest_by_binary_search(store, list.as_ref(), u);
             u = lca_node(doc, store, u, m);
         }
-        candidates.push(u);
+        scratch.candidates.push(u);
     }
-    remove_ancestors(store, candidates)
+    remove_ancestors(store, &mut scratch.candidates, out);
 }
 
 /// Scan Eager. `lists` must be sorted in document order.
-pub fn slca_scan_eager(doc: &Document, store: &DeweyStore, lists: &[Vec<NodeId>]) -> Vec<NodeId> {
+pub fn slca_scan_eager<L: AsRef<[NodeId]>>(
+    doc: &Document,
+    store: &DeweyStore,
+    lists: &[L],
+) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    slca_scan_eager_with(doc, store, lists, &mut SlcaScratch::new(), &mut out);
+    out
+}
+
+/// [`slca_scan_eager`] into caller-owned buffers (see
+/// [`slca_indexed_lookup_with`]).
+pub fn slca_scan_eager_with<L: AsRef<[NodeId]>>(
+    doc: &Document,
+    store: &DeweyStore,
+    lists: &[L],
+    scratch: &mut SlcaScratch,
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
     let Some(anchor_idx) = prepare(lists) else {
-        return Vec::new();
+        return;
     };
-    let anchors = &lists[anchor_idx];
+    let anchors = lists[anchor_idx].as_ref();
     // One monotone pointer per non-anchor list.
-    let mut pointers: Vec<usize> = vec![0; lists.len()];
-    let mut candidates = Vec::with_capacity(anchors.len());
+    scratch.pointers.clear();
+    scratch.pointers.resize(lists.len(), 0);
+    scratch.candidates.clear();
+    scratch.candidates.reserve(anchors.len());
     for &v in anchors {
         let mut u = v;
         for (li, list) in lists.iter().enumerate() {
             if li == anchor_idx {
                 continue;
             }
+            let list = list.as_ref();
             // Advance to the first node ≥ the *anchor* (not the shrinking
             // lca) so the pointer stays monotone across anchors.
-            let p = &mut pointers[li];
+            let p = &mut scratch.pointers[li];
             while *p < list.len() && list[*p] < v {
                 *p += 1;
             }
             let m = closest_of(store, list, *p, u);
             u = lca_node(doc, store, u, m);
         }
-        candidates.push(u);
+        scratch.candidates.push(u);
     }
-    remove_ancestors(store, candidates)
+    remove_ancestors(store, &mut scratch.candidates, out);
+}
+
+/// Eager SLCA with the algorithm chosen by [`choose_strategy`].
+pub fn slca_auto<L: AsRef<[NodeId]>>(
+    doc: &Document,
+    store: &DeweyStore,
+    lists: &[L],
+) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    slca_auto_with(doc, store, lists, &mut SlcaScratch::new(), &mut out);
+    out
+}
+
+/// [`slca_auto`] into caller-owned buffers.
+pub fn slca_auto_with<L: AsRef<[NodeId]>>(
+    doc: &Document,
+    store: &DeweyStore,
+    lists: &[L],
+    scratch: &mut SlcaScratch,
+    out: &mut Vec<NodeId>,
+) {
+    match choose_strategy(lists) {
+        SlcaStrategy::IndexedLookup => {
+            slca_indexed_lookup_with(doc, store, lists, scratch, out)
+        }
+        SlcaStrategy::ScanEager => slca_scan_eager_with(doc, store, lists, scratch, out),
+    }
 }
 
 /// Shared validation: non-empty lists; returns the index of the shortest
 /// list (the anchor).
-fn prepare(lists: &[Vec<NodeId>]) -> Option<usize> {
-    if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
+fn prepare<L: AsRef<[NodeId]>>(lists: &[L]) -> Option<usize> {
+    if lists.is_empty() || lists.iter().any(|l| l.as_ref().is_empty()) {
         return None;
     }
     lists
         .iter()
         .enumerate()
-        .min_by_key(|(_, l)| l.len())
+        .min_by_key(|(_, l)| l.as_ref().len())
         .map(|(i, _)| i)
 }
 
@@ -161,23 +296,23 @@ fn lca_node(doc: &Document, store: &DeweyStore, a: NodeId, b: NodeId) -> NodeId 
     x
 }
 
-/// Sort candidates, deduplicate, and drop every node that has a candidate
-/// descendant (SLCAs are the *deepest* full-containment nodes).
-fn remove_ancestors(store: &DeweyStore, mut candidates: Vec<NodeId>) -> Vec<NodeId> {
+/// Sort `candidates`, deduplicate, and write to `out` every node that has
+/// no candidate descendant (SLCAs are the *deepest* full-containment
+/// nodes). `out` doubles as the keep-stack, so the pass is a single scan.
+fn remove_ancestors(store: &DeweyStore, candidates: &mut Vec<NodeId>, out: &mut Vec<NodeId>) {
     candidates.sort_unstable();
     candidates.dedup();
-    let mut keep: Vec<NodeId> = Vec::with_capacity(candidates.len());
-    for c in candidates {
-        while let Some(&last) = keep.last() {
+    out.reserve(candidates.len());
+    for &c in candidates.iter() {
+        while let Some(&last) = out.last() {
             if store.is_ancestor_or_self(last, c) {
-                keep.pop();
+                out.pop();
             } else {
                 break;
             }
         }
-        keep.push(c);
+        out.push(c);
     }
-    keep
 }
 
 #[cfg(test)]
@@ -200,8 +335,14 @@ mod tests {
         let brute = slca_bruteforce(doc, &ls);
         let ile = slca_indexed_lookup(doc, index.dewey_store(), &ls);
         let se = slca_scan_eager(doc, index.dewey_store(), &ls);
+        let auto = slca_auto(doc, index.dewey_store(), &ls);
         assert_eq!(brute, ile, "indexed lookup disagrees with brute force");
         assert_eq!(brute, se, "scan eager disagrees with brute force");
+        assert_eq!(brute, auto, "auto disagrees with brute force");
+        // Borrowed-slice lists must produce the same answer with zero copies.
+        let borrowed: Vec<&[NodeId]> =
+            keywords.iter().map(|k| index.postings(k)).collect();
+        assert_eq!(brute, slca_auto(doc, index.dewey_store(), &borrowed));
         brute
     }
 
@@ -324,5 +465,50 @@ mod tests {
         assert!(all_three(&doc, &index, &[]).is_empty());
         let _ = index;
         let _ = doc;
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries_is_clean() {
+        // Run two different queries through the same scratch/output buffers
+        // and check the second result carries nothing over from the first.
+        let (doc, index) = setup(
+            "<stores>\
+             <store><name>Levis</name><state>Texas</state></store>\
+             <store><name>ESprit</name><state>Texas</state></store>\
+             <store><name>Gap</name><state>Ohio</state></store>\
+             </stores>",
+        );
+        let mut scratch = SlcaScratch::new();
+        let mut out = Vec::new();
+        let q1 = lists(&index, &["store", "texas"]);
+        slca_scan_eager_with(&doc, index.dewey_store(), &q1, &mut scratch, &mut out);
+        assert_eq!(out.len(), 2);
+        let q2 = lists(&index, &["gap", "ohio"]);
+        slca_scan_eager_with(&doc, index.dewey_store(), &q2, &mut scratch, &mut out);
+        assert_eq!(out, slca_bruteforce(&doc, &q2));
+        let q3 = lists(&index, &["levis"]);
+        slca_indexed_lookup_with(&doc, index.dewey_store(), &q3, &mut scratch, &mut out);
+        assert_eq!(out, slca_bruteforce(&doc, &q3));
+    }
+
+    #[test]
+    fn strategy_prefers_indexed_lookup_for_rare_anchor() {
+        // One singleton list vs a huge list: binary searches win.
+        let rare = vec![NodeId::from_index(5)];
+        let common: Vec<NodeId> = (0..10_000).map(NodeId::from_index).collect();
+        assert_eq!(
+            choose_strategy(&[rare, common]),
+            SlcaStrategy::IndexedLookup
+        );
+    }
+
+    #[test]
+    fn strategy_prefers_scan_eager_for_comparable_lists() {
+        let a: Vec<NodeId> = (0..1_000).map(NodeId::from_index).collect();
+        let b: Vec<NodeId> = (0..1_200).map(NodeId::from_index).collect();
+        assert_eq!(choose_strategy(&[a, b]), SlcaStrategy::ScanEager);
+        // Single-list queries have no lookups to do at all.
+        let single: Vec<NodeId> = (0..10).map(NodeId::from_index).collect();
+        assert_eq!(choose_strategy(&[single]), SlcaStrategy::ScanEager);
     }
 }

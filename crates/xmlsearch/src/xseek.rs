@@ -13,7 +13,7 @@ use extract_xml::{Document, NodeId};
 
 use crate::query::KeywordQuery;
 use crate::result::QueryResult;
-use crate::slca::slca_indexed_lookup;
+use crate::slca::slca_auto;
 
 /// How result roots are derived from SLCA nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,9 +33,9 @@ pub fn result_roots(
     query: &KeywordQuery,
     policy: RootPolicy,
 ) -> Vec<NodeId> {
-    let lists: Vec<Vec<NodeId>> =
-        query.keywords().iter().map(|k| index.postings(k).to_vec()).collect();
-    let slcas = slca_indexed_lookup(doc, index.dewey_store(), &lists);
+    let lists: Vec<&[NodeId]> =
+        query.keywords().iter().map(|k| index.postings(k)).collect();
+    let slcas = slca_auto(doc, index.dewey_store(), &lists);
     match policy {
         RootPolicy::Slca => slcas,
         RootPolicy::Entity => {

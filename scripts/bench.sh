@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Query-path throughput benchmark runner (PR 2).
+#
+# Usage:
+#   scripts/bench.sh            — run the full workload and write BENCH_PR2.json
+#   scripts/bench.sh --check    — compile-only (CI gate): build the binary and
+#                                 the Criterion bench without running them
+#   scripts/bench.sh --quick    — fast smoke run (fewer samples), still writes
+#                                 BENCH_PR2.json
+#
+# All commands run with --offline: every dependency is a path-local vendored
+# shim (vendor/), so no registry access is needed or wanted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--check" ]]; then
+    echo "==> bench.sh --check: compile the throughput bench"
+    cargo build --release --offline -p extract-bench --bin query_throughput
+    cargo bench --no-run --offline -p extract-bench
+    echo "bench.sh: compile check green"
+    exit 0
+fi
+
+ARGS=()
+if [[ "${1:-}" == "--quick" ]]; then
+    ARGS+=(--quick)
+fi
+
+echo "==> bench.sh: running query_throughput (results → BENCH_PR2.json)"
+cargo run --release --offline -p extract-bench --bin query_throughput -- \
+    --json BENCH_PR2.json "${ARGS[@]+"${ARGS[@]}"}"

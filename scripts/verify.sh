@@ -7,7 +7,8 @@
 #   1. cargo build --release          — every crate, bin, and example
 #   2. cargo test -q                  — unit, integration, property, doc tests
 #   3. cargo clippy ... -D warnings   — lint-clean across all targets
-#   4. cargo bench --no-run           — all six Criterion benches compile
+#   4. cargo bench --no-run           — all seven Criterion benches compile
+#   5. scripts/bench.sh --check       — the throughput bench binary compiles
 #
 # All commands run with --offline: every dependency is a path-local
 # vendored shim (vendor/), so no registry access is needed or wanted.
@@ -23,5 +24,6 @@ run cargo build --release --offline
 run cargo test -q --offline
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo bench --no-run --offline
+run scripts/bench.sh --check
 
 echo "verify: all gates green"

@@ -67,11 +67,20 @@ pub mod datagen {
     pub use extract_datagen::*;
 }
 
+/// Concurrent query serving: [`QuerySession`](session::QuerySession), a
+/// std-thread worker pool over a shared immutable index with a snippet
+/// cache.
+pub mod session;
+
+pub use session::{AnswerPage, QuerySession};
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use extract_analyzer::{EntityModel, KeyCatalog, ResultStats};
-    pub use extract_core::{Extract, ExtractConfig, Snippet, SnippetedResult};
+    pub use extract_core::{Extract, ExtractConfig, Snippet, SnippetCache, SnippetedResult};
     pub use extract_index::XmlIndex;
     pub use extract_search::{Algorithm, Engine, KeywordQuery, QueryResult};
     pub use extract_xml::{DocBuilder, Document, NodeId};
+
+    pub use crate::session::{AnswerPage, QuerySession};
 }

@@ -1,0 +1,338 @@
+//! A long-lived, thread-safe query session — the first concrete step
+//! toward the ROADMAP's serving layer.
+//!
+//! [`QuerySession`] wraps [`Extract`] (offline stages run once: indexes,
+//! entity model, mined keys) behind a worker pool of plain `std` scoped
+//! threads, so N keyword queries are answered **concurrently against the
+//! shared immutable index** — no `tokio` needed offline, no locks on the
+//! read path.
+//!
+//! Caching is two-level, both LRU:
+//!
+//! 1. a **page cache** (`normalized query + config → Arc<[SnippetedResult]>`)
+//!    makes a repeated hot query a single hash lookup plus an `Arc` clone —
+//!    search, ranking and snippet generation are all skipped;
+//! 2. the per-result [`SnippetCache`] (`query + result root + config →
+//!    SnippetedResult`) catches queries whose page entry was evicted and
+//!    amortizes snippet generation across overlapping result sets.
+//!
+//! Both sit behind `Mutex`es held strictly for `get`/`insert` — never
+//! during computation — so contention stays negligible next to the work
+//! they save.
+//!
+//! ```
+//! use extract::prelude::*;
+//!
+//! let doc = Document::parse_str(
+//!     "<stores><store><name>Levis</name><state>Texas</state></store>\
+//!      <store><name>Gap</name><state>Ohio</state></store></stores>").unwrap();
+//! let session = QuerySession::new(&doc);
+//! let config = ExtractConfig::with_bound(6);
+//! let answers = session.answer_batch(&["store texas", "gap ohio"], &config);
+//! assert_eq!(answers.len(), 2);
+//! assert_eq!(answers[0].len(), 1);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use extract_core::cache::{CacheKey, LruCache, SnippetCache};
+use extract_core::ilist::IListScratch;
+use extract_core::{CacheStats, Extract, ExtractConfig, SnippetedResult};
+use extract_search::KeywordQuery;
+use extract_xml::Document;
+
+/// Default worker count when the host's parallelism cannot be queried.
+const DEFAULT_WORKERS: usize = 4;
+
+/// Page-cache capacity: whole result pages are bigger than single
+/// snippets, so the page cache keeps a smaller hot set than the snippet
+/// cache.
+const PAGE_CAPACITY: usize = 128;
+
+/// One answered query: the ranked, snippeted results, shared immutably.
+pub type AnswerPage = Arc<[SnippetedResult]>;
+
+/// Page-cache key: normalized query text + the config fields that shape
+/// snippets.
+type PageKey = (String, usize, Option<usize>, extract_core::SelectorKind);
+
+fn page_key(query: &KeywordQuery, config: &ExtractConfig) -> PageKey {
+    (query.to_string(), config.size_bound, config.max_dominant_features, config.selector)
+}
+
+/// A thread-safe query-answering session over one document.
+#[derive(Debug)]
+pub struct QuerySession<'d> {
+    extract: Extract<'d>,
+    workers: usize,
+    cache_capacity: usize,
+    pages: Mutex<LruCache<PageKey, AnswerPage>>,
+    snippets: Mutex<SnippetCache>,
+}
+
+impl<'d> QuerySession<'d> {
+    /// Run the offline stages for `doc` and size the pool to the host's
+    /// available parallelism (at least 2 workers), with the default cache
+    /// capacity.
+    pub fn new(doc: &'d Document) -> QuerySession<'d> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(DEFAULT_WORKERS)
+            .max(2);
+        QuerySession::with_options(doc, workers, extract_core::cache::DEFAULT_CAPACITY)
+    }
+
+    /// Run the offline stages with an explicit worker count and snippet
+    /// cache capacity (`0` disables both cache levels).
+    pub fn with_options(doc: &'d Document, workers: usize, cache_capacity: usize) -> QuerySession<'d> {
+        QuerySession::from_extract(Extract::new(doc), workers, cache_capacity)
+    }
+
+    /// Wrap an already-built [`Extract`] (shares its indexes and models).
+    pub fn from_extract(
+        extract: Extract<'d>,
+        workers: usize,
+        cache_capacity: usize,
+    ) -> QuerySession<'d> {
+        QuerySession {
+            extract,
+            workers: workers.max(1),
+            cache_capacity,
+            pages: Mutex::new(LruCache::new(cache_capacity.min(PAGE_CAPACITY))),
+            snippets: Mutex::new(SnippetCache::new(cache_capacity)),
+        }
+    }
+
+    /// The wrapped system (document, indexes, entity model, keys).
+    pub fn extract(&self) -> &Extract<'d> {
+        &self.extract
+    }
+
+    /// The pool size used by [`QuerySession::answer_batch`].
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Page-cache counters since session start.
+    pub fn page_stats(&self) -> CacheStats {
+        self.pages.lock().expect("page cache lock").stats()
+    }
+
+    /// Per-result snippet-cache counters since session start.
+    pub fn snippet_stats(&self) -> CacheStats {
+        self.snippets.lock().expect("snippet cache lock").stats()
+    }
+
+    /// Drop all cached pages and snippets (counters reset too).
+    pub fn clear_cache(&self) {
+        self.pages.lock().expect("page cache lock").clear();
+        self.snippets.lock().expect("snippet cache lock").clear();
+    }
+
+    /// Answer one query. A page-cache hit costs one lock + hash lookup +
+    /// `Arc` clone; otherwise search + rank run, each result is answered
+    /// from the snippet cache or computed fresh, and the assembled page is
+    /// cached. With caching disabled (capacity 0) no lock is ever taken,
+    /// so the worker pool runs fully contention-free. Safe to call from
+    /// many threads at once — `&self` only.
+    pub fn answer(&self, query_str: &str, config: &ExtractConfig) -> AnswerPage {
+        let query = KeywordQuery::parse(query_str);
+        let caching = self.cache_capacity > 0;
+        let pkey = caching.then(|| page_key(&query, config));
+        if let Some(pkey) = &pkey {
+            if let Some(page) = self.pages.lock().expect("page cache lock").get(pkey) {
+                return page;
+            }
+        }
+        let ranked = self.extract.ranked_results(&query);
+        let mut scratch = IListScratch::default();
+        let page: AnswerPage = ranked
+            .into_iter()
+            .map(|r| {
+                if !caching {
+                    return self
+                        .extract
+                        .snippet_with_scratch(&query, &r.result, config, &mut scratch);
+                }
+                let key = CacheKey::new(&query, r.result.root, config);
+                if let Some(hit) = self.snippets.lock().expect("snippet cache lock").get(&key)
+                {
+                    return hit;
+                }
+                let computed =
+                    self.extract
+                        .snippet_with_scratch(&query, &r.result, config, &mut scratch);
+                self.snippets
+                    .lock()
+                    .expect("snippet cache lock")
+                    .insert(key, computed.clone());
+                computed
+            })
+            .collect();
+        if let Some(pkey) = pkey {
+            self.pages.lock().expect("page cache lock").insert(pkey, page.clone());
+        }
+        page
+    }
+
+    /// Answer a batch of queries on the worker pool: `workers` scoped
+    /// threads pull queries from a shared cursor until the batch drains.
+    /// The output is index-aligned with `queries` and identical to calling
+    /// [`QuerySession::answer`] serially.
+    pub fn answer_batch(&self, queries: &[&str], config: &ExtractConfig) -> Vec<AnswerPage> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.workers.min(queries.len());
+        if workers <= 1 {
+            return queries.iter().map(|q| self.answer(q, config)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<AnswerPage>> = vec![None; queries.len()];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine: Vec<(usize, AnswerPage)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            mine.push((i, self.answer(queries[i], config)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, r) in handle.join().expect("worker panicked") {
+                    results[i] = Some(r);
+                }
+            }
+        });
+        results.into_iter().map(|r| r.expect("every query answered")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extract_datagen::retailer::RetailerConfig;
+
+    fn corpus() -> Document {
+        RetailerConfig::default().generate()
+    }
+
+    fn queries() -> Vec<&'static str> {
+        vec![
+            "texas apparel retailer",
+            "houston jeans",
+            "store texas",
+            "woman outwear",
+            "retailer food",
+            "texas apparel retailer", // repeats exercise the cache
+            "houston jeans",
+            "store texas",
+        ]
+    }
+
+    fn render(results: &[AnswerPage]) -> Vec<Vec<String>> {
+        results
+            .iter()
+            .map(|per_query| per_query.iter().map(|s| s.snippet.to_xml()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_batch_matches_serial_execution() {
+        let doc = corpus();
+        let config = ExtractConfig::with_bound(8);
+        let qs = queries();
+
+        // Serial reference: a plain Extract with no cache at all.
+        let extract = Extract::new(&doc);
+        let serial: Vec<AnswerPage> = qs
+            .iter()
+            .map(|q| extract.snippets_for_query(q, &config).into())
+            .collect();
+
+        for workers in [4, 8] {
+            let session = QuerySession::with_options(&doc, workers, 64);
+            assert_eq!(session.workers(), workers);
+            let concurrent = session.answer_batch(&qs, &config);
+            assert_eq!(render(&serial), render(&concurrent), "workers={workers}");
+            // Roots and ranking order must match too, not just rendering.
+            for (s, c) in serial.iter().zip(concurrent.iter()) {
+                let roots_s: Vec<_> = s.iter().map(|r| r.result.root).collect();
+                let roots_c: Vec<_> = c.iter().map(|r| r.result.root).collect();
+                assert_eq!(roots_s, roots_c);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_page_cache() {
+        let doc = corpus();
+        let session = QuerySession::with_options(&doc, 4, 64);
+        let config = ExtractConfig::with_bound(8);
+        let qs = queries();
+        session.answer_batch(&qs, &config);
+        let pages = session.page_stats();
+        // 8 queries, 5 distinct: at least 3 page hits (batch scheduling may
+        // race two threads past the same miss, so "at least" not "exactly").
+        assert!(pages.hits >= 1, "repeated queries must hit: {pages:?}");
+        assert!(pages.misses >= 5, "5 distinct queries: {pages:?}");
+        session.clear_cache();
+        assert_eq!(session.page_stats(), CacheStats::default());
+        assert_eq!(session.snippet_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn snippet_cache_backstops_page_eviction() {
+        let doc = corpus();
+        let session = QuerySession::with_options(&doc, 1, 4096);
+        let config = ExtractConfig::with_bound(8);
+        // Fill the page cache past its capacity with distinct one-off
+        // queries, then re-issue the first query: the page entry may be
+        // gone but every per-result snippet must come from the snippet
+        // cache (zero fresh computations can't be asserted directly, so
+        // assert hits instead).
+        session.answer("texas apparel retailer", &config);
+        for i in 0..PAGE_CAPACITY + 8 {
+            // Distinct normalized queries (numbers tokenize fine).
+            session.answer(&format!("texas {i}"), &config);
+        }
+        let before = session.snippet_stats().hits;
+        session.answer("texas apparel retailer", &config);
+        let after = session.snippet_stats();
+        assert!(
+            after.hits > before,
+            "page was evicted, snippets must hit: {after:?}"
+        );
+    }
+
+    #[test]
+    fn empty_batch_and_single_worker_paths() {
+        let doc = corpus();
+        let session = QuerySession::with_options(&doc, 1, 8);
+        let config = ExtractConfig::default();
+        assert!(session.answer_batch(&[], &config).is_empty());
+        let one = session.answer_batch(&["store texas"], &config);
+        assert_eq!(one.len(), 1);
+        assert_eq!(render(&one), render(&[session.answer("store texas", &config)]));
+    }
+
+    #[test]
+    fn cache_disabled_session_still_answers() {
+        let doc = corpus();
+        let session = QuerySession::with_options(&doc, 4, 0);
+        let config = ExtractConfig::with_bound(6);
+        let a = session.answer("houston jeans", &config);
+        let b = session.answer("houston jeans", &config);
+        assert_eq!(render(&[a]), render(&[b]));
+        assert_eq!(session.page_stats().hits, 0, "capacity 0 never hits");
+        assert_eq!(session.snippet_stats().hits, 0);
+    }
+}
