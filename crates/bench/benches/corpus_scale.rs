@@ -1,0 +1,81 @@
+//! Criterion registration of the PR-3 corpus workload: streaming corpus
+//! build, sharded candidate routing vs the flat scan, and corpus query
+//! answering (the `corpus_scale` binary covers the full matrix and emits
+//! JSON).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extract::prelude::*;
+use extract_bench::corpus_scale::{build_corpus, quick_corpus_config};
+use extract_datagen::corpus::CorpusConfig;
+
+fn bench_corpus_scale(c: &mut Criterion) {
+    let cfg = quick_corpus_config();
+    let corpus = build_corpus(&cfg, extract::corpus::MAX_LABEL_SHARDS);
+    let unsharded = build_corpus(&cfg, 0);
+    let queries: Vec<&str> = CorpusConfig::query_mix()
+        .into_iter()
+        .filter(|q| !q.contains("name"))
+        .collect();
+    let resolve = |corpus: &Corpus| -> Vec<Vec<extract::index::TokenId>> {
+        queries
+            .iter()
+            .filter_map(|q| {
+                KeywordQuery::parse(q)
+                    .keywords()
+                    .iter()
+                    .map(|k| corpus.postings().token_id(k))
+                    .collect()
+            })
+            .collect()
+    };
+    let resolved = resolve(&corpus);
+    let resolved_flat = resolve(&unsharded);
+
+    let mut group = c.benchmark_group("corpus_scale");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(15);
+
+    group.bench_with_input(BenchmarkId::new("build-streaming", cfg.documents), &(), |b, _| {
+        b.iter(|| black_box(build_corpus(&cfg, extract::corpus::MAX_LABEL_SHARDS)));
+    });
+    group.bench_with_input(BenchmarkId::new("route-sharded", cfg.documents), &(), |b, _| {
+        b.iter(|| {
+            let mut docs = Vec::new();
+            let mut fanin = FanIn::default();
+            for ids in &resolved {
+                corpus.postings().candidate_docs(ids, &mut docs, &mut fanin);
+                black_box(docs.len());
+            }
+            black_box(fanin.total())
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("route-flat-scan", cfg.documents), &(), |b, _| {
+        b.iter(|| {
+            let mut docs = Vec::new();
+            let mut fanin = FanIn::default();
+            for ids in &resolved_flat {
+                unsharded.postings().candidate_docs_by_scan(ids, &mut docs, &mut fanin);
+                black_box(docs.len());
+            }
+            black_box(fanin.total())
+        });
+    });
+    let session = QuerySession::from_corpus_with_options(&corpus, 4, 4096);
+    let config = ExtractConfig::with_bound(8);
+    session.answer_corpus_batch(&queries, &config); // warm caches + engines
+    group.bench_with_input(BenchmarkId::new("answer-corpus-cached", cfg.documents), &(), |b, _| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(session.answer_corpus(q, &config));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus_scale);
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus_scale;
 pub mod throughput;
 
 use std::time::{Duration, Instant};

@@ -4,10 +4,12 @@
 //! instance-selection work per result is deterministic given the document,
 //! so recomputing it per call is pure waste (the ROADMAP's "snippet cache"
 //! item). [`SnippetCache`] memoizes fully-generated [`SnippetedResult`]s
-//! keyed by **normalized query string + result root + snippet config** —
-//! anything that can change the output. The document itself is not part of
-//! the key: a cache belongs to one [`crate::Extract`] (and therefore one
-//! immutable document); keep one cache per document.
+//! keyed by **normalized query string + document id + result root +
+//! snippet config** — anything that can change the output. The document id
+//! is `DocId` 0 for single-document sessions; corpus sessions key entries
+//! by the result's real [`extract_index::DocId`] so one shared cache can
+//! serve every document of a corpus. Document *content* is still not part
+//! of the key: a cache belongs to one immutable document set.
 //!
 //! Eviction is least-recently-used with a configurable capacity, built on
 //! the generic [`LruCache`] (which the serving layer also reuses for whole
@@ -19,18 +21,30 @@
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 
+use extract_index::DocId;
 use extract_search::KeywordQuery;
 use extract_xml::NodeId;
 
 use crate::pipeline::{ExtractConfig, SelectorKind, SnippetedResult};
 
 /// The lookup key: everything that determines a snippet's bytes.
+///
+/// Keyword **order** is part of the key on purpose: the IList is
+/// initialized with the query keywords in query order (paper §2), so under
+/// a tight size bound `"a b"` and `"b a"` can legitimately produce
+/// different snippets — normalizing order away would alias distinct
+/// outputs. Duplicates and case variants *are* normalized (by
+/// [`KeywordQuery`] itself), so `"Store texas"`, `"store, TEXAS"` and
+/// `"store texas store"` all share one entry.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Normalized query ([`KeywordQuery`] display form: lowercased tokens,
-    /// deduplicated, original order), so `"Store texas"` and `"store,
-    /// TEXAS"` share an entry.
+    /// deduplicated, original order).
     query: String,
+    /// The document the result root lives in (`DocId` 0 for single-document
+    /// sessions, so single-doc and corpus paths over the same document
+    /// share entries).
+    doc: DocId,
     /// The result root the snippet was generated for.
     root: NodeId,
     /// Snippet size bound.
@@ -42,10 +56,24 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// Build the key for one (query, result root, config) triple.
+    /// Build the key for one (query, result root, config) triple in a
+    /// single-document setting (document id 0).
     pub fn new(query: &KeywordQuery, root: NodeId, config: &ExtractConfig) -> CacheKey {
+        CacheKey::for_doc(query, DocId::from_index(0), root, config)
+    }
+
+    /// Build the key for one (query, document, result root, config)
+    /// quadruple — the corpus query path, where the same [`NodeId`] exists
+    /// in every document.
+    pub fn for_doc(
+        query: &KeywordQuery,
+        doc: DocId,
+        root: NodeId,
+        config: &ExtractConfig,
+    ) -> CacheKey {
         CacheKey {
             query: query.to_string(),
+            doc,
             root,
             size_bound: config.size_bound,
             max_dominant_features: config.max_dominant_features,
@@ -263,6 +291,76 @@ mod tests {
             &ExtractConfig::with_bound(3),
         );
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn key_normalizes_duplicates_case_and_separators() {
+        // Every constructor path and textual variant of the same keyword
+        // bag (in the same order) must share one cache entry.
+        let config = ExtractConfig::default();
+        let doc = setup();
+        let root = doc.root();
+        let canonical = CacheKey::new(&KeywordQuery::parse("store texas"), root, &config);
+        for variant in [
+            "store texas store",      // duplicate keyword
+            "STORE Texas",            // case-folded
+            "store;texas",            // separator variants
+            "  store ,, texas  ",     // whitespace noise
+            "store-texas",            // punctuation splits into two tokens
+        ] {
+            let key = CacheKey::new(&KeywordQuery::parse(variant), root, &config);
+            assert_eq!(key, canonical, "variant {variant:?}");
+        }
+        // `from_keywords` must agree with `parse` even when callers pass
+        // unnormalized multi-token strings (regression: it used to skip
+        // tokenization, aliasing ["a b"] with the two-keyword query "a b").
+        let from_kw =
+            CacheKey::new(&KeywordQuery::from_keywords(["Store texas"]), root, &config);
+        assert_eq!(from_kw, canonical);
+    }
+
+    #[test]
+    fn key_keeps_keyword_order_distinct() {
+        // Keyword order feeds the IList (paper §2) and can change the
+        // snippet under a tight bound, so order must stay in the key.
+        let config = ExtractConfig::default();
+        let doc = setup();
+        let a = CacheKey::new(&KeywordQuery::parse("store texas"), doc.root(), &config);
+        let b = CacheKey::new(&KeywordQuery::parse("texas store"), doc.root(), &config);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distinct_configs_and_docs_never_collide() {
+        let doc = setup();
+        let root = doc.root();
+        let q = KeywordQuery::parse("store texas");
+        let base = ExtractConfig::default();
+        let keys = [
+            CacheKey::new(&q, root, &base),
+            CacheKey::new(&q, root, &ExtractConfig { size_bound: 19, ..base.clone() }),
+            CacheKey::new(
+                &q,
+                root,
+                &ExtractConfig { max_dominant_features: Some(3), ..base.clone() },
+            ),
+            CacheKey::new(
+                &q,
+                root,
+                &ExtractConfig { selector: SelectorKind::Exact, ..base.clone() },
+            ),
+            CacheKey::for_doc(&q, extract_index::DocId::from_index(1), root, &base),
+        ];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "keys {i} and {j} collide");
+            }
+        }
+        // And DocId 0 is exactly the single-document key.
+        assert_eq!(
+            CacheKey::for_doc(&q, extract_index::DocId::from_index(0), root, &base),
+            CacheKey::new(&q, root, &base)
+        );
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! The multi-document corpus layer of the eXtract reproduction.
+//!
+//! The paper evaluates on whole collections (DBLP-scale, 10^7+ nodes); the
+//! per-document [`extract_index::XmlIndex`] alone cannot answer "which
+//! documents should this query even run on?". This crate owns many
+//! documents behind stable [`DocId`]s and a corpus-wide, label-sharded
+//! postings structure:
+//!
+//! * [`CorpusBuilder`] — **streaming** ingestion: each added document is
+//!   tokenized and folded into the shared [`ShardedPostings`] arena
+//!   immediately ([`CorpusBuilder::add_document`] /
+//!   [`CorpusBuilder::add_parsed`]); there is no "collect everything, then
+//!   index" phase, so a DBLP-scale generator run builds in one pass with
+//!   peak memory equal to the retained documents plus their postings.
+//!   A document that fails to parse is **rejected softly**: the builder
+//!   reports the error and stays usable for every following document.
+//! * [`Corpus`] — the immutable result: documents, names, the sharded
+//!   postings, and query-routing via [`Corpus::candidate_docs`] (which
+//!   documents contain every keyword of a query, plus the [`FanIn`] work
+//!   counters the corpus benchmark reports).
+//!
+//! The query path itself (per-document SLCA + XSeek snippet generation,
+//! merged across documents) lives in the umbrella crate's `QuerySession`,
+//! which wraps a [`Corpus`] with lazily-built per-document engines.
+//!
+//! ```
+//! use extract_corpus::CorpusBuilder;
+//!
+//! let mut b = CorpusBuilder::new();
+//! b.add_document("stores", "<stores><store><name>Levis</name>\
+//!     <state>Texas</state></store></stores>").unwrap();
+//! b.add_document("bad", "<oops>").unwrap_err(); // soft-rejected
+//! b.add_document("dblp", "<dblp><paper><title>texas search</title>\
+//!     </paper></dblp>").unwrap();
+//! let corpus = b.finish();
+//! assert_eq!(corpus.len(), 2);
+//! let (docs, _fanin) = corpus.candidate_docs_str(&["texas"]);
+//! assert_eq!(docs.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use extract_index::sharded::{ShardedPostings, ShardedPostingsBuilder};
+use extract_xml::{Document, ParseOptions};
+
+pub use extract_index::sharded::{DocId, FanIn, Posting, MAX_LABEL_SHARDS};
+pub use extract_index::TokenId;
+
+/// Why a document was rejected during ingestion.
+#[derive(Debug)]
+pub struct RejectedDocument {
+    /// The name the caller supplied.
+    pub name: String,
+    /// The parse error.
+    pub error: extract_xml::Error,
+}
+
+impl std::fmt::Display for RejectedDocument {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "document `{}` rejected: {}", self.name, self.error)
+    }
+}
+
+impl std::error::Error for RejectedDocument {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Ingestion options.
+#[derive(Debug, Clone)]
+pub struct CorpusOptions {
+    /// Maximum dedicated label shards (see
+    /// [`extract_index::sharded::MAX_LABEL_SHARDS`]); `0` builds the
+    /// unsharded-arena baseline.
+    pub max_label_shards: usize,
+    /// Parser options for [`CorpusBuilder::add_document`].
+    pub parse: ParseOptions,
+}
+
+impl Default for CorpusOptions {
+    fn default() -> Self {
+        CorpusOptions { max_label_shards: MAX_LABEL_SHARDS, parse: ParseOptions::default() }
+    }
+}
+
+/// One retained document with its caller-supplied name.
+#[derive(Debug)]
+struct DocEntry {
+    name: String,
+    doc: Document,
+}
+
+/// Streaming corpus builder: add documents one at a time, then
+/// [`CorpusBuilder::finish`].
+#[derive(Debug)]
+pub struct CorpusBuilder {
+    options: CorpusOptions,
+    postings: ShardedPostingsBuilder,
+    docs: Vec<DocEntry>,
+    total_nodes: usize,
+    rejected: Vec<String>,
+}
+
+impl Default for CorpusBuilder {
+    fn default() -> Self {
+        CorpusBuilder::new()
+    }
+}
+
+impl CorpusBuilder {
+    /// A builder with default [`CorpusOptions`].
+    pub fn new() -> CorpusBuilder {
+        CorpusBuilder::with_options(CorpusOptions::default())
+    }
+
+    /// A builder with explicit options.
+    pub fn with_options(options: CorpusOptions) -> CorpusBuilder {
+        let postings = ShardedPostingsBuilder::with_label_shards(options.max_label_shards);
+        CorpusBuilder { options, postings, docs: Vec::new(), total_nodes: 0, rejected: Vec::new() }
+    }
+
+    /// Parse `xml` and fold it in. A malformed document is rejected
+    /// **softly**: the error is returned (and recorded in
+    /// [`CorpusBuilder::rejected`]) but the builder remains fully usable —
+    /// one bad file cannot poison a corpus ingestion run.
+    pub fn add_document(&mut self, name: &str, xml: &str) -> Result<DocId, RejectedDocument> {
+        match Document::parse_with(xml, &self.options.parse) {
+            Ok(doc) => Ok(self.add_parsed(name, doc)),
+            Err(error) => {
+                self.rejected.push(name.to_string());
+                Err(RejectedDocument { name: name.to_string(), error })
+            }
+        }
+    }
+
+    /// Fold an already-parsed document in (generators hand documents over
+    /// directly; no serialization round-trip).
+    pub fn add_parsed(&mut self, name: &str, doc: Document) -> DocId {
+        let id = self.postings.add_document(&doc);
+        debug_assert_eq!(id.index(), self.docs.len());
+        self.total_nodes += doc.len();
+        self.docs.push(DocEntry { name: name.to_string(), doc });
+        id
+    }
+
+    /// Documents folded in so far.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether nothing has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Total nodes (elements + text) across the documents added so far.
+    pub fn total_nodes(&self) -> usize {
+        self.total_nodes
+    }
+
+    /// Names of the documents rejected so far (in rejection order).
+    pub fn rejected(&self) -> &[String] {
+        &self.rejected
+    }
+
+    /// Finalize into an immutable [`Corpus`].
+    pub fn finish(self) -> Corpus {
+        Corpus {
+            postings: self.postings.finish(),
+            docs: self.docs,
+            total_nodes: self.total_nodes,
+        }
+    }
+}
+
+/// An immutable multi-document corpus: documents behind stable [`DocId`]s
+/// plus the corpus-wide sharded postings.
+#[derive(Debug)]
+pub struct Corpus {
+    postings: ShardedPostings,
+    docs: Vec<DocEntry>,
+    total_nodes: usize,
+}
+
+impl Corpus {
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the corpus holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Total nodes (elements + text) across all documents.
+    pub fn total_nodes(&self) -> usize {
+        self.total_nodes
+    }
+
+    /// The document behind `id`.
+    ///
+    /// # Panics
+    /// If `id` did not come from this corpus.
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.index()].doc
+    }
+
+    /// The caller-supplied name of `id`.
+    pub fn name(&self, id: DocId) -> &str {
+        &self.docs[id.index()].name
+    }
+
+    /// Iterate `(id, name, document)` in [`DocId`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &str, &Document)> {
+        self.docs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (DocId::from_index(i), e.name.as_str(), &e.doc))
+    }
+
+    /// All ids in order.
+    pub fn doc_ids(&self) -> impl Iterator<Item = DocId> {
+        (0..self.docs.len()).map(DocId::from_index)
+    }
+
+    /// The corpus-wide label-sharded postings.
+    pub fn postings(&self) -> &ShardedPostings {
+        &self.postings
+    }
+
+    /// The documents containing **every** one of the (already normalized)
+    /// `keywords`, in ascending [`DocId`] order, plus the index-entry
+    /// fan-in the routing touched. A keyword absent from the whole corpus
+    /// yields no candidates.
+    pub fn candidate_docs_str(&self, keywords: &[&str]) -> (Vec<DocId>, FanIn) {
+        let mut fanin = FanIn::default();
+        let mut out = Vec::new();
+        let ids: Option<Vec<TokenId>> =
+            keywords.iter().map(|k| self.postings.token_id(k)).collect();
+        match ids {
+            Some(ids) if !ids.is_empty() => {
+                self.postings.candidate_docs(&ids, &mut out, &mut fanin);
+            }
+            _ => {}
+        }
+        (out, fanin)
+    }
+
+    /// Estimated heap footprint in bytes: sharded postings plus retained
+    /// documents' arenas.
+    pub fn memory_footprint(&self) -> usize {
+        self.postings.memory_footprint()
+            + self.docs.iter().map(|e| e.doc.memory_footprint() + e.name.len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STORES: &str = "<stores><store><name>Levis</name><state>Texas</state></store>\
+         <store><name>Gap</name><state>Ohio</state></store></stores>";
+    const DBLP: &str = "<dblp><paper><title>texas keyword search</title>\
+         <venue>VLDB</venue></paper></dblp>";
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        b.add_document("stores", STORES).unwrap();
+        b.add_document("dblp", DBLP).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids_in_order() {
+        let mut b = CorpusBuilder::new();
+        let a = b.add_document("a", STORES).unwrap();
+        let c = b.add_document("b", DBLP).unwrap();
+        assert_eq!(a.index(), 0);
+        assert_eq!(c.index(), 1);
+        assert_eq!(b.len(), 2);
+        assert!(b.total_nodes() > 0);
+        let corpus = b.finish();
+        assert_eq!(corpus.name(a), "a");
+        assert_eq!(corpus.name(c), "b");
+        assert_eq!(corpus.doc(a).label_str(corpus.doc(a).root()), Some("stores"));
+    }
+
+    #[test]
+    fn malformed_document_is_rejected_softly() {
+        let mut b = CorpusBuilder::new();
+        b.add_document("ok-1", STORES).unwrap();
+        let err = b.add_document("broken", "<a><b></a>").unwrap_err();
+        assert_eq!(err.name, "broken");
+        assert!(err.to_string().contains("broken"));
+        assert!(std::error::Error::source(&err).is_some());
+        // The builder keeps working and the bad document left no trace.
+        let id = b.add_document("ok-2", DBLP).unwrap();
+        assert_eq!(id.index(), 1, "rejected docs consume no DocId");
+        assert_eq!(b.rejected(), &["broken".to_string()]);
+        let corpus = b.finish();
+        assert_eq!(corpus.len(), 2);
+        let (docs, _) = corpus.candidate_docs_str(&["texas"]);
+        assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn candidate_docs_route_queries() {
+        let corpus = corpus();
+        let (both, _) = corpus.candidate_docs_str(&["texas"]);
+        assert_eq!(both.len(), 2);
+        let (stores_only, _) = corpus.candidate_docs_str(&["texas", "store"]);
+        assert_eq!(stores_only, vec![DocId::from_index(0)]);
+        let (none, _) = corpus.candidate_docs_str(&["texas", "zzz"]);
+        assert!(none.is_empty());
+        let (empty, _) = corpus.candidate_docs_str(&[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn iteration_and_footprint() {
+        let corpus = corpus();
+        let names: Vec<&str> = corpus.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["stores", "dblp"]);
+        assert_eq!(corpus.doc_ids().count(), 2);
+        assert!(corpus.memory_footprint() > 0);
+        assert_eq!(
+            corpus.total_nodes(),
+            corpus.iter().map(|(_, _, d)| d.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let corpus = CorpusBuilder::new().finish();
+        assert!(corpus.is_empty());
+        let (docs, _) = corpus.candidate_docs_str(&["anything"]);
+        assert!(docs.is_empty());
+    }
+
+    #[test]
+    fn unsharded_option_builds_one_shard() {
+        let mut b = CorpusBuilder::with_options(CorpusOptions {
+            max_label_shards: 0,
+            ..Default::default()
+        });
+        b.add_document("stores", STORES).unwrap();
+        let corpus = b.finish();
+        assert_eq!(corpus.postings().shard_count(), 1);
+        let (docs, _) = corpus.candidate_docs_str(&["texas"]);
+        assert_eq!(docs.len(), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests: the corpus-built sharded postings must be **exactly**
+//! equivalent to building every document standalone — same postings per
+//! `(DocId, token)`, same vocabulary coverage, and identical candidate
+//! sets whichever routing strategy computes them.
+
+use extract_corpus::{CorpusBuilder, CorpusOptions, DocId, FanIn};
+use extract_index::{tokenize, InvertedIndex, TokenId};
+use extract_xml::{DocBuilder, Document};
+use proptest::prelude::*;
+
+const LABELS: [&str; 5] = ["store", "item", "name", "city", "tag"];
+const VALUES: [&str; 6] = ["texas", "houston", "gold watch", "red Fox", "a-1", ""];
+
+#[derive(Debug, Clone)]
+struct SpecNode {
+    label: usize,
+    value: Option<usize>,
+    children: Vec<SpecNode>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = SpecNode> {
+    let leaf = (0usize..LABELS.len(), proptest::option::of(0usize..VALUES.len()))
+        .prop_map(|(label, value)| SpecNode { label, value, children: Vec::new() });
+    leaf.prop_recursive(3, 24, 5, |inner| {
+        (0usize..LABELS.len(), proptest::collection::vec(inner, 0..5)).prop_map(
+            |(label, children)| SpecNode { label, value: None, children },
+        )
+    })
+}
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<SpecNode>> {
+    proptest::collection::vec(spec_strategy(), 1..7)
+}
+
+fn build_doc(spec: &SpecNode) -> Document {
+    let mut b = DocBuilder::new("db");
+    push(&mut b, spec);
+    b.build()
+}
+
+fn push(b: &mut DocBuilder, s: &SpecNode) {
+    b.begin(LABELS[s.label]);
+    if let Some(v) = s.value {
+        if !VALUES[v].is_empty() {
+            b.text(VALUES[v]);
+        }
+    }
+    for c in &s.children {
+        push(b, c);
+    }
+    b.end();
+}
+
+/// Every token the spec vocabulary can produce, plus a guaranteed miss.
+fn probe_tokens() -> Vec<String> {
+    let mut tokens: Vec<String> = Vec::new();
+    for l in LABELS.iter().chain(["db"].iter()) {
+        tokens.extend(tokenize::tokenize(l));
+    }
+    for v in VALUES {
+        tokens.extend(tokenize::tokenize(v));
+    }
+    tokens.push("zzz-not-there".into());
+    tokens.sort();
+    tokens.dedup();
+    tokens
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tentpole equivalence: for every `(document, token)`, the corpus's
+    /// sharded postings reproduce the standalone per-document
+    /// `InvertedIndex` byte for byte — across shard budgets, including the
+    /// unsharded baseline.
+    #[test]
+    fn sharded_postings_equal_per_document_builds(specs in corpus_strategy()) {
+        let docs: Vec<Document> = specs.iter().map(build_doc).collect();
+        for max_shards in [0usize, 3, 63] {
+            let mut builder = CorpusBuilder::with_options(CorpusOptions {
+                max_label_shards: max_shards,
+                ..Default::default()
+            });
+            for (i, d) in docs.iter().enumerate() {
+                builder.add_parsed(&format!("doc-{i}"), d.clone());
+            }
+            let corpus = builder.finish();
+            let sp = corpus.postings();
+            let mut nodes = Vec::new();
+            let mut fanin = FanIn::default();
+            let mut corpus_total = 0usize;
+            let mut solo_total = 0usize;
+            for (i, d) in docs.iter().enumerate() {
+                let solo = InvertedIndex::build(d);
+                solo_total += solo.total_postings();
+                for token in probe_tokens() {
+                    let expected = solo.postings(&token);
+                    match sp.token_id(&token) {
+                        Some(id) => {
+                            sp.postings_in_doc(id, DocId::from_index(i), &mut nodes, &mut fanin);
+                            prop_assert_eq!(
+                                nodes.as_slice(), expected,
+                                "token {} doc {} shards {}", token, i, max_shards
+                            );
+                            corpus_total += nodes.len();
+                        }
+                        None => {
+                            prop_assert!(
+                                expected.is_empty(),
+                                "token {} indexed solo but missing from corpus", token
+                            );
+                        }
+                    }
+                }
+            }
+            // Coverage: the probes enumerate the whole generator vocabulary,
+            // so summed per-doc slices must account for every posting.
+            prop_assert_eq!(corpus_total, sp.total_postings(), "shards {}", max_shards);
+            prop_assert_eq!(solo_total, sp.total_postings());
+        }
+    }
+
+    /// Candidate routing equivalence: the directory-driven sharded path,
+    /// the flat-scan baseline, and a from-scratch reference model all
+    /// agree on which documents contain every keyword. (The fan-in
+    /// *reduction* is a property of realistic corpora — long posting
+    /// lists — and is measured by the corpus benchmark, not asserted on
+    /// these tiny generated trees.)
+    #[test]
+    fn candidate_docs_agree_with_reference(specs in corpus_strategy()) {
+        let docs: Vec<Document> = specs.iter().map(build_doc).collect();
+        let mut builder = CorpusBuilder::new();
+        for (i, d) in docs.iter().enumerate() {
+            builder.add_parsed(&format!("doc-{i}"), d.clone());
+        }
+        let corpus = builder.finish();
+        let sp = corpus.postings();
+        let solo: Vec<InvertedIndex> = docs.iter().map(InvertedIndex::build).collect();
+        let queries: Vec<Vec<&str>> = vec![
+            vec!["store"],
+            vec!["texas"],
+            vec!["store", "texas"],
+            vec!["city", "houston"],
+            vec!["gold", "watch"],
+            vec!["tag", "fox", "1"],
+            vec!["db"],
+        ];
+        for q in queries {
+            let ids: Option<Vec<TokenId>> = q.iter().map(|k| sp.token_id(k)).collect();
+            // Reference: docs where every keyword has standalone postings.
+            let expected: Vec<DocId> = (0..docs.len())
+                .filter(|&i| q.iter().all(|k| !solo[i].postings(k).is_empty()))
+                .map(DocId::from_index)
+                .collect();
+            match ids {
+                None => {
+                    // Some keyword absent corpus-wide: reference must be
+                    // empty too (a token unknown to the corpus is unknown
+                    // to every document).
+                    prop_assert!(expected.is_empty(), "query {:?}", q);
+                }
+                Some(ids) => {
+                    let (mut a, mut b) = (Vec::new(), Vec::new());
+                    let mut fa = FanIn::default();
+                    let mut fb = FanIn::default();
+                    sp.candidate_docs(&ids, &mut a, &mut fa);
+                    sp.candidate_docs_by_scan(&ids, &mut b, &mut fb);
+                    prop_assert_eq!(&a, &expected, "sharded path, query {:?}", q);
+                    prop_assert_eq!(&b, &expected, "scan path, query {:?}", q);
+                    prop_assert!(fa.directory_touched > 0, "routing did no work");
+                    prop_assert!(fb.postings_touched > 0, "scan did no work");
+                }
+            }
+        }
+    }
+
+    /// Streaming ingestion is order-insensitive in the only way that
+    /// matters: a document's postings don't depend on what was ingested
+    /// before it.
+    #[test]
+    fn per_document_postings_independent_of_ingestion_order(specs in corpus_strategy()) {
+        let docs: Vec<Document> = specs.iter().map(build_doc).collect();
+        let mut fwd = CorpusBuilder::new();
+        for (i, d) in docs.iter().enumerate() {
+            fwd.add_parsed(&format!("doc-{i}"), d.clone());
+        }
+        let mut rev = CorpusBuilder::new();
+        for (i, d) in docs.iter().enumerate().rev() {
+            rev.add_parsed(&format!("doc-{i}"), d.clone());
+        }
+        let (cf, cr) = (fwd.finish(), rev.finish());
+        let n = docs.len();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut fanin = FanIn::default();
+        for (i, _) in docs.iter().enumerate() {
+            for token in probe_tokens() {
+                let fa = cf.postings().token_id(&token);
+                let fb = cr.postings().token_id(&token);
+                prop_assert_eq!(fa.is_some(), fb.is_some(), "token {}", token);
+                let (Some(fa), Some(fb)) = (fa, fb) else { continue };
+                cf.postings().postings_in_doc(fa, DocId::from_index(i), &mut a, &mut fanin);
+                cr.postings()
+                    .postings_in_doc(fb, DocId::from_index(n - 1 - i), &mut b, &mut fanin);
+                prop_assert_eq!(&a, &b, "token {} doc {}", token, i);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Multi-document corpus workloads.
+//!
+//! The paper evaluates on whole collections; the single-document
+//! generators in this crate top out around 10^5 nodes per document. This
+//! module composes them into **corpora**: many documents of mixed flavour
+//! (bibliography / retail / auction), each sized by a per-document node
+//! target, yielded **one at a time** so the corpus builder's streaming
+//! ingestion never holds more than one pending document — DBLP-scale runs
+//! (10^6–10^7 nodes across hundreds of documents) fit in CI memory.
+//!
+//! ```
+//! use extract_datagen::corpus::CorpusConfig;
+//!
+//! let cfg = CorpusConfig { documents: 6, target_nodes_per_doc: 400, seed: 7 };
+//! let mut total = 0usize;
+//! for (name, doc) in cfg.documents() {
+//!     assert!(!name.is_empty());
+//!     total += doc.len();
+//! }
+//! assert!(total > 6 * 200, "documents are near their node target");
+//! ```
+
+use extract_xml::Document;
+
+use crate::auction::AuctionConfig;
+use crate::dblp::DblpConfig;
+use crate::retailer::RetailerConfig;
+
+/// Approximate nodes contributed by one generated DBLP paper (elements +
+/// text across title/year/venue/authors/pages).
+const NODES_PER_PAPER: usize = 16;
+
+/// Approximate nodes per generated retailer subtree at the store/clothes
+/// ranges [`CorpusConfig`] uses.
+const NODES_PER_RETAILER: usize = 190;
+
+/// The three document flavours a mixed corpus rotates through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocFlavor {
+    /// A `<dblp>` bibliography ([`crate::dblp`]).
+    Dblp,
+    /// A `<retailers>` retail database ([`crate::retailer`]).
+    Retailer,
+    /// An XMark-flavoured `<site>` auction document ([`crate::auction`]).
+    Auction,
+}
+
+impl DocFlavor {
+    /// The rotation order of a mixed corpus.
+    pub const ALL: [DocFlavor; 3] = [DocFlavor::Dblp, DocFlavor::Retailer, DocFlavor::Auction];
+
+    /// Short name used in generated document names.
+    pub fn name(self) -> &'static str {
+        match self {
+            DocFlavor::Dblp => "dblp",
+            DocFlavor::Retailer => "retailer",
+            DocFlavor::Auction => "auction",
+        }
+    }
+}
+
+/// Parameters of a mixed multi-document corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of documents.
+    pub documents: usize,
+    /// Node target per document (elements + text, within roughly ±40%).
+    pub target_nodes_per_doc: usize,
+    /// Base RNG seed; document `i` derives its own seed from it.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig { documents: 24, target_nodes_per_doc: 2_000, seed: 0xC0D }
+    }
+}
+
+impl CorpusConfig {
+    /// The flavour of document `i` (rotating through [`DocFlavor::ALL`]).
+    pub fn flavor_of(&self, i: usize) -> DocFlavor {
+        DocFlavor::ALL[i % DocFlavor::ALL.len()]
+    }
+
+    /// Generate document `i` of the corpus: `(name, document)`.
+    /// Deterministic given `(self, i)`.
+    pub fn document(&self, i: usize) -> (String, Document) {
+        let flavor = self.flavor_of(i);
+        let seed = self.seed ^ ((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let target = self.target_nodes_per_doc;
+        let doc = match flavor {
+            DocFlavor::Dblp => DblpConfig {
+                papers: (target / NODES_PER_PAPER).max(1),
+                authors_per_paper: (1, 4),
+                venue_skew: 1.2,
+                seed,
+            }
+            .generate(),
+            DocFlavor::Retailer => RetailerConfig {
+                retailers: (target / NODES_PER_RETAILER).max(1),
+                stores_per_retailer: (2, 4),
+                clothes_per_store: (5, 10),
+                category_skew: 1.0,
+                seed,
+            }
+            .generate(),
+            DocFlavor::Auction => AuctionConfig::with_target_nodes(target, seed).generate(),
+        };
+        (format!("{}-{:04}", flavor.name(), i), doc)
+    }
+
+    /// Lazily yield every document of the corpus in order — the streaming
+    /// ingestion path: at most one generated document is alive between
+    /// iterator steps, so the corpus builder's fold is the only thing that
+    /// accumulates.
+    pub fn documents(&self) -> impl Iterator<Item = (String, Document)> + '_ {
+        (0..self.documents).map(|i| self.document(i))
+    }
+
+    /// A mixed-document query workload for this corpus shape: per-flavour
+    /// rare anchors, cross-flavour broad terms, and guaranteed misses.
+    pub fn query_mix() -> Vec<&'static str> {
+        vec![
+            // dblp-flavoured
+            "keyword search xml",
+            "paper sigmod",
+            "author vldb",
+            // retailer-flavoured
+            "houston jeans",
+            "store texas",
+            "woman outwear",
+            // auction-flavoured
+            "open auction item",
+            "gold watch seller",
+            // cross-flavour broad terms ("name" spans all three flavours)
+            "name",
+            "search name",
+            // guaranteed miss
+            "zzz missing everywhere",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_and_names_are_stable() {
+        let cfg = CorpusConfig { documents: 7, target_nodes_per_doc: 300, seed: 1 };
+        let names: Vec<String> = cfg.documents().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), 7);
+        assert!(names[0].starts_with("dblp-"));
+        assert!(names[1].starts_with("retailer-"));
+        assert!(names[2].starts_with("auction-"));
+        assert!(names[3].starts_with("dblp-"));
+        // Deterministic across runs.
+        let again: Vec<String> = cfg.documents().map(|(n, _)| n).collect();
+        assert_eq!(names, again);
+    }
+
+    #[test]
+    fn documents_are_deterministic_and_sized() {
+        let cfg = CorpusConfig { documents: 6, target_nodes_per_doc: 1_500, seed: 42 };
+        for i in 0..cfg.documents {
+            let (name_a, doc_a) = cfg.document(i);
+            let (name_b, doc_b) = cfg.document(i);
+            assert_eq!(name_a, name_b);
+            assert_eq!(doc_a.to_xml_string(), doc_b.to_xml_string(), "doc {i}");
+            let nodes = doc_a.len();
+            assert!(
+                nodes > cfg.target_nodes_per_doc / 3 && nodes < cfg.target_nodes_per_doc * 2,
+                "doc {i}: {nodes} nodes vs target {}",
+                cfg.target_nodes_per_doc
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CorpusConfig { seed: 1, ..Default::default() }.document(0).1;
+        let b = CorpusConfig { seed: 2, ..Default::default() }.document(0).1;
+        assert_ne!(a.to_xml_string(), b.to_xml_string());
+    }
+
+    #[test]
+    fn query_mix_covers_every_flavor() {
+        let qs = CorpusConfig::query_mix();
+        assert!(qs.len() >= 8);
+        assert!(qs.iter().any(|q| q.contains("sigmod")));
+        assert!(qs.iter().any(|q| q.contains("houston")));
+        assert!(qs.iter().any(|q| q.contains("auction")));
+        assert!(qs.iter().any(|q| q.contains("zzz")));
+    }
+}

@@ -18,6 +18,8 @@
 //!   keys), the classic XML-keyword-search evaluation corpus shape.
 //! * [`auction`] — an XMark-flavoured auction site document with a size
 //!   dial, used by the performance experiments.
+//! * [`corpus`] — mixed multi-document corpora (dblp / retailer / auction
+//!   rotation) yielded one document at a time for streaming ingestion.
 //! * [`vocab`] / [`rng`] — word pools and deterministic sampling helpers.
 //!
 //! All generators are deterministic given a seed.
@@ -26,6 +28,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod auction;
+pub mod corpus;
 pub mod dblp;
 pub mod movies;
 pub mod retailer;

@@ -184,9 +184,10 @@ impl InvertedIndex {
 }
 
 /// Per-token bookkeeping estimate used by
-/// [`InvertedIndex::memory_footprint`]: two `Box<str>` headers (16 bytes
-/// each on 64-bit) plus ~48 bytes of hash-map entry overhead.
-pub const TOKEN_TABLE_OVERHEAD: usize = 80;
+/// [`InvertedIndex::memory_footprint`]: the workspace-wide
+/// [`extract_xml::SYMBOL_ENTRY_OVERHEAD`] (two `Box<str>` headers plus
+/// hash-map entry overhead), aliased here for the index-facing name.
+pub const TOKEN_TABLE_OVERHEAD: usize = extract_xml::SYMBOL_ENTRY_OVERHEAD;
 
 #[cfg(test)]
 mod tests {

@@ -13,7 +13,10 @@
 //!   document order (an element matches a token if its label or the text it
 //!   directly contains produces that token);
 //! * [`LabelIndex`] — label → element nodes in document order;
-//! * [`XmlIndex`] — the facade bundling all of the above for one document.
+//! * [`XmlIndex`] — the facade bundling all of the above for one document;
+//! * [`sharded`] — label-sharded multi-document postings with a streaming
+//!   builder and per-token document directory, the corpus-scale layer
+//!   consumed by `extract-corpus`.
 //!
 //! ```
 //! use extract_xml::Document;
@@ -33,11 +36,13 @@
 pub mod dewey_store;
 pub mod inverted;
 pub mod labels;
+pub mod sharded;
 pub mod tokenize;
 
 pub use dewey_store::DeweyStore;
 pub use inverted::{InvertedIndex, TokenId};
 pub use labels::LabelIndex;
+pub use sharded::{DocId, FanIn, Posting, ShardedPostings, ShardedPostingsBuilder};
 pub use tokenize::{tokenize, tokens_of};
 
 use extract_xml::{Document, NodeId};

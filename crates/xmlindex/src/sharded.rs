@@ -1,0 +1,698 @@
+//! Label-sharded, multi-document postings — the corpus-scale index layer.
+//!
+//! A single [`crate::InvertedIndex`] serves one document. At collection
+//! scale (the paper's DBLP-sized evaluation, 10^7+ nodes across many
+//! documents) a query must first decide *which documents* to run SLCA and
+//! snippet generation on; doing that by scanning one flat corpus-wide
+//! posting list per keyword touches every posting of every keyword. This
+//! module provides [`ShardedPostings`], the structure the `extract-corpus`
+//! crate builds and queries:
+//!
+//! * **Documents** are identified by dense [`DocId`]s in insertion order;
+//!   each posting is a `(DocId, NodeId)` pair ([`Posting`]).
+//! * **Streaming build**: [`ShardedPostingsBuilder::add_document`] folds
+//!   one document at a time into per-shard buffers — there is no
+//!   "collect all documents, then index" phase, so corpus ingestion is
+//!   one pass and peak memory is the postings themselves.
+//! * **Label sharding**: postings are partitioned by the *label of the
+//!   posting element* (the first [`MAX_LABEL_SHARDS`] distinct labels get
+//!   their own shard; the long tail shares a catch-all shard). Every token
+//!   carries a bitmap of the shards it occurs in, so per-document posting
+//!   extraction probes only the shards a keyword actually hits.
+//! * **Doc directory**: per token, the sorted list of documents containing
+//!   it. Candidate generation ([`ShardedPostings::candidate_docs`])
+//!   intersects directories rarest-keyword-first instead of scanning
+//!   postings, and [`FanIn`] counts exactly how many index entries each
+//!   strategy touched — the number the corpus benchmark reports.
+//!
+//! The per-token, per-document posting slices reproduced by
+//! [`ShardedPostings::postings_in_doc`] are **identical** to what a
+//! standalone per-document [`crate::InvertedIndex`] build produces (pinned
+//! by the equivalence proptests in `extract-corpus`).
+
+use std::collections::HashMap;
+
+use extract_xml::{Document, NodeId, SymbolTable};
+
+use crate::inverted::TokenId;
+use crate::tokenize::tokens_of;
+
+/// A document's dense id within one corpus (assigned in insertion order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(u32);
+
+impl DocId {
+    /// The dense index of this document in its corpus.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct from a raw index. The caller must ensure it came from
+    /// [`DocId::index`] on the same corpus.
+    pub fn from_index(index: usize) -> DocId {
+        DocId(index as u32)
+    }
+}
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// One corpus posting: a matching element in a specific document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Posting {
+    /// The document.
+    pub doc: DocId,
+    /// The matching element within that document.
+    pub node: NodeId,
+}
+
+/// Maximum number of dedicated label shards. Labels beyond the first
+/// `MAX_LABEL_SHARDS` distinct ones share the catch-all shard `0`, so a
+/// token's shard membership always fits one `u64` bitmap.
+pub const MAX_LABEL_SHARDS: usize = 63;
+
+/// Work counters for candidate generation and posting extraction: how many
+/// index entries (arena postings + directory entries) a query touched, and
+/// how the shard bitmap paid off. This is the "SLCA candidate fan-in"
+/// metric the corpus benchmark compares sharded vs unsharded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FanIn {
+    /// Posting-arena entries read.
+    pub postings_touched: u64,
+    /// Doc-directory entries read (including binary-search probes).
+    pub directory_touched: u64,
+    /// Shard ranges binary-searched for postings.
+    pub shards_probed: u64,
+    /// Shard probes avoided by the per-token shard bitmap.
+    pub shards_skipped: u64,
+}
+
+impl FanIn {
+    /// Total index entries touched — the headline fan-in number.
+    pub fn total(&self) -> u64 {
+        self.postings_touched + self.directory_touched
+    }
+}
+
+/// One label shard: its slice of the corpus postings, token-major.
+#[derive(Debug, Default)]
+struct Shard {
+    /// `(token, start)` pairs sorted by token; a token's postings live in
+    /// `arena[start .. next_start]`. A final sentinel `(u32::MAX, len)`
+    /// closes the last range.
+    token_starts: Vec<(u32, u32)>,
+    /// Postings sorted by `(token, doc, node)`.
+    arena: Vec<Posting>,
+}
+
+impl Shard {
+    /// The posting range of `token` in this shard (empty if absent).
+    fn range(&self, token: u32) -> &[Posting] {
+        match self.token_starts.binary_search_by_key(&token, |&(t, _)| t) {
+            Ok(i) => {
+                let start = self.token_starts[i].1 as usize;
+                let end = self.token_starts[i + 1].1 as usize;
+                &self.arena[start..end]
+            }
+            Err(_) => &[],
+        }
+    }
+}
+
+/// Label-sharded corpus postings with a per-token document directory. Built
+/// by [`ShardedPostingsBuilder`]; immutable afterwards.
+#[derive(Debug)]
+pub struct ShardedPostings {
+    /// Corpus-wide token interner.
+    tokens: SymbolTable,
+    /// Per token: bitmap of the shards it occurs in.
+    token_shards: Vec<u64>,
+    /// Per token: `doc_dir_starts[t]..doc_dir_starts[t+1]` indexes
+    /// `doc_dir` — the sorted distinct documents containing the token.
+    doc_dir_starts: Vec<u32>,
+    doc_dir: Vec<DocId>,
+    shards: Vec<Shard>,
+    /// Shard-key labels in shard order (`shard_labels[0]` is the catch-all
+    /// and has no single label).
+    shard_labels: Vec<String>,
+    doc_count: u32,
+    total_postings: usize,
+}
+
+impl ShardedPostings {
+    /// The id of `token` if it occurs anywhere in the corpus. `token` must
+    /// already be normalized (see [`crate::tokenize`]).
+    pub fn token_id(&self, token: &str) -> Option<TokenId> {
+        self.tokens.get(token).map(|s| TokenId::from_index(s.index()))
+    }
+
+    /// Number of distinct tokens in the corpus.
+    pub fn vocabulary_size(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Number of documents folded in.
+    pub fn doc_count(&self) -> usize {
+        self.doc_count as usize
+    }
+
+    /// Total `(token, document, element)` postings across all shards.
+    pub fn total_postings(&self) -> usize {
+        self.total_postings
+    }
+
+    /// Number of shards (dedicated label shards + the catch-all).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard-key label of shard `i` (`None` for the catch-all shard 0).
+    pub fn shard_label(&self, i: usize) -> Option<&str> {
+        if i == 0 {
+            None
+        } else {
+            self.shard_labels.get(i).map(|s| s.as_str())
+        }
+    }
+
+    /// Number of distinct documents containing `token`.
+    pub fn doc_frequency(&self, token: TokenId) -> usize {
+        self.docs_for(token).len()
+    }
+
+    /// Sorted distinct documents containing `token` (empty for foreign
+    /// ids).
+    pub fn docs_for(&self, token: TokenId) -> &[DocId] {
+        let t = token.index();
+        if t + 1 >= self.doc_dir_starts.len() {
+            return &[];
+        }
+        &self.doc_dir[self.doc_dir_starts[t] as usize..self.doc_dir_starts[t + 1] as usize]
+    }
+
+    /// Total corpus postings of `token` across all shards (what a flat
+    /// unsharded arena would hand a scan).
+    pub fn corpus_frequency(&self, token: TokenId) -> usize {
+        let t = token.index();
+        let Some(&bitmap) = self.token_shards.get(t) else {
+            return 0;
+        };
+        let mut n = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if bitmap & (1u64 << i) != 0 {
+                n += shard.range(t as u32).len();
+            }
+        }
+        n
+    }
+
+    /// The documents containing **every** token, via the sharded path:
+    /// intersect doc directories rarest-keyword-first. `out` is cleared and
+    /// receives the candidates in ascending [`DocId`] order; `fanin`
+    /// accumulates the directory entries touched.
+    pub fn candidate_docs(&self, tokens: &[TokenId], out: &mut Vec<DocId>, fanin: &mut FanIn) {
+        out.clear();
+        if tokens.is_empty() {
+            return;
+        }
+        let mut order: Vec<&TokenId> = tokens.iter().collect();
+        order.sort_by_key(|t| self.doc_frequency(**t));
+        let rarest = self.docs_for(*order[0]);
+        fanin.directory_touched += rarest.len() as u64;
+        if rarest.is_empty() {
+            return;
+        }
+        out.extend_from_slice(rarest);
+        for &&t in &order[1..] {
+            let docs = self.docs_for(t);
+            if docs.is_empty() {
+                out.clear();
+                return;
+            }
+            // One binary-search probe per surviving candidate.
+            fanin.directory_touched +=
+                (out.len() as u64).saturating_mul(usize::BITS.saturating_sub(docs.len().leading_zeros()) as u64);
+            out.retain(|d| docs.binary_search(d).is_ok());
+            if out.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// The documents containing every token, the way a **flat unsharded
+    /// arena** has to compute them: scan every posting of every token and
+    /// intersect the document sets. Produces the same candidates as
+    /// [`ShardedPostings::candidate_docs`] (pinned by tests); exists so the
+    /// corpus benchmark can measure the fan-in it avoids.
+    pub fn candidate_docs_by_scan(
+        &self,
+        tokens: &[TokenId],
+        out: &mut Vec<DocId>,
+        fanin: &mut FanIn,
+    ) {
+        out.clear();
+        if tokens.is_empty() {
+            return;
+        }
+        let mut acc: Vec<DocId> = Vec::new();
+        for (i, &t) in tokens.iter().enumerate() {
+            let mut docs: Vec<DocId> = Vec::new();
+            let idx = t.index();
+            let Some(&bitmap) = self.token_shards.get(idx) else {
+                out.clear();
+                return;
+            };
+            // A flat arena would hold one contiguous list; scanning all
+            // shard ranges touches the same entries.
+            for (s, shard) in self.shards.iter().enumerate() {
+                if bitmap & (1u64 << s) == 0 {
+                    continue;
+                }
+                let range = shard.range(idx as u32);
+                fanin.postings_touched += range.len() as u64;
+                for p in range {
+                    if docs.last() != Some(&p.doc) {
+                        docs.push(p.doc);
+                    }
+                }
+            }
+            docs.sort_unstable();
+            docs.dedup();
+            if i == 0 {
+                acc = docs;
+            } else {
+                acc.retain(|d| docs.binary_search(d).is_ok());
+            }
+            if acc.is_empty() {
+                return;
+            }
+        }
+        out.extend_from_slice(&acc);
+    }
+
+    /// The sorted element postings of `token` inside `doc` — byte-identical
+    /// to what a per-document [`crate::InvertedIndex`] returns for the same
+    /// token. Probes only the shards whose bitmap contains the token;
+    /// `out` is cleared first.
+    pub fn postings_in_doc(
+        &self,
+        token: TokenId,
+        doc: DocId,
+        out: &mut Vec<NodeId>,
+        fanin: &mut FanIn,
+    ) {
+        out.clear();
+        let t = token.index();
+        let Some(&bitmap) = self.token_shards.get(t) else {
+            return;
+        };
+        for (i, shard) in self.shards.iter().enumerate() {
+            if bitmap & (1u64 << i) == 0 {
+                fanin.shards_skipped += 1;
+                continue;
+            }
+            fanin.shards_probed += 1;
+            let range = shard.range(t as u32);
+            let lo = range.partition_point(|p| p.doc < doc);
+            let hi = range.partition_point(|p| p.doc <= doc);
+            fanin.postings_touched += (hi - lo) as u64;
+            out.extend(range[lo..hi].iter().map(|p| p.node));
+        }
+        // Shards hold disjoint node sets but interleave in document order.
+        out.sort_unstable();
+    }
+
+    /// Estimated heap footprint in bytes (allocated capacity of the arenas
+    /// and tables, plus the token interner at the same per-token estimate
+    /// as [`crate::inverted::TOKEN_TABLE_OVERHEAD`]).
+    pub fn memory_footprint(&self) -> usize {
+        let shards: usize = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.arena.capacity() * std::mem::size_of::<Posting>()
+                    + s.token_starts.capacity() * std::mem::size_of::<(u32, u32)>()
+            })
+            .sum();
+        let dir = self.doc_dir.capacity() * std::mem::size_of::<DocId>()
+            + self.doc_dir_starts.capacity() * std::mem::size_of::<u32>();
+        let bitmaps = self.token_shards.capacity() * std::mem::size_of::<u64>();
+        let tokens: usize = self
+            .tokens
+            .iter()
+            .map(|(_, s)| 2 * s.len() + crate::inverted::TOKEN_TABLE_OVERHEAD)
+            .sum();
+        shards + dir + bitmaps + tokens
+    }
+}
+
+/// Streaming builder for [`ShardedPostings`]: documents are folded in one
+/// at a time and only their postings are retained.
+#[derive(Debug)]
+pub struct ShardedPostingsBuilder {
+    tokens: SymbolTable,
+    token_shards: Vec<u64>,
+    /// Label string → shard index. Filled first-come-first-served up to
+    /// `max_label_shards`; later labels map to the catch-all shard 0.
+    shard_of_label: HashMap<String, usize>,
+    shard_labels: Vec<String>,
+    max_label_shards: usize,
+    /// Per shard: unsorted-by-token `(token, posting)` pairs, in `(doc,
+    /// node)` arrival order (counting-sorted by token at finish).
+    pending: Vec<Vec<(u32, Posting)>>,
+    /// `(token, doc)` pairs (deduplicated per document) for the directory.
+    dir_pairs: Vec<(u32, DocId)>,
+    doc_count: u32,
+}
+
+impl Default for ShardedPostingsBuilder {
+    fn default() -> Self {
+        ShardedPostingsBuilder::new()
+    }
+}
+
+impl ShardedPostingsBuilder {
+    /// A builder with the default shard budget ([`MAX_LABEL_SHARDS`]).
+    pub fn new() -> ShardedPostingsBuilder {
+        ShardedPostingsBuilder::with_label_shards(MAX_LABEL_SHARDS)
+    }
+
+    /// A builder with at most `max_label_shards` dedicated label shards
+    /// (clamped to [`MAX_LABEL_SHARDS`]; `0` puts everything in the
+    /// catch-all shard — the "unsharded arena" baseline).
+    pub fn with_label_shards(max_label_shards: usize) -> ShardedPostingsBuilder {
+        let max_label_shards = max_label_shards.min(MAX_LABEL_SHARDS);
+        ShardedPostingsBuilder {
+            tokens: SymbolTable::new(),
+            token_shards: Vec::new(),
+            shard_of_label: HashMap::new(),
+            shard_labels: vec![String::new()], // catch-all
+            max_label_shards,
+            pending: vec![Vec::new()], // catch-all
+            dir_pairs: Vec::new(),
+            doc_count: 0,
+        }
+    }
+
+    /// Documents folded in so far.
+    pub fn doc_count(&self) -> usize {
+        self.doc_count as usize
+    }
+
+    /// Tokenize `doc` and fold its postings into the corpus, returning the
+    /// [`DocId`] it was assigned. Matching semantics are exactly those of
+    /// [`crate::InvertedIndex::build`]: an element posts a token if its
+    /// label or directly-contained text yields it, once per element.
+    pub fn add_document(&mut self, doc: &Document) -> DocId {
+        let id = DocId(self.doc_count);
+        self.doc_count += 1;
+        let mut seen: Vec<u32> = Vec::with_capacity(8);
+        let mut doc_tokens: Vec<u32> = Vec::new();
+        for node in doc.all_nodes() {
+            let n = doc.node(node);
+            if !n.is_element() {
+                continue;
+            }
+            let label = doc.resolve(n.label());
+            let shard = self.shard_for(label);
+            seen.clear();
+            for tok in tokens_of(label) {
+                seen.push(self.intern(&tok, shard));
+            }
+            for &child in n.children() {
+                if let Some(text) = doc.node(child).text() {
+                    for tok in tokens_of(text) {
+                        seen.push(self.intern(&tok, shard));
+                    }
+                }
+            }
+            seen.sort_unstable();
+            seen.dedup();
+            for &t in &seen {
+                self.pending[shard].push((t, Posting { doc: id, node }));
+                doc_tokens.push(t);
+            }
+        }
+        doc_tokens.sort_unstable();
+        doc_tokens.dedup();
+        for t in doc_tokens {
+            self.dir_pairs.push((t, id));
+        }
+        id
+    }
+
+    fn shard_for(&mut self, label: &str) -> usize {
+        if let Some(&s) = self.shard_of_label.get(label) {
+            return s;
+        }
+        let s = if self.shard_of_label.len() < self.max_label_shards {
+            self.pending.push(Vec::new());
+            self.shard_labels.push(label.to_string());
+            self.pending.len() - 1
+        } else {
+            0 // catch-all
+        };
+        self.shard_of_label.insert(label.to_string(), s);
+        s
+    }
+
+    fn intern(&mut self, token: &str, shard: usize) -> u32 {
+        let sym = self.tokens.intern(token);
+        let t = sym.index();
+        if t == self.token_shards.len() {
+            self.token_shards.push(0);
+        }
+        self.token_shards[t] |= 1u64 << shard;
+        t as u32
+    }
+
+    /// Finalize into an immutable [`ShardedPostings`]. Each shard is
+    /// counting-sorted by token (stable, so `(doc, node)` arrival order is
+    /// preserved within a token — which *is* sorted `(doc, node)` order).
+    pub fn finish(mut self) -> ShardedPostings {
+        let vocab = self.tokens.len();
+        let shards: Vec<Shard> = self
+            .pending
+            .drain(..)
+            .map(|pairs| {
+                // Count per token, prefix-sum, place.
+                let mut counts: HashMap<u32, u32> = HashMap::new();
+                for &(t, _) in &pairs {
+                    *counts.entry(t).or_insert(0) += 1;
+                }
+                let mut present: Vec<u32> = counts.keys().copied().collect();
+                present.sort_unstable();
+                let mut token_starts: Vec<(u32, u32)> = Vec::with_capacity(present.len() + 1);
+                let mut acc = 0u32;
+                for &t in &present {
+                    token_starts.push((t, acc));
+                    acc += counts[&t];
+                }
+                token_starts.push((u32::MAX, acc));
+                let mut cursor: HashMap<u32, u32> =
+                    token_starts.iter().take(present.len()).copied().collect();
+                let mut arena = vec![Posting { doc: DocId(0), node: NodeId::from_index(0) }; pairs.len()];
+                for (t, p) in pairs {
+                    let c = cursor.get_mut(&t).expect("counted token");
+                    arena[*c as usize] = p;
+                    *c += 1;
+                }
+                Shard { token_starts, arena }
+            })
+            .collect();
+
+        // Directory: counting-sort the (token, doc) pairs by token. Pairs
+        // arrive doc-major with per-doc dedup, so each token's doc run is
+        // already sorted and distinct.
+        let mut starts = vec![0u32; vocab + 1];
+        for &(t, _) in &self.dir_pairs {
+            starts[t as usize + 1] += 1;
+        }
+        for i in 1..=vocab {
+            starts[i] += starts[i - 1];
+        }
+        let mut cursor = starts.clone();
+        let mut doc_dir = vec![DocId(0); self.dir_pairs.len()];
+        for &(t, d) in &self.dir_pairs {
+            doc_dir[cursor[t as usize] as usize] = d;
+            cursor[t as usize] += 1;
+        }
+
+        let total_postings = shards.iter().map(|s| s.arena.len()).sum();
+        ShardedPostings {
+            tokens: self.tokens,
+            token_shards: self.token_shards,
+            doc_dir_starts: starts,
+            doc_dir,
+            shards,
+            shard_labels: self.shard_labels,
+            doc_count: self.doc_count,
+            total_postings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InvertedIndex;
+
+    fn docs() -> Vec<Document> {
+        vec![
+            Document::parse_str(
+                "<retailer><name>Brook Brothers</name>\
+                 <store><city>Houston</city></store></retailer>",
+            )
+            .unwrap(),
+            Document::parse_str(
+                "<retailer><name>Gap</name><store><city>Austin</city></store>\
+                 <store><city>Houston</city></store></retailer>",
+            )
+            .unwrap(),
+            Document::parse_str("<dblp><paper><title>houston search</title></paper></dblp>")
+                .unwrap(),
+        ]
+    }
+
+    fn build(max_shards: usize) -> (Vec<Document>, ShardedPostings) {
+        let ds = docs();
+        let mut b = ShardedPostingsBuilder::with_label_shards(max_shards);
+        for d in &ds {
+            b.add_document(d);
+        }
+        (ds, b.finish())
+    }
+
+    #[test]
+    fn matches_per_document_inverted_indexes() {
+        for shards in [0, 2, MAX_LABEL_SHARDS] {
+            let (ds, sp) = build(shards);
+            let mut out = Vec::new();
+            let mut fanin = FanIn::default();
+            for (i, d) in ds.iter().enumerate() {
+                let solo = InvertedIndex::build(d);
+                for (token, expected) in solo.iter() {
+                    let id = sp.token_id(token).expect("corpus has every doc token");
+                    sp.postings_in_doc(id, DocId::from_index(i), &mut out, &mut fanin);
+                    assert_eq!(out, expected, "token {token} doc {i} shards {shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn doc_directory_and_frequencies() {
+        let (_, sp) = build(MAX_LABEL_SHARDS);
+        let houston = sp.token_id("houston").unwrap();
+        assert_eq!(sp.doc_frequency(houston), 3);
+        assert_eq!(
+            sp.docs_for(houston),
+            &[DocId(0), DocId(1), DocId(2)],
+            "sorted distinct docs"
+        );
+        let gap = sp.token_id("gap").unwrap();
+        assert_eq!(sp.docs_for(gap), &[DocId(1)]);
+        assert!(sp.token_id("dallas").is_none());
+        assert_eq!(sp.doc_count(), 3);
+        assert!(sp.total_postings() > 0);
+        assert!(sp.memory_footprint() > 0);
+    }
+
+    #[test]
+    fn candidate_docs_sharded_equals_scan() {
+        let (_, sp) = build(MAX_LABEL_SHARDS);
+        let queries: Vec<Vec<&str>> = vec![
+            vec!["houston"],
+            vec!["retailer", "houston"],
+            vec!["gap", "houston"],
+            vec!["houston", "search"],
+            vec!["retailer", "title"],
+        ];
+        for q in queries {
+            let ids: Vec<TokenId> = q.iter().filter_map(|k| sp.token_id(k)).collect();
+            assert_eq!(ids.len(), q.len());
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            let mut fa = FanIn::default();
+            let mut fb = FanIn::default();
+            sp.candidate_docs(&ids, &mut a, &mut fa);
+            sp.candidate_docs_by_scan(&ids, &mut b, &mut fb);
+            assert_eq!(a, b, "query {q:?}");
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+        }
+    }
+
+    #[test]
+    fn sharded_candidate_fanin_is_lower_than_scan() {
+        let (_, sp) = build(MAX_LABEL_SHARDS);
+        let ids: Vec<TokenId> =
+            ["gap", "houston"].iter().map(|k| sp.token_id(k).unwrap()).collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let mut sharded = FanIn::default();
+        let mut scan = FanIn::default();
+        sp.candidate_docs(&ids, &mut a, &mut sharded);
+        sp.candidate_docs_by_scan(&ids, &mut b, &mut scan);
+        assert!(
+            sharded.total() < scan.total(),
+            "directory path must touch fewer entries: {sharded:?} vs {scan:?}"
+        );
+    }
+
+    #[test]
+    fn shard_bitmap_skips_foreign_shards() {
+        let (_, sp) = build(MAX_LABEL_SHARDS);
+        // "gap" only occurs under <name>, so probing it touches one shard.
+        let gap = sp.token_id("gap").unwrap();
+        let mut out = Vec::new();
+        let mut fanin = FanIn::default();
+        sp.postings_in_doc(gap, DocId(1), &mut out, &mut fanin);
+        assert_eq!(out.len(), 1);
+        assert_eq!(fanin.shards_probed, 1);
+        assert!(fanin.shards_skipped > 0, "{fanin:?}");
+    }
+
+    #[test]
+    fn catch_all_absorbs_label_overflow() {
+        let (_, sp) = build(2);
+        assert_eq!(sp.shard_count(), 3, "catch-all + 2 label shards");
+        assert_eq!(sp.shard_label(0), None);
+        assert_eq!(sp.shard_label(1), Some("retailer"));
+        assert_eq!(sp.shard_label(2), Some("name"));
+    }
+
+    #[test]
+    fn unknown_and_empty_queries() {
+        let (_, sp) = build(MAX_LABEL_SHARDS);
+        let mut out = vec![DocId(9)];
+        let mut fanin = FanIn::default();
+        sp.candidate_docs(&[], &mut out, &mut fanin);
+        assert!(out.is_empty());
+        let foreign = TokenId::from_index(100_000);
+        assert_eq!(sp.doc_frequency(foreign), 0);
+        assert_eq!(sp.corpus_frequency(foreign), 0);
+        let mut nodes = vec![NodeId::from_index(3)];
+        sp.postings_in_doc(foreign, DocId(0), &mut nodes, &mut fanin);
+        assert!(nodes.is_empty());
+    }
+
+    #[test]
+    fn empty_corpus_is_queryable() {
+        let sp = ShardedPostingsBuilder::new().finish();
+        assert_eq!(sp.doc_count(), 0);
+        assert_eq!(sp.total_postings(), 0);
+        assert!(sp.token_id("anything").is_none());
+    }
+
+    #[test]
+    fn corpus_frequency_sums_shards() {
+        let (ds, sp) = build(MAX_LABEL_SHARDS);
+        let houston = sp.token_id("houston").unwrap();
+        let per_doc: usize = ds
+            .iter()
+            .map(|d| InvertedIndex::build(d).postings("houston").len())
+            .sum();
+        assert_eq!(sp.corpus_frequency(houston), per_doc);
+    }
+}

@@ -17,87 +17,106 @@ use std::collections::HashMap;
 
 use extract_xml::{Document, NodeId};
 
-/// Brute-force ELCA (testing oracle): quadratic in the worst case.
+use crate::mask::Mask;
+
+/// Brute-force ELCA (testing oracle): quadratic in the worst case. Any
+/// keyword count is supported (see [`crate::mask`]).
 pub fn elca_bruteforce<L: AsRef<[NodeId]>>(doc: &Document, lists: &[L]) -> Vec<NodeId> {
     if lists.is_empty() || lists.iter().any(|l| l.as_ref().is_empty()) {
         return Vec::new();
     }
-    assert!(lists.len() <= 64, "brute force supports up to 64 keywords");
-    let full: u64 = if lists.len() == 64 { !0 } else { (1u64 << lists.len()) - 1 };
-    let mut own: HashMap<NodeId, u64> = HashMap::new();
+    if lists.len() <= 64 {
+        elca_bruteforce_impl::<u64, L>(doc, lists)
+    } else {
+        elca_bruteforce_impl::<Box<[u64]>, L>(doc, lists)
+    }
+}
+
+fn elca_bruteforce_impl<M: Mask, L: AsRef<[NodeId]>>(doc: &Document, lists: &[L]) -> Vec<NodeId> {
+    let k = lists.len();
+    let mut own: HashMap<NodeId, M> = HashMap::new();
     for (i, list) in lists.iter().enumerate() {
         for &n in list.as_ref() {
-            *own.entry(n).or_insert(0) |= 1 << i;
+            own.entry(n).or_insert_with(|| M::empty(k)).or_assign(&M::single(k, i));
         }
     }
     // subtree_mask[v]: all keywords under v (no exclusion).
-    let mut subtree_mask: Vec<u64> = vec![0; doc.len()];
+    let mut subtree_mask: Vec<M> = vec![M::empty(k); doc.len()];
     for idx in (0..doc.len()).rev() {
         let n = NodeId::from_index(idx);
-        let mut m = own.get(&n).copied().unwrap_or(0);
+        let mut m = own.get(&n).cloned().unwrap_or_else(|| M::empty(k));
         for c in doc.children(n) {
-            m |= subtree_mask[c.index()];
+            m.or_assign(&subtree_mask[c.index()]);
         }
         subtree_mask[idx] = m;
     }
     // countable_mask[v]: own mask plus child masks, where a child whose
     // subtree contains all keywords contributes nothing (its whole subtree
     // is pruned — recursively, pruning the *highest* full descendants).
-    let mut countable: Vec<u64> = vec![0; doc.len()];
+    let mut countable: Vec<M> = vec![M::empty(k); doc.len()];
     for idx in (0..doc.len()).rev() {
         let n = NodeId::from_index(idx);
-        let mut m = own.get(&n).copied().unwrap_or(0);
+        let mut m = own.get(&n).cloned().unwrap_or_else(|| M::empty(k));
         for c in doc.children(n) {
-            if subtree_mask[c.index()] != full {
-                m |= countable[c.index()];
+            if !subtree_mask[c.index()].is_full(k) {
+                let cm = countable[c.index()].clone();
+                m.or_assign(&cm);
             }
         }
         countable[idx] = m;
     }
     (0..doc.len())
         .map(NodeId::from_index)
-        .filter(|&n| doc.node(n).is_element() && countable[n.index()] == full)
+        .filter(|&n| doc.node(n).is_element() && countable[n.index()].is_full(k))
         .collect()
 }
 
 #[derive(Debug)]
-struct StackEntry {
+struct StackEntry<M> {
     node: NodeId,
     /// Keywords countable for this node so far.
-    mask: u64,
+    mask: M,
     /// Whether some descendant's subtree contained all keywords.
     full_under: bool,
 }
 
-/// Single-pass Dewey-stack ELCA.
+/// Single-pass Dewey-stack ELCA. Any keyword count is supported (k ≤ 64
+/// runs on inlined `u64` masks, wider queries on boxed masks).
 pub fn elca_stack<L: AsRef<[NodeId]>>(doc: &Document, lists: &[L]) -> Vec<NodeId> {
     if lists.is_empty() || lists.iter().any(|l| l.as_ref().is_empty()) {
         return Vec::new();
     }
-    assert!(lists.len() <= 64, "stack ELCA supports up to 64 keywords");
-    let full: u64 = if lists.len() == 64 { !0 } else { (1u64 << lists.len()) - 1 };
+    if lists.len() <= 64 {
+        elca_stack_impl::<u64, L>(doc, lists)
+    } else {
+        elca_stack_impl::<Box<[u64]>, L>(doc, lists)
+    }
+}
 
+fn elca_stack_impl<M: Mask, L: AsRef<[NodeId]>>(doc: &Document, lists: &[L]) -> Vec<NodeId> {
+    let k = lists.len();
     // Merge the lists into one document-ordered stream of (node, mask).
     // NodeId order is document order, so a k-way merge by NodeId suffices;
     // equal nodes combine their masks.
-    let mut stream: Vec<(NodeId, u64)> =
+    let mut stream: Vec<(NodeId, usize)> =
         Vec::with_capacity(lists.iter().map(|l| l.as_ref().len()).sum());
     for (i, list) in lists.iter().enumerate() {
         for &n in list.as_ref() {
-            stream.push((n, 1u64 << i));
+            stream.push((n, i));
         }
     }
     stream.sort_unstable_by_key(|(n, _)| *n);
     // Combine duplicate nodes.
-    let mut merged: Vec<(NodeId, u64)> = Vec::with_capacity(stream.len());
-    for (n, m) in stream {
+    let mut merged: Vec<(NodeId, M)> = Vec::with_capacity(stream.len());
+    for (n, i) in stream {
+        let single = M::single(k, i);
         match merged.last_mut() {
-            Some((last, lm)) if *last == n => *lm |= m,
-            _ => merged.push((n, m)),
+            Some((last, lm)) if *last == n => lm.or_assign(&single),
+            _ => merged.push((n, single)),
         }
     }
 
-    let mut stack: Vec<StackEntry> = Vec::new();
+    let mut stack: Vec<StackEntry<M>> = Vec::new();
     let mut results: Vec<NodeId> = Vec::new();
 
     for (node, mask) in merged {
@@ -111,18 +130,18 @@ pub fn elca_stack<L: AsRef<[NodeId]>>(doc: &Document, lists: &[L]) -> Vec<NodeId
         }
         // Close everything below the common prefix.
         while stack.len() > lcp {
-            pop_entry(&mut stack, full, &mut results);
+            pop_entry(&mut stack, k, &mut results);
         }
         // Open the remaining path with empty masks.
         for &n in &path[lcp..] {
-            stack.push(StackEntry { node: n, mask: 0, full_under: false });
+            stack.push(StackEntry { node: n, mask: M::empty(k), full_under: false });
         }
         let top = stack.last_mut().expect("path is never empty");
         debug_assert_eq!(top.node, node);
-        top.mask |= mask;
+        top.mask.or_assign(&mask);
     }
     while !stack.is_empty() {
-        pop_entry(&mut stack, full, &mut results);
+        pop_entry(&mut stack, k, &mut results);
     }
     results.sort_unstable();
     results
@@ -131,9 +150,9 @@ pub fn elca_stack<L: AsRef<[NodeId]>>(doc: &Document, lists: &[L]) -> Vec<NodeId
 /// Pop the top entry: report it if its countable mask is full; propagate
 /// *nothing* upward when its subtree contained all keywords (exclusion),
 /// its mask otherwise.
-fn pop_entry(stack: &mut Vec<StackEntry>, full: u64, results: &mut Vec<NodeId>) {
+fn pop_entry<M: Mask>(stack: &mut Vec<StackEntry<M>>, k: usize, results: &mut Vec<NodeId>) {
     let e = stack.pop().expect("pop on empty stack");
-    let self_full = e.mask == full;
+    let self_full = e.mask.is_full(k);
     if self_full {
         results.push(e.node);
     }
@@ -141,7 +160,7 @@ fn pop_entry(stack: &mut Vec<StackEntry>, full: u64, results: &mut Vec<NodeId>) 
         if self_full || e.full_under {
             parent.full_under = true;
         } else {
-            parent.mask |= e.mask;
+            parent.mask.or_assign(&e.mask);
         }
     }
 }
@@ -247,6 +266,34 @@ mod tests {
         let r = both(&doc, &index, &["k1", "k2"]);
         let labels: Vec<_> = r.iter().map(|&n| doc.label_str(n).unwrap()).collect();
         assert_eq!(labels, vec!["r", "m", "n"]);
+    }
+
+    #[test]
+    fn more_than_64_keywords_run_on_wide_masks() {
+        // Regression: both ELCA implementations used to panic past 64
+        // lists; `elca_stack` is reachable from `Engine::search` with a
+        // user-supplied query, so that was a query-path panic.
+        let body: String = (0..70).map(|i| format!("<w>t{i}</w>")).collect();
+        let (doc, index) = setup(&format!("<r>{body}</r>"));
+        let keywords: Vec<String> = (0..70).map(|i| format!("t{i}")).collect();
+        let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
+        let r = both(&doc, &index, &refs);
+        assert_eq!(r, vec![doc.root()]);
+        // 65 lists where one keyword is missing → empty, not a panic.
+        let mut lists: Vec<Vec<NodeId>> =
+            keywords.iter().map(|k| index.postings(k).to_vec()).collect();
+        lists.push(Vec::new());
+        assert!(elca_bruteforce(&doc, &lists).is_empty());
+        assert!(elca_stack(&doc, &lists).is_empty());
+    }
+
+    #[test]
+    fn exactly_64_keywords_boundary() {
+        let body: String = (0..64).map(|i| format!("<w>t{i}</w>")).collect();
+        let (doc, index) = setup(&format!("<r>{body}</r>"));
+        let keywords: Vec<String> = (0..64).map(|i| format!("t{i}")).collect();
+        let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
+        assert_eq!(both(&doc, &index, &refs), vec![doc.root()]);
     }
 
     #[test]

@@ -159,6 +159,30 @@ mod tests {
     }
 
     #[test]
+    fn many_keyword_queries_do_not_panic_any_algorithm() {
+        // Regression: ELCA panicked past 64 keywords; a pasted paragraph
+        // of a query is exactly how a user reaches that path.
+        let body: String = (0..70).map(|i| format!("<w>t{i}</w>")).collect();
+        let xml = format!("<r>{body}</r>");
+        let doc = Document::parse_str(&xml).unwrap();
+        let engine = Engine::new(&doc);
+        let text: String =
+            (0..70).map(|i| format!("t{i} ")).collect();
+        let q = KeywordQuery::parse(&text);
+        assert_eq!(q.len(), 70);
+        for algo in [
+            Algorithm::SlcaIndexedLookup,
+            Algorithm::SlcaScanEager,
+            Algorithm::SlcaAuto,
+            Algorithm::Elca,
+            Algorithm::XSeek,
+        ] {
+            let results = engine.search(&q, algo);
+            assert!(!results.is_empty(), "{algo:?}");
+        }
+    }
+
+    #[test]
     fn from_parts_reuses_components() {
         let doc = Document::parse_str(XML).unwrap();
         let index = XmlIndex::build(&doc);

@@ -22,13 +22,22 @@ impl KeywordQuery {
         KeywordQuery { keywords }
     }
 
-    /// Build from pre-normalized keywords (used by generators and tests).
+    /// Build from keywords supplied one per item (used by generators and
+    /// tests). Each item runs through the same tokenizer as
+    /// [`KeywordQuery::parse`], so an item like `"Brook Brothers"` or
+    /// `"open_auction"` contributes its normalized tokens rather than one
+    /// un-normalized pseudo-keyword — every constructor yields the same
+    /// canonical form for the same keyword bag, which the snippet cache key
+    /// relies on (it used to skip tokenization, so `["a b"]` aliased the
+    /// two-keyword query `"a b"` in the cache while matching nothing in the
+    /// index).
     pub fn from_keywords<I: IntoIterator<Item = S>, S: Into<String>>(iter: I) -> KeywordQuery {
         let mut keywords: Vec<String> = Vec::new();
         for k in iter {
-            let k = k.into().to_lowercase();
-            if !k.is_empty() && !keywords.contains(&k) {
-                keywords.push(k);
+            for tok in tokenize(&k.into()) {
+                if !keywords.contains(&tok) {
+                    keywords.push(tok);
+                }
             }
         }
         KeywordQuery { keywords }
@@ -89,6 +98,20 @@ mod tests {
     fn from_keywords_normalizes_too() {
         let q = KeywordQuery::from_keywords(["Store", "TEXAS", "store", ""]);
         assert_eq!(q.keywords(), &["store", "texas"]);
+    }
+
+    #[test]
+    fn from_keywords_tokenizes_multiword_items() {
+        // Regression: un-tokenized items used to survive verbatim, so
+        // ["a b"] produced a query whose display form collided with the
+        // genuinely two-keyword query "a b" in cache keys while matching
+        // nothing in the index (postings are single tokens).
+        let q = KeywordQuery::from_keywords(["Brook Brothers", "open_auction-1"]);
+        assert_eq!(q.keywords(), &["brook", "brothers", "open", "auction", "1"]);
+        assert_eq!(
+            KeywordQuery::from_keywords(["store texas"]),
+            KeywordQuery::parse("store texas")
+        );
     }
 
     #[test]

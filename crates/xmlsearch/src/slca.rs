@@ -35,6 +35,8 @@
 use extract_index::DeweyStore;
 use extract_xml::{Document, NodeId};
 
+use crate::mask::Mask;
+
 /// Reusable buffers for the eager SLCA algorithms. One instance per thread
 /// (or per query loop); `Default::default()` starts empty and the buffers
 /// grow to the high-water mark of the queries they serve.
@@ -86,39 +88,50 @@ pub fn choose_strategy<L: AsRef<[NodeId]>>(lists: &[L]) -> SlcaStrategy {
 }
 
 /// Compute SLCAs by brute force (testing oracle). `lists` holds the match
-/// nodes per keyword; an empty keyword list makes the result empty.
+/// nodes per keyword; an empty keyword list makes the result empty. Any
+/// keyword count is supported (k ≤ 64 runs on inlined `u64` masks, wider
+/// queries on boxed masks — the old 64-list `assert!` made a degenerate
+/// many-keyword query a library panic).
 pub fn slca_bruteforce<L: AsRef<[NodeId]>>(doc: &Document, lists: &[L]) -> Vec<NodeId> {
     if lists.is_empty() || lists.iter().any(|l| l.as_ref().is_empty()) {
         return Vec::new();
     }
-    assert!(lists.len() <= 64, "brute force supports up to 64 keywords");
-    let full: u64 = if lists.len() == 64 { !0 } else { (1u64 << lists.len()) - 1 };
+    if lists.len() <= 64 {
+        slca_bruteforce_impl::<u64, L>(doc, lists)
+    } else {
+        slca_bruteforce_impl::<Box<[u64]>, L>(doc, lists)
+    }
+}
+
+fn slca_bruteforce_impl<M: Mask, L: AsRef<[NodeId]>>(doc: &Document, lists: &[L]) -> Vec<NodeId> {
+    let k = lists.len();
     // Dense per-node keyword masks (NodeIds are dense preorder indexes, so
-    // a flat vector beats a HashMap here).
-    let mut mask: Vec<u64> = vec![0; doc.len()];
+    // flat vectors beat HashMaps here).
+    let mut mask: Vec<M> = vec![M::empty(k); doc.len()];
     for (i, list) in lists.iter().enumerate() {
         for &n in list.as_ref() {
-            mask[n.index()] |= 1 << i;
+            mask[n.index()].or_assign(&M::single(k, i));
         }
     }
     // Propagate masks upward. Iterating IDs in reverse visits children
     // before parents (preorder invariant).
-    let mut subtree_mask: Vec<u64> = vec![0; doc.len()];
+    let mut subtree_mask: Vec<M> = vec![M::empty(k); doc.len()];
     let mut has_full_descendant: Vec<bool> = vec![false; doc.len()];
     let mut out = Vec::new();
     for idx in (0..doc.len()).rev() {
         let n = NodeId::from_index(idx);
-        let mut m = mask[idx];
+        let mut m = mask[idx].clone();
         let mut full_desc = false;
         for c in doc.children(n) {
-            m |= subtree_mask[c.index()];
-            full_desc |= has_full_descendant[c.index()] || subtree_mask[c.index()] == full;
+            let cm = &subtree_mask[c.index()];
+            full_desc |= has_full_descendant[c.index()] || cm.is_full(k);
+            m.or_assign(cm);
+        }
+        if m.is_full(k) && !full_desc && doc.node(n).is_element() {
+            out.push(n);
         }
         subtree_mask[idx] = m;
         has_full_descendant[idx] = full_desc;
-        if m == full && !full_desc && doc.node(n).is_element() {
-            out.push(n);
-        }
     }
     out.reverse();
     out
@@ -500,6 +513,76 @@ mod tests {
             choose_strategy(&[rare, common]),
             SlcaStrategy::IndexedLookup
         );
+    }
+
+    #[test]
+    fn degenerate_empty_posting_list_yields_empty_everywhere() {
+        // One keyword with no matches: every variant (owned or scratch)
+        // must return empty without touching the other lists.
+        let (doc, index) = setup("<a><b>k1</b><c>k2</c></a>");
+        let lists: Vec<Vec<NodeId>> =
+            vec![index.postings("k1").to_vec(), Vec::new(), index.postings("k2").to_vec()];
+        assert!(slca_bruteforce(&doc, &lists).is_empty());
+        assert!(slca_indexed_lookup(&doc, index.dewey_store(), &lists).is_empty());
+        assert!(slca_scan_eager(&doc, index.dewey_store(), &lists).is_empty());
+        let mut scratch = SlcaScratch::new();
+        let mut out = vec![NodeId::from_index(1)]; // stale content must be cleared
+        slca_auto_with(&doc, index.dewey_store(), &lists, &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn degenerate_single_keyword_all_variants_agree() {
+        let (doc, index) = setup("<a><b>k</b><c><d>k</d><e><f>k</f></e></c></a>");
+        let r = all_three(&doc, &index, &["k"]);
+        // Deepest matches only: b, d, f.
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|&n| !doc
+            .children(n)
+            .any(|c| r.contains(&c))));
+    }
+
+    #[test]
+    fn degenerate_identical_lists_pick_the_deepest_matches() {
+        // All lists identical (e.g. the same keyword repeated through
+        // from_keywords aliases, or two keywords matching the same nodes):
+        // SLCA must equal the single-list answer, whichever list anchors.
+        let (doc, index) = setup("<a><b>k</b><c><d>k</d></c></a>");
+        let one = lists(&index, &["k"]);
+        let three: Vec<Vec<NodeId>> = vec![one[0].clone(), one[0].clone(), one[0].clone()];
+        let expected = slca_bruteforce(&doc, &one);
+        assert_eq!(slca_bruteforce(&doc, &three), expected);
+        assert_eq!(slca_indexed_lookup(&doc, index.dewey_store(), &three), expected);
+        assert_eq!(slca_scan_eager(&doc, index.dewey_store(), &three), expected);
+        assert_eq!(slca_auto(&doc, index.dewey_store(), &three), expected);
+    }
+
+    #[test]
+    fn bruteforce_handles_more_than_64_keywords() {
+        // Regression: the oracle used to `assert!(lists.len() <= 64)`, so a
+        // degenerate many-keyword query was a library panic. Build a
+        // document whose root is the only node containing all 70 keywords.
+        let body: String = (0..70).map(|i| format!("<w>t{i}</w>")).collect();
+        let (doc, index) = setup(&format!("<r>{body}</r>"));
+        let keywords: Vec<String> = (0..70).map(|i| format!("t{i}")).collect();
+        let lists: Vec<Vec<NodeId>> =
+            keywords.iter().map(|k| index.postings(k).to_vec()).collect();
+        assert_eq!(lists.len(), 70);
+        let brute = slca_bruteforce(&doc, &lists);
+        assert_eq!(brute, vec![doc.root()]);
+        // The eager algorithms never had the cap; they must still agree.
+        assert_eq!(slca_indexed_lookup(&doc, index.dewey_store(), &lists), brute);
+        assert_eq!(slca_scan_eager(&doc, index.dewey_store(), &lists), brute);
+        assert_eq!(slca_auto(&doc, index.dewey_store(), &lists), brute);
+    }
+
+    #[test]
+    fn bruteforce_at_exactly_64_keywords_boundary() {
+        let body: String = (0..64).map(|i| format!("<w>t{i}</w>")).collect();
+        let (doc, index) = setup(&format!("<r>{body}</r>"));
+        let lists: Vec<Vec<NodeId>> =
+            (0..64).map(|i| index.postings(&format!("t{i}")).to_vec()).collect();
+        assert_eq!(slca_bruteforce(&doc, &lists), vec![doc.root()]);
     }
 
     #[test]

@@ -154,6 +154,30 @@ impl Document {
         self.nodes.iter().filter(|n| n.is_element()).count()
     }
 
+    /// Estimated heap footprint in bytes: the node arena (allocated
+    /// capacity), every node's child list and text content, and the label
+    /// interner (each distinct label stored twice — interner vector plus
+    /// lookup-map key — at [`crate::SYMBOL_ENTRY_OVERHEAD`] bytes of fixed
+    /// overhead per entry, the same estimate the index crates use for
+    /// their token tables).
+    pub fn memory_footprint(&self) -> usize {
+        let arena = self.nodes.capacity() * std::mem::size_of::<Node>();
+        let per_node: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.children.capacity() * std::mem::size_of::<NodeId>()
+                    + n.text.as_deref().map_or(0, str::len)
+            })
+            .sum();
+        let symbols: usize = self
+            .symbols
+            .iter()
+            .map(|(_, s)| 2 * s.len() + crate::SYMBOL_ENTRY_OVERHEAD)
+            .sum();
+        arena + per_node + symbols
+    }
+
     /// Borrow a node.
     ///
     /// # Panics

@@ -12,6 +12,12 @@ use std::collections::{HashMap, HashSet};
 
 use crate::error::{Error, Position, Result};
 
+/// Maximum nesting depth of content-model groups. Real DTDs nest a
+/// handful of levels; the limit exists so a malformed internal subset
+/// (`((((…))))` with thousands of parens) surfaces as [`Error::Dtd`]
+/// instead of exhausting the parser's call stack.
+pub const MAX_PARTICLE_DEPTH: usize = 128;
+
 /// Occurrence indicator on a content particle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Occurrence {
@@ -424,22 +430,31 @@ impl<'a> DtdParser<'a> {
         }
         // Element content: rewind and parse the particle properly.
         self.pos = save;
-        let particle = self.parse_particle()?;
+        let particle = self.parse_particle(0)?;
         Ok(ContentModel::Children(particle))
     }
 
-    fn parse_particle(&mut self) -> Result<ContentParticle> {
+    fn parse_particle(&mut self, depth: usize) -> Result<ContentParticle> {
+        // The particle grammar is recursive; a malformed subset like
+        // `((((((…))))))` with thousands of parens must come back as a DTD
+        // error, not blow the stack (this is reachable from
+        // `Document::parse_str` through the DOCTYPE internal subset).
+        if depth > MAX_PARTICLE_DEPTH {
+            return Err(self.err(format!(
+                "content model nests deeper than {MAX_PARTICLE_DEPTH} groups"
+            )));
+        }
         self.skip_ws();
         let kind = if self.peek() == Some(b'(') {
             self.bump();
-            let first = self.parse_particle()?;
+            let first = self.parse_particle(depth + 1)?;
             self.skip_ws();
             match self.peek() {
                 Some(b',') => {
                     let mut parts = vec![first];
                     while self.peek() == Some(b',') {
                         self.bump();
-                        parts.push(self.parse_particle()?);
+                        parts.push(self.parse_particle(depth + 1)?);
                         self.skip_ws();
                     }
                     if self.bump() != Some(b')') {
@@ -451,7 +466,7 @@ impl<'a> DtdParser<'a> {
                     let mut parts = vec![first];
                     while self.peek() == Some(b'|') {
                         self.bump();
-                        parts.push(self.parse_particle()?);
+                        parts.push(self.parse_particle(depth + 1)?);
                         self.skip_ws();
                     }
                     if self.bump() != Some(b')') {
@@ -711,6 +726,35 @@ mod tests {
         assert_eq!(dtd.is_repeatable("a", "c"), Some(true));
         assert_eq!(dtd.is_repeatable("a", "d"), Some(true));
         assert_eq!(dtd.is_repeatable("a", "e"), Some(false));
+    }
+
+    #[test]
+    fn pathological_group_nesting_errors_instead_of_overflowing() {
+        // Regression: the particle parser recursed once per `(`, so a
+        // malformed subset with tens of thousands of parens crashed the
+        // process with a stack overflow instead of returning Err. This is
+        // reachable from `Document::parse_str` via the DOCTYPE subset.
+        let deep = format!(
+            "<!ELEMENT a {}b{}>",
+            "(".repeat(50_000),
+            ")".repeat(50_000)
+        );
+        let err = Dtd::parse(&deep).unwrap_err();
+        assert!(matches!(err, Error::Dtd { .. }), "{err:?}");
+        assert!(err.to_string().contains("nests deeper"), "{err}");
+    }
+
+    #[test]
+    fn reasonable_group_nesting_still_parses() {
+        // Depth well under the limit keeps working.
+        let depth = 32;
+        let model = format!("{}b{}", "(".repeat(depth), ")".repeat(depth));
+        let dtd = Dtd::parse(&format!("<!ELEMENT a {model}>")).unwrap();
+        assert_eq!(dtd.is_repeatable("a", "b"), Some(false));
+        // And just past the limit errors cleanly.
+        let over = MAX_PARTICLE_DEPTH + 1;
+        let model = format!("{}b{}", "(".repeat(over), ")".repeat(over));
+        assert!(Dtd::parse(&format!("<!ELEMENT a {model}>")).is_err());
     }
 
     #[test]

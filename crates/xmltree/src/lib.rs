@@ -64,4 +64,4 @@ pub use dtd::Dtd;
 pub use error::{Error, Position, Result};
 pub use parser::ParseOptions;
 pub use schema::{PathId, Schema};
-pub use symbol::{Symbol, SymbolTable};
+pub use symbol::{Symbol, SymbolTable, SYMBOL_ENTRY_OVERHEAD};

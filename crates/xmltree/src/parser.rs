@@ -310,6 +310,30 @@ mod tests {
     }
 
     #[test]
+    fn malformed_doctype_subset_fails_soft_not_fatal() {
+        // A hostile internal subset must come back as Err from parse_str —
+        // never a panic or stack overflow (corpus ingestion feeds whole
+        // directories of unvetted files through this path).
+        let deep = format!(
+            "<!DOCTYPE a [<!ELEMENT a {}b{}>]><a/>",
+            "(".repeat(50_000),
+            ")".repeat(50_000)
+        );
+        assert!(matches!(Document::parse_str(&deep), Err(Error::Dtd { .. })));
+        // Other malformed-input shapes keep erroring cleanly too.
+        for bad in [
+            "<a>&unknown;</a>",                  // bad entity reference
+            "<a>&#xD800;</a>",                   // surrogate char reference
+            "<a>&#xFFFFFFFFFF;</a>",             // overflowing char reference
+            "<a b=c></a>",                       // unquoted attribute
+            "<!DOCTYPE [<!ELEMENT a (b)>]><a/>", // DOCTYPE without a name
+            "<a><![CDATA[never closed</a>",      // unterminated CDATA
+        ] {
+            assert!(Document::parse_str(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
     fn xml_declaration_and_comments_are_ignored() {
         let d = Document::parse_str(
             "<?xml version=\"1.0\" encoding=\"UTF-8\"?><!-- c --><a>v</a><!-- after -->",

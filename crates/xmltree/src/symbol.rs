@@ -8,6 +8,15 @@
 use std::collections::HashMap;
 use std::fmt;
 
+/// Estimated fixed heap overhead per interned entry, used by every
+/// `memory_footprint` in the workspace that accounts for a [`SymbolTable`]
+/// (the document's label table, the index crates' token tables): each
+/// distinct string is stored twice (interner vector + lookup-map key) as
+/// two `Box<str>` headers (16 bytes each on 64-bit) plus ~48 bytes of
+/// hash-map entry overhead. Keep the estimates in one place so retuning it
+/// retunes every footprint the same way.
+pub const SYMBOL_ENTRY_OVERHEAD: usize = 80;
+
 /// An interned string handle. Two symbols from the *same* [`SymbolTable`]
 /// are equal iff the strings they denote are equal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

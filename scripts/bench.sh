@@ -1,31 +1,59 @@
 #!/usr/bin/env bash
-# Query-path throughput benchmark runner (PR 2).
+# Benchmark runner: the PR-2 query-path workload and the PR-3 corpus-scale
+# workload.
 #
 # Usage:
-#   scripts/bench.sh            — run the full workload and write BENCH_PR2.json
-#   scripts/bench.sh --check    — compile-only (CI gate): build the binary and
-#                                 the Criterion bench without running them
-#   scripts/bench.sh --quick    — fast smoke run (fewer samples), still writes
-#                                 BENCH_PR2.json
+#   scripts/bench.sh [--check|--quick] [pr2|pr3|all]
+#
+#   scripts/bench.sh            — run both workloads, writing
+#                                 BENCH_PR2.json and BENCH_PR3.json
+#   scripts/bench.sh pr3        — run only the corpus-scale workload
+#   scripts/bench.sh --check    — compile-only (CI gate): build both bench
+#                                 binaries and the Criterion benches
+#                                 without running them
+#   scripts/bench.sh --quick    — fast smoke run (fewer samples, smaller
+#                                 corpus), still writes the JSON files
 #
 # All commands run with --offline: every dependency is a path-local vendored
 # shim (vendor/), so no registry access is needed or wanted.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "--check" ]]; then
-    echo "==> bench.sh --check: compile the throughput bench"
-    cargo build --release --offline -p extract-bench --bin query_throughput
+MODE="run"
+TARGET="all"
+for arg in "$@"; do
+    case "$arg" in
+        --check) MODE="check" ;;
+        --quick) MODE="quick" ;;
+        pr2|pr3|all) TARGET="$arg" ;;
+        *)
+            echo "usage: scripts/bench.sh [--check|--quick] [pr2|pr3|all]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+if [[ "$MODE" == "check" ]]; then
+    echo "==> bench.sh --check: compile the bench binaries and Criterion benches"
+    cargo build --release --offline -p extract-bench --bin query_throughput --bin corpus_scale
     cargo bench --no-run --offline -p extract-bench
     echo "bench.sh: compile check green"
     exit 0
 fi
 
 ARGS=()
-if [[ "${1:-}" == "--quick" ]]; then
+if [[ "$MODE" == "quick" ]]; then
     ARGS+=(--quick)
 fi
 
-echo "==> bench.sh: running query_throughput (results → BENCH_PR2.json)"
-cargo run --release --offline -p extract-bench --bin query_throughput -- \
-    --json BENCH_PR2.json "${ARGS[@]+"${ARGS[@]}"}"
+if [[ "$TARGET" == "pr2" || "$TARGET" == "all" ]]; then
+    echo "==> bench.sh: running query_throughput (results → BENCH_PR2.json)"
+    cargo run --release --offline -p extract-bench --bin query_throughput -- \
+        --json BENCH_PR2.json "${ARGS[@]+"${ARGS[@]}"}"
+fi
+
+if [[ "$TARGET" == "pr3" || "$TARGET" == "all" ]]; then
+    echo "==> bench.sh: running corpus_scale (results → BENCH_PR3.json)"
+    cargo run --release --offline -p extract-bench --bin corpus_scale -- \
+        --json BENCH_PR3.json "${ARGS[@]+"${ARGS[@]}"}"
+fi

@@ -15,7 +15,8 @@
 //! | [`search`] | `extract-search` | SLCA / ELCA / XSeek engines, ranking |
 //! | [`analyzer`] | `extract-analyzer` | entity model, key mining, feature statistics |
 //! | [`core`] | `extract-core` | IList, dominance, instance selectors, snippets, baselines |
-//! | [`datagen`] | `extract-datagen` | retailer / movies / auction workload generators |
+//! | [`corpus`] | `extract-corpus` | multi-document corpus: streaming build, `DocId`s, label-sharded postings |
+//! | [`datagen`] | `extract-datagen` | retailer / movies / auction / dblp / corpus workload generators |
 //!
 //! # Quickstart
 //!
@@ -62,25 +63,32 @@ pub mod core {
     pub use extract_core::*;
 }
 
+/// Multi-document corpus layer: streaming build, stable `DocId`s,
+/// label-sharded postings, query routing.
+pub mod corpus {
+    pub use extract_corpus::*;
+}
+
 /// Synthetic workload generators.
 pub mod datagen {
     pub use extract_datagen::*;
 }
 
 /// Concurrent query serving: [`QuerySession`](session::QuerySession), a
-/// std-thread worker pool over a shared immutable index with a snippet
-/// cache.
+/// std-thread worker pool over shared immutable indexes (one document or a
+/// whole corpus) with a snippet cache.
 pub mod session;
 
-pub use session::{AnswerPage, QuerySession};
+pub use session::{AnswerPage, CorpusAnswer, CorpusPage, QuerySession};
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use extract_analyzer::{EntityModel, KeyCatalog, ResultStats};
     pub use extract_core::{Extract, ExtractConfig, Snippet, SnippetCache, SnippetedResult};
+    pub use extract_corpus::{Corpus, CorpusBuilder, DocId, FanIn};
     pub use extract_index::XmlIndex;
     pub use extract_search::{Algorithm, Engine, KeywordQuery, QueryResult};
     pub use extract_xml::{DocBuilder, Document, NodeId};
 
-    pub use crate::session::{AnswerPage, QuerySession};
+    pub use crate::session::{AnswerPage, CorpusAnswer, CorpusPage, QuerySession};
 }

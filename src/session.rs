@@ -1,20 +1,36 @@
-//! A long-lived, thread-safe query session — the first concrete step
-//! toward the ROADMAP's serving layer.
+//! A long-lived, thread-safe query session — the serving layer over one
+//! document **or a whole corpus**.
 //!
-//! [`QuerySession`] wraps [`Extract`] (offline stages run once: indexes,
-//! entity model, mined keys) behind a worker pool of plain `std` scoped
-//! threads, so N keyword queries are answered **concurrently against the
-//! shared immutable index** — no `tokio` needed offline, no locks on the
-//! read path.
+//! [`QuerySession`] wraps the offline stages (indexes, entity model, mined
+//! keys) behind a worker pool of plain `std` scoped threads, so N keyword
+//! queries are answered **concurrently against shared immutable indexes**
+//! — no `tokio` needed offline, no locks on the read path.
+//!
+//! Two backends share the same session machinery:
+//!
+//! * **Single document** ([`QuerySession::new`]): one [`Extract`] engine,
+//!   the PR-2 behaviour, unchanged.
+//! * **Corpus** ([`QuerySession::from_corpus`]): a borrowed
+//!   [`Corpus`] plus one *lazily built* [`Extract`] engine per document.
+//!   [`QuerySession::answer_corpus`] routes each query through the
+//!   corpus's label-sharded postings ([`Corpus::candidate_docs_str`]
+//!   semantics) so only documents containing **every** keyword pay for
+//!   engine construction, per-document SLCA and snippet generation; the
+//!   per-document ranked results are then merged into one page ordered by
+//!   (score desc, document asc, root asc).
 //!
 //! Caching is two-level, both LRU:
 //!
-//! 1. a **page cache** (`normalized query + config → Arc<[SnippetedResult]>`)
-//!    makes a repeated hot query a single hash lookup plus an `Arc` clone —
-//!    search, ranking and snippet generation are all skipped;
-//! 2. the per-result [`SnippetCache`] (`query + result root + config →
+//! 1. a **page cache** (`normalized query + config → Arc<[..]>`) makes a
+//!    repeated hot query a single hash lookup plus an `Arc` clone —
+//!    routing, search, ranking and snippet generation are all skipped
+//!    (single-document and corpus pages live in separate caches because
+//!    their page types differ);
+//! 2. the per-result [`SnippetCache`] (`query + (DocId, root) + config →
 //!    SnippetedResult`) catches queries whose page entry was evicted and
-//!    amortizes snippet generation across overlapping result sets.
+//!    amortizes snippet generation across overlapping result sets — one
+//!    shared cache serves every document of a corpus thanks to the
+//!    [`DocId`]-qualified keys.
 //!
 //! Both sit behind `Mutex`es held strictly for `get`/`insert` — never
 //! during computation — so contention stays negligible next to the work
@@ -23,22 +39,25 @@
 //! ```
 //! use extract::prelude::*;
 //!
-//! let doc = Document::parse_str(
-//!     "<stores><store><name>Levis</name><state>Texas</state></store>\
-//!      <store><name>Gap</name><state>Ohio</state></store></stores>").unwrap();
-//! let session = QuerySession::new(&doc);
-//! let config = ExtractConfig::with_bound(6);
-//! let answers = session.answer_batch(&["store texas", "gap ohio"], &config);
-//! assert_eq!(answers.len(), 2);
-//! assert_eq!(answers[0].len(), 1);
+//! let mut builder = CorpusBuilder::new();
+//! builder.add_document("texas", "<stores><store><name>Levis</name>\
+//!     <state>Texas</state></store></stores>").unwrap();
+//! builder.add_document("ohio", "<stores><store><name>Gap</name>\
+//!     <state>Ohio</state></store></stores>").unwrap();
+//! let corpus = builder.finish();
+//! let session = QuerySession::from_corpus(&corpus);
+//! let page = session.answer_corpus("store texas", &ExtractConfig::with_bound(6));
+//! assert_eq!(page.len(), 1);
+//! assert_eq!(corpus.name(page[0].doc), "texas");
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use extract_core::cache::{CacheKey, LruCache, SnippetCache};
 use extract_core::ilist::IListScratch;
 use extract_core::{CacheStats, Extract, ExtractConfig, SnippetedResult};
+use extract_corpus::{Corpus, DocId, FanIn};
 use extract_search::KeywordQuery;
 use extract_xml::Document;
 
@@ -53,6 +72,23 @@ const PAGE_CAPACITY: usize = 128;
 /// One answered query: the ranked, snippeted results, shared immutably.
 pub type AnswerPage = Arc<[SnippetedResult]>;
 
+/// One corpus result: which document it came from, its ranking score, and
+/// the snippeted result itself.
+#[derive(Debug, Clone)]
+pub struct CorpusAnswer {
+    /// The document the result root lives in.
+    pub doc: DocId,
+    /// The ranking score ([`extract_search::ranking::score`]), comparable
+    /// across documents.
+    pub score: f64,
+    /// The query result with its snippet.
+    pub result: SnippetedResult,
+}
+
+/// One answered corpus query: results merged across documents, shared
+/// immutably.
+pub type CorpusPage = Arc<[CorpusAnswer]>;
+
 /// Page-cache key: normalized query text + the config fields that shape
 /// snippets.
 type PageKey = (String, usize, Option<usize>, extract_core::SelectorKind);
@@ -61,14 +97,35 @@ fn page_key(query: &KeywordQuery, config: &ExtractConfig) -> PageKey {
     (query.to_string(), config.size_bound, config.max_dominant_features, config.selector)
 }
 
-/// A thread-safe query-answering session over one document.
+/// The engines behind a session: one document, or one per corpus document
+/// (built on first touch, so routing decides which documents ever pay).
+#[derive(Debug)]
+enum Engines<'d> {
+    Single(Box<Extract<'d>>),
+    Corpus { corpus: &'d Corpus, engines: Vec<OnceLock<Extract<'d>>> },
+}
+
+/// A thread-safe query-answering session over one document or one corpus.
 #[derive(Debug)]
 pub struct QuerySession<'d> {
-    extract: Extract<'d>,
+    engines: Engines<'d>,
     workers: usize,
     cache_capacity: usize,
     pages: Mutex<LruCache<PageKey, AnswerPage>>,
+    corpus_pages: Mutex<LruCache<PageKey, CorpusPage>>,
     snippets: Mutex<SnippetCache>,
+    /// Routing fan-in accumulated by [`QuerySession::answer_corpus`]
+    /// (directory + posting entries touched), split across atomics so the
+    /// read path stays lock-free.
+    fanin_postings: AtomicU64,
+    fanin_directory: AtomicU64,
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(DEFAULT_WORKERS)
+        .max(2)
 }
 
 impl<'d> QuerySession<'d> {
@@ -76,11 +133,7 @@ impl<'d> QuerySession<'d> {
     /// available parallelism (at least 2 workers), with the default cache
     /// capacity.
     pub fn new(doc: &'d Document) -> QuerySession<'d> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(DEFAULT_WORKERS)
-            .max(2);
-        QuerySession::with_options(doc, workers, extract_core::cache::DEFAULT_CAPACITY)
+        QuerySession::with_options(doc, default_workers(), extract_core::cache::DEFAULT_CAPACITY)
     }
 
     /// Run the offline stages with an explicit worker count and snippet
@@ -95,28 +148,111 @@ impl<'d> QuerySession<'d> {
         workers: usize,
         cache_capacity: usize,
     ) -> QuerySession<'d> {
+        QuerySession::from_engines(Engines::Single(Box::new(extract)), workers, cache_capacity)
+    }
+
+    /// Serve a corpus with default pool and cache sizing. Per-document
+    /// engines are built lazily: a document pays for indexing + entity
+    /// analysis the first time a query routes to it.
+    ///
+    /// # Panics
+    /// If the corpus holds no documents.
+    pub fn from_corpus(corpus: &'d Corpus) -> QuerySession<'d> {
+        QuerySession::from_corpus_with_options(
+            corpus,
+            default_workers(),
+            extract_core::cache::DEFAULT_CAPACITY,
+        )
+    }
+
+    /// [`QuerySession::from_corpus`] with explicit worker count and cache
+    /// capacity (`0` disables caching).
+    ///
+    /// # Panics
+    /// If the corpus holds no documents.
+    pub fn from_corpus_with_options(
+        corpus: &'d Corpus,
+        workers: usize,
+        cache_capacity: usize,
+    ) -> QuerySession<'d> {
+        assert!(!corpus.is_empty(), "QuerySession requires a non-empty corpus");
+        let engines = (0..corpus.len()).map(|_| OnceLock::new()).collect();
+        QuerySession::from_engines(Engines::Corpus { corpus, engines }, workers, cache_capacity)
+    }
+
+    fn from_engines(
+        engines: Engines<'d>,
+        workers: usize,
+        cache_capacity: usize,
+    ) -> QuerySession<'d> {
         QuerySession {
-            extract,
+            engines,
             workers: workers.max(1),
             cache_capacity,
             pages: Mutex::new(LruCache::new(cache_capacity.min(PAGE_CAPACITY))),
+            corpus_pages: Mutex::new(LruCache::new(cache_capacity.min(PAGE_CAPACITY))),
             snippets: Mutex::new(SnippetCache::new(cache_capacity)),
+            fanin_postings: AtomicU64::new(0),
+            fanin_directory: AtomicU64::new(0),
         }
     }
 
-    /// The wrapped system (document, indexes, entity model, keys).
+    /// The engine of document 0 (the only document for single-document
+    /// sessions; the first corpus document otherwise — built on demand).
     pub fn extract(&self) -> &Extract<'d> {
-        &self.extract
+        self.engine(DocId::from_index(0))
     }
 
-    /// The pool size used by [`QuerySession::answer_batch`].
+    /// The corpus behind this session, if it serves one.
+    pub fn corpus(&self) -> Option<&'d Corpus> {
+        match &self.engines {
+            Engines::Single(_) => None,
+            Engines::Corpus { corpus, .. } => Some(corpus),
+        }
+    }
+
+    /// The lazily-built engine of `doc`.
+    ///
+    /// # Panics
+    /// If `doc` is out of range for this session (single-document sessions
+    /// only have document 0).
+    fn engine(&self, doc: DocId) -> &Extract<'d> {
+        match &self.engines {
+            Engines::Single(extract) => {
+                assert_eq!(doc.index(), 0, "single-document session has only doc 0");
+                extract
+            }
+            Engines::Corpus { corpus, engines } => {
+                engines[doc.index()].get_or_init(|| Extract::new(corpus.doc(doc)))
+            }
+        }
+    }
+
+    /// How many per-document engines have been built so far (equals 1 for
+    /// single-document sessions). Exposes the effect of candidate routing:
+    /// documents never routed to never pay for indexing.
+    pub fn engines_built(&self) -> usize {
+        match &self.engines {
+            Engines::Single(_) => 1,
+            Engines::Corpus { engines, .. } => {
+                engines.iter().filter(|e| e.get().is_some()).count()
+            }
+        }
+    }
+
+    /// The pool size used by the batch entry points.
     pub fn workers(&self) -> usize {
         self.workers
     }
 
-    /// Page-cache counters since session start.
+    /// Single-document page-cache counters since session start.
     pub fn page_stats(&self) -> CacheStats {
         self.pages.lock().expect("page cache lock").stats()
+    }
+
+    /// Corpus page-cache counters since session start.
+    pub fn corpus_page_stats(&self) -> CacheStats {
+        self.corpus_pages.lock().expect("corpus page cache lock").stats()
     }
 
     /// Per-result snippet-cache counters since session start.
@@ -124,18 +260,33 @@ impl<'d> QuerySession<'d> {
         self.snippets.lock().expect("snippet cache lock").stats()
     }
 
-    /// Drop all cached pages and snippets (counters reset too).
-    pub fn clear_cache(&self) {
-        self.pages.lock().expect("page cache lock").clear();
-        self.snippets.lock().expect("snippet cache lock").clear();
+    /// Index-entry fan-in accumulated by corpus routing since session
+    /// start (zero for single-document sessions).
+    pub fn routing_fanin(&self) -> FanIn {
+        FanIn {
+            postings_touched: self.fanin_postings.load(Ordering::Relaxed),
+            directory_touched: self.fanin_directory.load(Ordering::Relaxed),
+            ..FanIn::default()
+        }
     }
 
-    /// Answer one query. A page-cache hit costs one lock + hash lookup +
-    /// `Arc` clone; otherwise search + rank run, each result is answered
-    /// from the snippet cache or computed fresh, and the assembled page is
-    /// cached. With caching disabled (capacity 0) no lock is ever taken,
-    /// so the worker pool runs fully contention-free. Safe to call from
-    /// many threads at once — `&self` only.
+    /// Drop all cached pages and snippets (counters reset too, including
+    /// the routing fan-in).
+    pub fn clear_cache(&self) {
+        self.pages.lock().expect("page cache lock").clear();
+        self.corpus_pages.lock().expect("corpus page cache lock").clear();
+        self.snippets.lock().expect("snippet cache lock").clear();
+        self.fanin_postings.store(0, Ordering::Relaxed);
+        self.fanin_directory.store(0, Ordering::Relaxed);
+    }
+
+    /// Answer one query against **document 0** (the only document for
+    /// single-document sessions). A page-cache hit costs one lock + hash
+    /// lookup + `Arc` clone; otherwise search + rank run, each result is
+    /// answered from the snippet cache or computed fresh, and the
+    /// assembled page is cached. With caching disabled (capacity 0) no
+    /// lock is ever taken, so the worker pool runs fully contention-free.
+    /// Safe to call from many threads at once — `&self` only.
     pub fn answer(&self, query_str: &str, config: &ExtractConfig) -> AnswerPage {
         let query = KeywordQuery::parse(query_str);
         let caching = self.cache_capacity > 0;
@@ -145,33 +296,101 @@ impl<'d> QuerySession<'d> {
                 return page;
             }
         }
-        let ranked = self.extract.ranked_results(&query);
+        let extract = self.extract();
+        let ranked = extract.ranked_results(&query);
         let mut scratch = IListScratch::default();
         let page: AnswerPage = ranked
             .into_iter()
-            .map(|r| {
-                if !caching {
-                    return self
-                        .extract
-                        .snippet_with_scratch(&query, &r.result, config, &mut scratch);
-                }
-                let key = CacheKey::new(&query, r.result.root, config);
-                if let Some(hit) = self.snippets.lock().expect("snippet cache lock").get(&key)
-                {
-                    return hit;
-                }
-                let computed =
-                    self.extract
-                        .snippet_with_scratch(&query, &r.result, config, &mut scratch);
-                self.snippets
-                    .lock()
-                    .expect("snippet cache lock")
-                    .insert(key, computed.clone());
-                computed
-            })
+            .map(|r| self.snippet_for(extract, DocId::from_index(0), &query, &r.result, config, &mut scratch))
             .collect();
         if let Some(pkey) = pkey {
             self.pages.lock().expect("page cache lock").insert(pkey, page.clone());
+        }
+        page
+    }
+
+    /// One result's snippet, via the shared snippet cache when enabled
+    /// (capacity > 0).
+    fn snippet_for(
+        &self,
+        extract: &Extract<'d>,
+        doc: DocId,
+        query: &KeywordQuery,
+        result: &extract_search::QueryResult,
+        config: &ExtractConfig,
+        scratch: &mut IListScratch,
+    ) -> SnippetedResult {
+        if self.cache_capacity == 0 {
+            return extract.snippet_with_scratch(query, result, config, scratch);
+        }
+        let key = CacheKey::for_doc(query, doc, result.root, config);
+        if let Some(hit) = self.snippets.lock().expect("snippet cache lock").get(&key) {
+            return hit;
+        }
+        let computed = extract.snippet_with_scratch(query, result, config, scratch);
+        self.snippets
+            .lock()
+            .expect("snippet cache lock")
+            .insert(key, computed.clone());
+        computed
+    }
+
+    /// Answer one query against the whole corpus: route through the
+    /// label-sharded postings to the documents containing **every**
+    /// keyword, run per-document search + ranking + snippet generation on
+    /// exactly those, and merge into one page ordered by (score
+    /// descending, document ascending, root ascending) — identical to
+    /// answering each document standalone and merging with the same rule
+    /// (pinned by the equivalence proptests).
+    ///
+    /// On a single-document session this degrades gracefully to the one
+    /// document (no routing). Safe to call from many threads at once.
+    pub fn answer_corpus(&self, query_str: &str, config: &ExtractConfig) -> CorpusPage {
+        let query = KeywordQuery::parse(query_str);
+        let caching = self.cache_capacity > 0;
+        let pkey = caching.then(|| page_key(&query, config));
+        if let Some(pkey) = &pkey {
+            if let Some(page) =
+                self.corpus_pages.lock().expect("corpus page cache lock").get(pkey)
+            {
+                return page;
+            }
+        }
+        let candidates: Vec<DocId> = match (&self.engines, query.is_empty()) {
+            (_, true) => Vec::new(),
+            (Engines::Single(_), false) => vec![DocId::from_index(0)],
+            (Engines::Corpus { corpus, .. }, false) => {
+                let keywords: Vec<&str> =
+                    query.keywords().iter().map(String::as_str).collect();
+                let (docs, fanin) = corpus.candidate_docs_str(&keywords);
+                self.fanin_postings.fetch_add(fanin.postings_touched, Ordering::Relaxed);
+                self.fanin_directory.fetch_add(fanin.directory_touched, Ordering::Relaxed);
+                docs
+            }
+        };
+        let mut merged: Vec<CorpusAnswer> = Vec::new();
+        let mut scratch = IListScratch::default();
+        for doc in candidates {
+            let extract = self.engine(doc);
+            for r in extract.ranked_results(&query) {
+                let result =
+                    self.snippet_for(extract, doc, &query, &r.result, config, &mut scratch);
+                merged.push(CorpusAnswer { doc, score: r.score, result });
+            }
+        }
+        merged.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.doc.cmp(&b.doc))
+                .then_with(|| a.result.result.root.cmp(&b.result.result.root))
+        });
+        let page: CorpusPage = merged.into();
+        if let Some(pkey) = pkey {
+            self.corpus_pages
+                .lock()
+                .expect("corpus page cache lock")
+                .insert(pkey, page.clone());
         }
         page
     }
@@ -181,26 +400,48 @@ impl<'d> QuerySession<'d> {
     /// The output is index-aligned with `queries` and identical to calling
     /// [`QuerySession::answer`] serially.
     pub fn answer_batch(&self, queries: &[&str], config: &ExtractConfig) -> Vec<AnswerPage> {
-        if queries.is_empty() {
+        self.run_pool(queries.len(), |i| self.answer(queries[i], config))
+    }
+
+    /// [`QuerySession::answer_corpus`] over a batch, on the worker pool.
+    /// The output is index-aligned with `queries` and identical to calling
+    /// [`QuerySession::answer_corpus`] serially.
+    pub fn answer_corpus_batch(
+        &self,
+        queries: &[&str],
+        config: &ExtractConfig,
+    ) -> Vec<CorpusPage> {
+        self.run_pool(queries.len(), |i| self.answer_corpus(queries[i], config))
+    }
+
+    /// Run `f(0..n)` across the worker pool, returning index-aligned
+    /// results. Falls back to a serial loop for tiny batches or
+    /// single-worker sessions.
+    fn run_pool<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
             return Vec::new();
         }
-        let workers = self.workers.min(queries.len());
+        let workers = self.workers.min(n);
         if workers <= 1 {
-            return queries.iter().map(|q| self.answer(q, config)).collect();
+            return (0..n).map(f).collect();
         }
         let next = AtomicUsize::new(0);
-        let mut results: Vec<Option<AnswerPage>> = vec![None; queries.len()];
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut mine: Vec<(usize, AnswerPage)> = Vec::new();
+                        let mut mine: Vec<(usize, T)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= queries.len() {
+                            if i >= n {
                                 break;
                             }
-                            mine.push((i, self.answer(queries[i], config)));
+                            mine.push((i, f(i)));
                         }
                         mine
                     })
@@ -219,9 +460,11 @@ impl<'d> QuerySession<'d> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use extract_corpus::CorpusBuilder;
+    use extract_datagen::dblp::DblpConfig;
     use extract_datagen::retailer::RetailerConfig;
 
-    fn corpus() -> Document {
+    fn corpus_doc() -> Document {
         RetailerConfig::default().generate()
     }
 
@@ -247,7 +490,7 @@ mod tests {
 
     #[test]
     fn concurrent_batch_matches_serial_execution() {
-        let doc = corpus();
+        let doc = corpus_doc();
         let config = ExtractConfig::with_bound(8);
         let qs = queries();
 
@@ -274,7 +517,7 @@ mod tests {
 
     #[test]
     fn repeated_queries_hit_the_page_cache() {
-        let doc = corpus();
+        let doc = corpus_doc();
         let session = QuerySession::with_options(&doc, 4, 64);
         let config = ExtractConfig::with_bound(8);
         let qs = queries();
@@ -291,7 +534,7 @@ mod tests {
 
     #[test]
     fn snippet_cache_backstops_page_eviction() {
-        let doc = corpus();
+        let doc = corpus_doc();
         let session = QuerySession::with_options(&doc, 1, 4096);
         let config = ExtractConfig::with_bound(8);
         // Fill the page cache past its capacity with distinct one-off
@@ -315,7 +558,7 @@ mod tests {
 
     #[test]
     fn empty_batch_and_single_worker_paths() {
-        let doc = corpus();
+        let doc = corpus_doc();
         let session = QuerySession::with_options(&doc, 1, 8);
         let config = ExtractConfig::default();
         assert!(session.answer_batch(&[], &config).is_empty());
@@ -326,7 +569,7 @@ mod tests {
 
     #[test]
     fn cache_disabled_session_still_answers() {
-        let doc = corpus();
+        let doc = corpus_doc();
         let session = QuerySession::with_options(&doc, 4, 0);
         let config = ExtractConfig::with_bound(6);
         let a = session.answer("houston jeans", &config);
@@ -334,5 +577,144 @@ mod tests {
         assert_eq!(render(&[a]), render(&[b]));
         assert_eq!(session.page_stats().hits, 0, "capacity 0 never hits");
         assert_eq!(session.snippet_stats().hits, 0);
+    }
+
+    // ---- Corpus sessions -------------------------------------------------
+
+    fn small_corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        b.add_parsed(
+            "retailer-a",
+            RetailerConfig { retailers: 3, seed: 0xA, ..Default::default() }.generate(),
+        );
+        b.add_parsed(
+            "retailer-b",
+            RetailerConfig { retailers: 3, seed: 0xB, ..Default::default() }.generate(),
+        );
+        b.add_parsed("dblp", DblpConfig { papers: 30, ..Default::default() }.generate());
+        b.add_document(
+            "tiny",
+            "<stores><store><name>Levis</name><state>Texas</state></store></stores>",
+        )
+        .unwrap();
+        b.finish()
+    }
+
+    /// The standalone reference: answer each document with its own Extract
+    /// and merge with the documented rule.
+    fn merge_standalone(
+        corpus: &Corpus,
+        query_str: &str,
+        config: &ExtractConfig,
+    ) -> Vec<(DocId, String)> {
+        let query = KeywordQuery::parse(query_str);
+        let mut merged: Vec<(DocId, f64, extract_xml::NodeId, String)> = Vec::new();
+        for (id, _, doc) in corpus.iter() {
+            let extract = Extract::new(doc);
+            for r in extract.ranked_results(&query) {
+                let s = extract.snippet(&query, &r.result, config);
+                merged.push((id, r.score, r.result.root, s.snippet.to_xml()));
+            }
+        }
+        merged.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        merged.into_iter().map(|(id, _, _, xml)| (id, xml)).collect()
+    }
+
+    #[test]
+    fn corpus_answers_equal_standalone_merge() {
+        let corpus = small_corpus();
+        let session = QuerySession::from_corpus_with_options(&corpus, 2, 64);
+        let config = ExtractConfig::with_bound(8);
+        for q in ["store texas", "houston jeans", "keyword search", "texas", "zzz"] {
+            let page = session.answer_corpus(q, &config);
+            let got: Vec<(DocId, String)> =
+                page.iter().map(|a| (a.doc, a.result.snippet.to_xml())).collect();
+            assert_eq!(got, merge_standalone(&corpus, q, &config), "query {q}");
+        }
+    }
+
+    #[test]
+    fn corpus_batch_matches_serial_and_hits_cache() {
+        let corpus = small_corpus();
+        let session = QuerySession::from_corpus_with_options(&corpus, 4, 128);
+        let config = ExtractConfig::with_bound(8);
+        let qs = ["store texas", "keyword search", "store texas", "houston", "keyword search"];
+        let serial: Vec<CorpusPage> =
+            qs.iter().map(|q| session.answer_corpus(q, &config)).collect();
+        let stats = session.corpus_page_stats();
+        assert!(stats.hits >= 2, "repeats must hit the corpus page cache: {stats:?}");
+        let batch = session.answer_corpus_batch(&qs, &config);
+        for (s, b) in serial.iter().zip(batch.iter()) {
+            let xs: Vec<_> = s.iter().map(|a| (a.doc, a.result.result.root)).collect();
+            let xb: Vec<_> = b.iter().map(|a| (a.doc, a.result.result.root)).collect();
+            assert_eq!(xs, xb);
+        }
+    }
+
+    #[test]
+    fn routing_skips_unrelated_documents() {
+        let corpus = small_corpus();
+        let session = QuerySession::from_corpus_with_options(&corpus, 1, 64);
+        let config = ExtractConfig::with_bound(8);
+        // "sigmod" only exists in the dblp document: only its engine is
+        // built, the three retailer documents never pay.
+        let page = session.answer_corpus("paper sigmod", &config);
+        assert!(!page.is_empty());
+        assert!(page.iter().all(|a| corpus.name(a.doc) == "dblp"));
+        assert_eq!(session.engines_built(), 1, "only the routed document built an engine");
+        assert!(session.routing_fanin().total() > 0);
+        session.clear_cache();
+        assert_eq!(session.routing_fanin(), FanIn::default());
+    }
+
+    #[test]
+    fn corpus_session_single_doc_answer_still_works() {
+        let corpus = small_corpus();
+        let session = QuerySession::from_corpus_with_options(&corpus, 1, 64);
+        let config = ExtractConfig::with_bound(8);
+        // `answer` targets document 0 of the corpus.
+        let page = session.answer("store texas", &config);
+        let reference = Extract::new(corpus.doc(DocId::from_index(0)));
+        let expected = reference.snippets_for_query("store texas", &config);
+        assert_eq!(page.len(), expected.len());
+        for (a, b) in page.iter().zip(expected.iter()) {
+            assert_eq!(a.snippet.to_xml(), b.snippet.to_xml());
+        }
+        assert!(session.corpus().is_some());
+    }
+
+    #[test]
+    fn single_doc_session_answers_corpus_queries() {
+        let doc = corpus_doc();
+        let session = QuerySession::with_options(&doc, 1, 64);
+        let config = ExtractConfig::with_bound(8);
+        let page = session.answer_corpus("store texas", &config);
+        let flat = session.answer("store texas", &config);
+        assert_eq!(page.len(), flat.len());
+        assert!(page.iter().all(|a| a.doc == DocId::from_index(0)));
+        assert!(session.corpus().is_none());
+        assert_eq!(session.routing_fanin(), FanIn::default(), "no routing on one doc");
+    }
+
+    #[test]
+    fn empty_query_yields_empty_corpus_page() {
+        let corpus = small_corpus();
+        let session = QuerySession::from_corpus_with_options(&corpus, 1, 0);
+        assert!(session.answer_corpus("", &ExtractConfig::default()).is_empty());
+        assert!(session
+            .answer_corpus_batch(&[], &ExtractConfig::default())
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty corpus")]
+    fn empty_corpus_session_panics_early() {
+        let corpus = CorpusBuilder::new().finish();
+        let _ = QuerySession::from_corpus(&corpus);
     }
 }
