@@ -1,0 +1,67 @@
+//! The PR-4 serve-throughput benchmark: loopback load generation against
+//! the live daemon (see `extract_bench::serve_throughput` for the
+//! scenarios).
+//!
+//! ```text
+//! serve_throughput [--json PATH] [--quick]
+//! ```
+//!
+//! `--json PATH` writes the machine-readable payload committed as
+//! `BENCH_PR4.json`; `--quick` shrinks the corpus and request counts.
+
+use std::time::Duration;
+
+use extract_bench::serve_throughput::{derived, full_workload, quick_workload, run_all, to_json};
+use extract_bench::{fmt_duration, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut workload = full_workload();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json needs a path").clone());
+            }
+            "--quick" => workload = quick_workload(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: serve_throughput [--json PATH] [--quick]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "running serve_throughput ({} docs × ~{} nodes, {}×{} requests)…",
+        workload.documents,
+        workload.target_nodes_per_doc,
+        workload.clients,
+        workload.requests_per_client
+    );
+    let results = run_all(&workload);
+
+    let mut table = Table::new(["corpus", "scenario", "value", "unit"]);
+    for r in &results {
+        let rendered = match r.unit {
+            "pct" => format!("{:.1} %", r.median_ns),
+            _ => fmt_duration(Duration::from_nanos(r.median_ns as u64)),
+        };
+        table.row([r.corpus.to_string(), r.scenario.to_string(), rendered, r.unit.to_string()]);
+    }
+    println!("{}", table.render());
+
+    let mut dt = Table::new(["derived", "value"]);
+    for (name, x) in derived(&results) {
+        dt.row([name, format!("{x:.2}")]);
+    }
+    println!("{}", dt.render());
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&results)).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

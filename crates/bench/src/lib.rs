@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus_scale;
+pub mod serve_throughput;
 pub mod throughput;
 
 use std::time::{Duration, Instant};

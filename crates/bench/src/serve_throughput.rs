@@ -1,0 +1,294 @@
+//! The PR-4 serve-throughput workload: loopback load generation against
+//! a **live daemon** — real sockets, real HTTP parsing, real JSON
+//! rendering — not an in-process shortcut.
+//!
+//! Scenarios (all over the mixed datagen corpus):
+//!
+//! * `serve_cold` — every request is a distinct `(query, k)` page against
+//!   a caches-off session: the end-to-end cost of routing + search +
+//!   rank + top-k snippets + JSON + the socket round-trip;
+//! * `serve_hot` — the same request set against warmed caches: the
+//!   steady-state cost of a result page that is one hash lookup away;
+//! * `serve_overload` — a worker pool of 1 with a small admission queue
+//!   under 2× its concurrency capacity: reports the shed rate (the
+//!   fraction of requests answered `503` instead of queued unboundedly).
+//!
+//! Shared by the `serve_throughput` binary (which writes
+//! `BENCH_PR4.json`) so the committed numbers and the CLI runs measure
+//! exactly the same work.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use extract::prelude::*;
+use extract::serve::{SearchApp, SearchAppConfig};
+use extract_datagen::corpus::CorpusConfig;
+use extract_serve::{ServeConfig, Server};
+
+use crate::throughput::ScenarioResult;
+
+/// Workload shape: corpus size, client pressure, overload geometry.
+#[derive(Debug, Clone)]
+pub struct ServeWorkload {
+    /// Documents in the generated corpus.
+    pub documents: usize,
+    /// Target nodes per document.
+    pub target_nodes_per_doc: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Concurrent load-generator clients for the throughput scenarios.
+    pub clients: usize,
+    /// Requests each client issues per scenario.
+    pub requests_per_client: usize,
+    /// Admission queue depth of the overload scenario (workers are fixed
+    /// at 1, so capacity is `1 + depth` and the generator runs twice
+    /// that many concurrent clients).
+    pub overload_queue_depth: usize,
+}
+
+/// The committed-numbers configuration.
+pub fn full_workload() -> ServeWorkload {
+    ServeWorkload {
+        documents: 24,
+        target_nodes_per_doc: 2_000,
+        seed: 0xC0D,
+        clients: 4,
+        requests_per_client: 64,
+        overload_queue_depth: 4,
+    }
+}
+
+/// A fast smoke configuration.
+pub fn quick_workload() -> ServeWorkload {
+    ServeWorkload {
+        documents: 9,
+        target_nodes_per_doc: 800,
+        seed: 0xC0D,
+        clients: 2,
+        requests_per_client: 12,
+        overload_queue_depth: 2,
+    }
+}
+
+fn build_corpus(workload: &ServeWorkload) -> Corpus {
+    let config = CorpusConfig {
+        documents: workload.documents,
+        target_nodes_per_doc: workload.target_nodes_per_doc,
+        seed: workload.seed,
+    };
+    let mut builder = CorpusBuilder::new();
+    for (name, doc) in config.documents() {
+        builder.add_parsed(&name, doc);
+    }
+    builder.finish()
+}
+
+/// The request mix: the corpus query mix crossed with page sizes, so
+/// every entry is a distinct `(q, k)` page key.
+fn targets(workload: &ServeWorkload) -> Vec<String> {
+    let mix = CorpusConfig::query_mix();
+    (0..workload.clients * workload.requests_per_client)
+        .map(|i| {
+            let q = mix[i % mix.len()].replace(' ', "+");
+            let k = 1 + (i / mix.len()) % 10;
+            format!("/search?q={q}&k={k}")
+        })
+        .collect()
+}
+
+/// One raw HTTP GET; returns the status code.
+fn get_status(addr: SocketAddr, target: &str) -> u16 {
+    extract_serve::testing::fetch(addr, "GET", target).0
+}
+
+/// Drive `targets`, split across `clients` threads, against a fresh
+/// daemon over `corpus`. Returns `(wall, status counts as (ok, shed,
+/// other))`.
+fn drive(
+    corpus: &Corpus,
+    serve_config: ServeConfig,
+    cache_capacity: usize,
+    clients: usize,
+    targets: &[String],
+    warmup: bool,
+) -> (Duration, u64, u64, u64) {
+    let server = Server::bind("127.0.0.1:0", serve_config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let session = QuerySession::from_corpus_with_options(corpus, 1, cache_capacity);
+    let mut app = SearchApp::new(session, SearchAppConfig::default());
+    app.attach_server(handle.clone());
+
+    let mut wall = Duration::ZERO;
+    let (mut ok, mut shed, mut other) = (0u64, 0u64, 0u64);
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run(|request| app.handle(request)));
+        if warmup {
+            for target in targets {
+                get_status(addr, target);
+            }
+        }
+        let start = Instant::now();
+        let chunk = targets.len().div_ceil(clients.max(1));
+        let counters: Vec<_> = targets
+            .chunks(chunk)
+            .map(|mine| {
+                scope.spawn(move || {
+                    let (mut ok, mut shed, mut other) = (0u64, 0u64, 0u64);
+                    for target in mine {
+                        match get_status(addr, target) {
+                            200 => ok += 1,
+                            503 | 429 => shed += 1,
+                            _ => other += 1,
+                        }
+                    }
+                    (ok, shed, other)
+                })
+            })
+            .collect();
+        for counter in counters {
+            let (o, s, x) = counter.join().expect("client");
+            ok += o;
+            shed += s;
+            other += x;
+        }
+        wall = start.elapsed();
+        handle.shutdown();
+    });
+    (wall, ok, shed, other)
+}
+
+/// Run the three scenarios; results use ns-per-request (`request` unit)
+/// for the throughput pair and shed percent (`pct` unit) for overload.
+pub fn run_all(workload: &ServeWorkload) -> Vec<ScenarioResult> {
+    let corpus = build_corpus(workload);
+    let targets = targets(workload);
+    let serving = ServeConfig {
+        workers: 2,
+        queue_depth: 64,
+        per_client_inflight: 1024,
+        io_timeout: Duration::from_secs(30),
+    };
+    let mut out = Vec::new();
+
+    // Cold: caches off, every page computed end to end.
+    let (wall, ok, _, other) =
+        drive(&corpus, serving.clone(), 0, workload.clients, &targets, false);
+    assert_eq!(other, 0, "cold run must not produce errors");
+    out.push(ScenarioResult {
+        corpus: "mixed",
+        scenario: "serve_cold",
+        median_ns: wall.as_nanos() as f64 / ok.max(1) as f64,
+        unit: "request",
+    });
+
+    // Hot: warmed page cache, same request set.
+    let (wall, ok, _, other) =
+        drive(&corpus, serving.clone(), crate::throughput::CACHE_CAPACITY, workload.clients, &targets, true);
+    assert_eq!(other, 0, "hot run must not produce errors");
+    out.push(ScenarioResult {
+        corpus: "mixed",
+        scenario: "serve_hot",
+        median_ns: wall.as_nanos() as f64 / ok.max(1) as f64,
+        unit: "request",
+    });
+
+    // Overload: capacity 1 + Q, pressure 2 × capacity concurrent clients.
+    let capacity = 1 + workload.overload_queue_depth;
+    let overload_clients = 2 * capacity;
+    let overload_targets = &targets[..targets.len().min(overload_clients * 8)];
+    let (_, ok, shed, other) = drive(
+        &corpus,
+        ServeConfig {
+            workers: 1,
+            queue_depth: workload.overload_queue_depth,
+            per_client_inflight: 1024,
+            io_timeout: Duration::from_secs(30),
+        },
+        crate::throughput::CACHE_CAPACITY,
+        overload_clients,
+        overload_targets,
+        false,
+    );
+    let total = ok + shed + other;
+    out.push(ScenarioResult {
+        corpus: "mixed",
+        scenario: "serve_overload_shed",
+        median_ns: 100.0 * shed as f64 / total.max(1) as f64,
+        unit: "pct",
+    });
+    out.push(ScenarioResult {
+        corpus: "mixed",
+        scenario: "serve_overload_served",
+        median_ns: 100.0 * ok as f64 / total.max(1) as f64,
+        unit: "pct",
+    });
+    out
+}
+
+/// Derived ratios: hot-vs-cold speedup and requests/s for both.
+pub fn derived(results: &[ScenarioResult]) -> Vec<(String, f64)> {
+    let get = |scenario: &str| {
+        results.iter().find(|r| r.scenario == scenario).map(|r| r.median_ns)
+    };
+    let mut out = Vec::new();
+    if let (Some(cold), Some(hot)) = (get("serve_cold"), get("serve_hot")) {
+        if hot > 0.0 {
+            out.push(("serve_hot_vs_cold".to_string(), cold / hot));
+        }
+        out.push(("serve_cold_req_per_s".to_string(), 1e9 / cold));
+        out.push(("serve_hot_req_per_s".to_string(), 1e9 / hot));
+    }
+    if let Some(shed) = get("serve_overload_shed") {
+        out.push(("serve_overload_shed_pct".to_string(), shed));
+    }
+    out
+}
+
+/// Serialize as the committed `BENCH_PR4.json` payload.
+pub fn to_json(results: &[ScenarioResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"serve_throughput\",\n  \"pr\": 4,\n  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"corpus\": \"{}\", \"scenario\": \"{}\", \"median_ns_per_op\": {:.1}, \"unit\": \"{}\"}}{}\n",
+            r.corpus,
+            r.scenario,
+            r.median_ns,
+            r.unit,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n  \"derived\": {\n");
+    let d = derived(results);
+    for (i, (name, x)) in d.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{name}\": {x:.2}{}\n",
+            if i + 1 == d.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_workload_runs_and_serializes() {
+        let workload = ServeWorkload {
+            documents: 4,
+            target_nodes_per_doc: 300,
+            seed: 7,
+            clients: 2,
+            requests_per_client: 3,
+            overload_queue_depth: 1,
+        };
+        let results = run_all(&workload);
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.median_ns >= 0.0));
+        let json = to_json(&results);
+        extract_serve::json::parse(&json).expect("payload is valid JSON");
+    }
+}

@@ -82,6 +82,56 @@ impl CacheKey {
     }
 }
 
+/// Page-cache key: everything that determines a whole result *page* —
+/// the normalized query, the config fields that shape snippets, and the
+/// **page bounds**. `k`/`offset` are part of the key because a top-k
+/// answer only materializes snippets for the served window: the page for
+/// `(k=10, offset=0)` and the page for `(k=10, offset=10)` are different
+/// values and must never alias ([`PageKey::bounded`]). Unpaginated
+/// answers use the canonical `(k=usize::MAX, offset=0)` form
+/// ([`PageKey::unbounded`]), so "the whole page" is itself just one more
+/// window.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PageKey {
+    /// Normalized query ([`KeywordQuery`] display form).
+    query: String,
+    /// Snippet size bound.
+    size_bound: usize,
+    /// Dominant-feature cap.
+    max_dominant_features: Option<usize>,
+    /// Selector algorithm.
+    selector: SelectorKind,
+    /// Rank cutoff: at most `k` results are materialized.
+    k: usize,
+    /// Rank of the first materialized result.
+    offset: usize,
+}
+
+impl PageKey {
+    /// The key of the full, unpaginated page for `(query, config)`.
+    pub fn unbounded(query: &KeywordQuery, config: &ExtractConfig) -> PageKey {
+        PageKey::bounded(query, config, usize::MAX, 0)
+    }
+
+    /// The key of the `[offset, offset + k)` window of the ranked result
+    /// list for `(query, config)`.
+    pub fn bounded(
+        query: &KeywordQuery,
+        config: &ExtractConfig,
+        k: usize,
+        offset: usize,
+    ) -> PageKey {
+        PageKey {
+            query: query.to_string(),
+            size_bound: config.size_bound,
+            max_dominant_features: config.max_dominant_features,
+            selector: config.selector,
+            k,
+            offset,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Entry<V> {
     value: V,
@@ -360,6 +410,33 @@ mod tests {
         assert_eq!(
             CacheKey::for_doc(&q, extract_index::DocId::from_index(0), root, &base),
             CacheKey::new(&q, root, &base)
+        );
+    }
+
+    #[test]
+    fn page_keys_separate_windows_and_normalize_queries() {
+        let config = ExtractConfig::default();
+        let q = KeywordQuery::parse("store texas");
+        let full = PageKey::unbounded(&q, &config);
+        // The unbounded key IS the canonical (usize::MAX, 0) window.
+        assert_eq!(full, PageKey::bounded(&q, &config, usize::MAX, 0));
+        // Distinct windows never alias: same query+config, different page.
+        let keys = [
+            full.clone(),
+            PageKey::bounded(&q, &config, 10, 0),
+            PageKey::bounded(&q, &config, 10, 10),
+            PageKey::bounded(&q, &config, 20, 0),
+            PageKey::bounded(&q, &ExtractConfig::with_bound(3), 10, 0),
+        ];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "page keys {i} and {j} collide");
+            }
+        }
+        // Query normalization flows through like CacheKey's.
+        assert_eq!(
+            PageKey::bounded(&KeywordQuery::parse("Store,TEXAS store"), &config, 10, 0),
+            PageKey::bounded(&q, &config, 10, 0)
         );
     }
 

@@ -71,7 +71,7 @@ pub mod return_entity;
 pub mod selector;
 pub mod snippet;
 
-pub use cache::{CacheKey, CacheStats, LruCache, SnippetCache};
+pub use cache::{CacheKey, CacheStats, LruCache, PageKey, SnippetCache};
 pub use dominance::{dominant_features, DominantFeature};
 pub use ilist::{IList, IListItem, RankedItem};
 pub use pipeline::{Extract, ExtractConfig, SelectorKind, SnippetedResult};

@@ -165,12 +165,15 @@ impl CorpusBuilder {
         &self.rejected
     }
 
-    /// Finalize into an immutable [`Corpus`].
+    /// Finalize into an immutable [`Corpus`]. The rejection log is
+    /// carried along ([`Corpus::rejected`]), so a serving layer can still
+    /// report which inputs never made it in.
     pub fn finish(self) -> Corpus {
         Corpus {
             postings: self.postings.finish(),
             docs: self.docs,
             total_nodes: self.total_nodes,
+            rejected: self.rejected,
         }
     }
 }
@@ -182,6 +185,7 @@ pub struct Corpus {
     postings: ShardedPostings,
     docs: Vec<DocEntry>,
     total_nodes: usize,
+    rejected: Vec<String>,
 }
 
 impl Corpus {
@@ -224,6 +228,13 @@ impl Corpus {
     /// All ids in order.
     pub fn doc_ids(&self) -> impl Iterator<Item = DocId> {
         (0..self.docs.len()).map(DocId::from_index)
+    }
+
+    /// Names of the documents soft-rejected during ingestion (in
+    /// rejection order) — the builder's log, preserved so a long-lived
+    /// serving layer can report ingestion health (`/stats`).
+    pub fn rejected(&self) -> &[String] {
+        &self.rejected
     }
 
     /// The corpus-wide label-sharded postings.
@@ -302,6 +313,8 @@ mod tests {
         assert_eq!(b.rejected(), &["broken".to_string()]);
         let corpus = b.finish();
         assert_eq!(corpus.len(), 2);
+        // The rejection log survives `finish` for the serving layer.
+        assert_eq!(corpus.rejected(), &["broken".to_string()]);
         let (docs, _) = corpus.candidate_docs_str(&["texas"]);
         assert_eq!(docs.len(), 2);
     }

@@ -1,0 +1,40 @@
+//! `jsonv` — validate JSON from stdin (or files) with the same parser the
+//! test suite uses. Exit 0 when every input is a single valid document,
+//! 1 otherwise. Lets the CI smoke script assert "well-formed JSON"
+//! without a system `jq`/`python` dependency.
+
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut failures = 0usize;
+    if args.is_empty() {
+        let mut input = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+            eprintln!("jsonv: stdin: {e}");
+            std::process::exit(1);
+        }
+        check("<stdin>", &input, &mut failures);
+    } else {
+        for path in &args {
+            match std::fs::read_to_string(path) {
+                Ok(input) => check(path, &input, &mut failures),
+                Err(e) => {
+                    eprintln!("jsonv: {path}: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}
+
+fn check(name: &str, input: &str, failures: &mut usize) {
+    match extract_serve::json::parse(input) {
+        Ok(_) => eprintln!("jsonv: {name}: ok"),
+        Err(e) => {
+            eprintln!("jsonv: {name}: {e}");
+            *failures += 1;
+        }
+    }
+}

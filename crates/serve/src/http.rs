@@ -1,0 +1,348 @@
+//! Minimal HTTP/1.1 request parsing and response writing over blocking
+//! streams.
+//!
+//! The daemon speaks exactly the slice of HTTP a snippet service needs:
+//! one request per connection (every response carries `Connection:
+//! close`), `GET`/`POST` request lines with percent-encoded query strings,
+//! and ignored headers apart from `Content-Length` (request bodies are
+//! read and discarded so well-behaved clients never see a reset). All
+//! limits are explicit — request-line length, header count/size, body size
+//! — and violations map to the proper `4xx` instead of a hang or a panic.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Longest accepted request line, in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Most accepted headers.
+pub const MAX_HEADERS: usize = 64;
+/// Longest accepted header line, in bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Largest accepted (and discarded) request body, in bytes.
+pub const MAX_BODY: usize = 64 * 1024;
+
+/// A parsed request: method, decoded path, decoded query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, uppercased by the client per RFC (`GET`, …).
+    pub method: String,
+    /// The percent-decoded path (`/search`).
+    pub path: String,
+    /// Query parameters in request order, percent-decoded, `+` as space.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first value of query parameter `name`.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// How a request failed to parse, with the status code to answer with.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The client closed without sending anything (not an error worth a
+    /// response — e.g. the shutdown wake-up connection).
+    ClosedEarly,
+    /// Malformed request line / headers / encoding → `400`.
+    Malformed(&'static str),
+    /// A limit was exceeded → `431` (headers) or `413` (body).
+    TooLarge(&'static str, u16),
+    /// The underlying socket failed (timeout, reset).
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The status code this error maps to, if a response is worth writing.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::ClosedEarly | HttpError::Io(_) => None,
+            HttpError::Malformed(_) => Some(400),
+            HttpError::TooLarge(_, code) => Some(*code),
+        }
+    }
+
+    /// Human-readable reason for the error body.
+    pub fn reason(&self) -> &str {
+        match self {
+            HttpError::ClosedEarly => "connection closed",
+            HttpError::Malformed(m) | HttpError::TooLarge(m, _) => m,
+            HttpError::Io(_) => "i/o error",
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one line terminated by `\n` (tolerating a trailing `\r`), capped
+/// at `cap` bytes.
+fn read_line<R: BufRead>(r: &mut R, cap: usize, what: &'static str) -> Result<String, HttpError> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte)? {
+            0 => {
+                if buf.is_empty() {
+                    return Err(HttpError::ClosedEarly);
+                }
+                return Err(HttpError::Malformed("truncated line"));
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return String::from_utf8(buf)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 line"));
+                }
+                if buf.len() >= cap {
+                    return Err(HttpError::TooLarge(what, 431));
+                }
+                buf.push(byte[0]);
+            }
+        }
+    }
+}
+
+/// Parse one request from `stream`: request line, headers (all discarded
+/// except `Content-Length`), then the body is read and thrown away.
+pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Request, HttpError> {
+    let line = read_line(stream, MAX_REQUEST_LINE, "request line too long")?;
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().ok_or(HttpError::Malformed("missing request target"))?;
+    let version = parts.next().ok_or(HttpError::Malformed("missing HTTP version"))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("malformed request line"));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed("malformed method"));
+    }
+
+    let mut content_length = 0usize;
+    for n in 0.. {
+        if n >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("too many headers", 431));
+        }
+        let header = read_line(stream, MAX_HEADER_LINE, "header line too long")?;
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::Malformed("malformed header"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("malformed Content-Length"))?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge("request body too large", 413));
+    }
+    io::copy(&mut stream.take(content_length as u64), &mut io::sink())?;
+
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path =
+        percent_decode(path_raw, false).ok_or(HttpError::Malformed("malformed path encoding"))?;
+    let mut query = Vec::new();
+    if let Some(raw) = query_raw {
+        for pair in raw.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k, true)
+                .ok_or(HttpError::Malformed("malformed query encoding"))?;
+            let v = percent_decode(v, true)
+                .ok_or(HttpError::Malformed("malformed query encoding"))?;
+            query.push((k, v));
+        }
+    }
+    Ok(Request { method: method.to_string(), path, query })
+}
+
+/// Percent-decode `s`; in query strings (`plus_is_space`) `+` means a
+/// space. Returns `None` on truncated/invalid `%` escapes or non-UTF-8.
+pub fn percent_decode(s: &str, plus_is_space: bool) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = (*bytes.get(i + 1)? as char).to_digit(16)?;
+                let lo = (*bytes.get(i + 2)? as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// A response ready to write: status, content type, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response { status, content_type: "application/json", body: body.into_bytes() }
+    }
+
+    /// A JSON error response with an `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut w = crate::json::JsonWriter::new();
+        w.obj_begin();
+        w.key("error");
+        w.str(message);
+        w.obj_end();
+        Response::json(status, w.finish())
+    }
+}
+
+/// The reason phrase for the status codes the daemon emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write `response` with `Content-Length` and `Connection: close`.
+pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason_phrase(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_request_line_and_query() {
+        let r = parse("GET /search?q=store+texas&k=5&offset=0 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/search");
+        assert_eq!(r.param("q"), Some("store texas"));
+        assert_eq!(r.param("k"), Some("5"));
+        assert_eq!(r.param("offset"), Some("0"));
+        assert_eq!(r.param("missing"), None);
+    }
+
+    #[test]
+    fn percent_decoding_covers_utf8_and_plus() {
+        let r = parse("GET /s?q=caf%C3%A9%20%2B+bar&x=%7B%22%7D HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.param("q"), Some("café + bar"));
+        assert_eq!(r.param("x"), Some("{\"}"));
+        // `+` in the *path* is literal.
+        let r = parse("GET /a+b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/a+b");
+    }
+
+    #[test]
+    fn body_is_discarded() {
+        let raw = "POST /shutdown HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let r = read_request(&mut reader).unwrap();
+        assert_eq!(r.method, "POST");
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        assert_eq!(rest, "", "body was consumed");
+    }
+
+    #[test]
+    fn malformed_requests_map_to_400() {
+        for raw in [
+            "GET\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET /x SMTP/1.0\r\n\r\n",
+            "get /x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET /%zz HTTP/1.1\r\n\r\n",
+            "GET /s?q=%f0%28 HTTP/1.1\r\n\r\n", // invalid UTF-8 after decode
+            "GET /x HTTP/1.1\r\nno-colon\r\n\r\n",
+            "GET /x HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(err.status(), Some(400), "{raw:?} → {err:?}");
+            assert!(!err.reason().is_empty());
+        }
+    }
+
+    #[test]
+    fn limits_map_to_4xx() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 10));
+        assert_eq!(parse(&long_line).unwrap_err().status(), Some(431));
+        let many_headers = format!(
+            "GET /x HTTP/1.1\r\n{}\r\n",
+            (0..MAX_HEADERS + 1).map(|i| format!("h{i}: v\r\n")).collect::<String>()
+        );
+        assert_eq!(parse(&many_headers).unwrap_err().status(), Some(431));
+        let big_body = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert_eq!(parse(&big_body).unwrap_err().status(), Some(413));
+    }
+
+    #[test]
+    fn empty_connection_is_closed_early() {
+        let err = parse("").unwrap_err();
+        assert!(matches!(err, HttpError::ClosedEarly));
+        assert_eq!(err.status(), None);
+    }
+
+    #[test]
+    fn response_bytes_are_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".to_string())).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let err = Response::error(503, "over capacity");
+        assert_eq!(err.status, 503);
+        assert_eq!(String::from_utf8(err.body).unwrap(), r#"{"error":"over capacity"}"#);
+    }
+}

@@ -1,0 +1,57 @@
+//! # extract-serve — the dependency-free serving substrate
+//!
+//! eXtract (VLDB 2008) is a snippet generation **system**: it sits
+//! between a search engine and its users and must survive real traffic.
+//! This crate is the daemon substrate for that role, built from `std`
+//! alone so the workspace keeps its vendored-only, no-tokio build:
+//!
+//! * [`json`] — an escape-correct JSON writer (the wire format) and a
+//!   small validating parser (tests, load generator, `jsonv` bin);
+//! * [`http`] — minimal HTTP/1.1 request parsing and response writing
+//!   with explicit limits;
+//! * [`server`] — a blocking acceptor → bounded queue → worker pool with
+//!   admission control (`503` load-shedding), per-client fairness
+//!   (`429`), live counters, and graceful drain-and-shutdown.
+//!
+//! The crate knows nothing about XML or snippets: [`Server::run`] takes
+//! any `Fn(&Request) -> Response` handler. The umbrella `extract` crate
+//! wires it to `QuerySession` (see its `serve` module and the `serve`
+//! binary); that layering keeps the dependency graph acyclic and this
+//! substrate reusable.
+//!
+//! ```
+//! use extract_serve::prelude::*;
+//! use std::time::Duration;
+//!
+//! let config = ServeConfig { workers: 2, queue_depth: 4, ..Default::default() };
+//! let server = Server::bind("127.0.0.1:0", config).unwrap();
+//! let handle = server.handle();
+//! let addr = server.local_addr();
+//! std::thread::scope(|scope| {
+//!     scope.spawn(move || {
+//!         server.run(|req| Response::json(200, format!("{{\"path\":\"{}\"}}", req.path)));
+//!     });
+//!     // … drive requests against `addr` …
+//!     let _ = addr;
+//!     handle.shutdown();
+//! });
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod testing;
+
+pub use http::{Request, Response};
+pub use json::JsonWriter;
+pub use server::{ServeConfig, Server, ServerHandle, ServerStats};
+
+/// The common imports in one place.
+pub mod prelude {
+    pub use crate::http::{Request, Response};
+    pub use crate::json::JsonWriter;
+    pub use crate::server::{ServeConfig, Server, ServerHandle, ServerStats};
+}

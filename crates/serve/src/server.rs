@@ -1,0 +1,433 @@
+//! The blocking acceptor → bounded queue → worker-pool server.
+//!
+//! Production machinery, not a toy accept loop:
+//!
+//! * **Admission control** — the acceptor pushes admitted connections
+//!   into a queue bounded by [`ServeConfig::queue_depth`]; when it is
+//!   full the connection is answered `503` *immediately* and closed, so
+//!   overload degrades into fast, explicit shedding instead of unbounded
+//!   latency. Total concurrency is therefore exactly `workers` (in
+//!   service) + `queue_depth` (waiting).
+//! * **Per-client fairness** — at most
+//!   [`ServeConfig::per_client_inflight`] connections per peer IP may be
+//!   admitted-but-unanswered at once; the excess is answered `429` so one
+//!   greedy client cannot occupy the whole pool.
+//! * **Graceful shutdown** — [`ServerHandle::shutdown`] stops admission,
+//!   wakes the acceptor, and lets the workers *drain*: every admitted
+//!   request is still answered before [`Server::run`] returns.
+//!
+//! Everything is `std`: blocking sockets, a `Mutex`+`Condvar` queue,
+//! scoped worker threads. No epoll, no async runtime — the worker pool is
+//! the concurrency bound, and the queue keeps the accept path O(1).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::BufReader;
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::http::{read_request, write_response, Request, Response};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads answering admitted requests.
+    pub workers: usize,
+    /// Admitted connections allowed to wait for a worker; the excess is
+    /// shed with `503`.
+    pub queue_depth: usize,
+    /// Admitted-but-unanswered connections allowed per peer IP; the
+    /// excess is shed with `429`.
+    pub per_client_inflight: usize,
+    /// Socket read/write timeout, so a stalled peer can occupy a worker
+    /// for at most this long.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            per_client_inflight: 64,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Monotonic counters of everything the server did, readable at any time
+/// via [`ServerHandle::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections the acceptor saw.
+    pub accepted: u64,
+    /// Connections admitted to the queue.
+    pub admitted: u64,
+    /// Connections shed with `503` because the queue was full.
+    pub shed_queue_full: u64,
+    /// Connections shed with `429` because the peer was over its
+    /// in-flight cap.
+    pub shed_per_client: u64,
+    /// Requests answered with `2xx`.
+    pub served_ok: u64,
+    /// Requests answered with `4xx`/`5xx` by the handler or the parser.
+    pub served_error: u64,
+    /// Connections that died mid-read or mid-write (timeouts, resets).
+    pub io_errors: u64,
+    /// Connections waiting in the queue right now.
+    pub queue_len: u64,
+    /// Admitted-but-unanswered connections right now (queued + in
+    /// service).
+    pub inflight: u64,
+}
+
+impl ServerStats {
+    /// Every connection that was refused admission.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_per_client
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    admitted: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_per_client: AtomicU64,
+    served_ok: AtomicU64,
+    served_error: AtomicU64,
+    io_errors: AtomicU64,
+}
+
+/// One admitted connection, waiting for a worker.
+#[derive(Debug)]
+struct Admitted {
+    stream: TcpStream,
+    peer: IpAddr,
+}
+
+#[derive(Debug)]
+struct Shared {
+    queue: Mutex<VecDeque<Admitted>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// Admitted-but-unanswered connections per peer IP (entries are
+    /// removed when they reach zero, so the map stays peer-sized).
+    inflight: Mutex<HashMap<IpAddr, u64>>,
+    /// Live refusal threads (see [`shed`]); bounded by
+    /// [`SHED_THREADS_MAX`].
+    shed_threads: AtomicU64,
+    counters: Counters,
+    addr: SocketAddr,
+}
+
+/// A cloneable remote control for a running (or about-to-run) server.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The address the server is bound to (with the real port even when
+    /// bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Stop admitting connections and let [`Server::run`] drain and
+    /// return. Safe to call from any thread, including a worker mid-
+    /// request (the `/shutdown` route does exactly that); idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Acquire (and release) the queue mutex between setting the flag
+        // and notifying: a worker that already checked the flag is still
+        // holding the mutex until it enters `wait`, so without this the
+        // notification could land in that window and be lost forever.
+        drop(self.shared.queue.lock().expect("queue lock"));
+        self.shared.available.notify_all();
+        // Wake the blocking `accept` with a throwaway connection; if the
+        // acceptor is already gone the connect simply fails. A wildcard
+        // bind (0.0.0.0 / ::) is not connectable on every platform —
+        // aim the wake-up at loopback on the bound port instead.
+        let mut wake = self.shared.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                IpAddr::V4(_) => IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(200));
+    }
+
+    /// Whether shutdown was requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        ServerStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            admitted: c.admitted.load(Ordering::Relaxed),
+            shed_queue_full: c.shed_queue_full.load(Ordering::Relaxed),
+            shed_per_client: c.shed_per_client.load(Ordering::Relaxed),
+            served_ok: c.served_ok.load(Ordering::Relaxed),
+            served_error: c.served_error.load(Ordering::Relaxed),
+            io_errors: c.io_errors.load(Ordering::Relaxed),
+            queue_len: self.shared.queue.lock().expect("queue lock").len() as u64,
+            inflight: self.shared.inflight.lock().expect("inflight lock").values().sum(),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server. [`Server::run`] consumes it and
+/// blocks until [`ServerHandle::shutdown`] is called.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// `queue_depth` is clamped to at least 1 — with a 0-depth queue the
+    /// admission gate would shed **every** connection even against idle
+    /// workers, since hand-off always goes through the queue.
+    pub fn bind<A: ToSocketAddrs>(addr: A, mut config: ServeConfig) -> std::io::Result<Server> {
+        config.queue_depth = config.queue_depth.max(1);
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::with_capacity(config.queue_depth)),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            inflight: Mutex::new(HashMap::new()),
+            shed_threads: AtomicU64::new(0),
+            counters: Counters::default(),
+            addr: listener.local_addr()?,
+        });
+        Ok(Server { listener, config, shared })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle for shutdown and stats, usable from other threads and
+    /// from inside the handler.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Accept, admit and answer until shutdown, then drain. The calling
+    /// thread runs the acceptor; `workers` scoped threads answer
+    /// requests. Every admitted connection is answered before this
+    /// returns.
+    pub fn run<H>(self, handler: H)
+    where
+        H: Fn(&Request) -> Response + Sync,
+    {
+        let Server { listener, config, shared } = self;
+        let workers = config.workers.max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| worker_loop(&shared, &config, &handler));
+            }
+            accept_loop(&listener, &shared, &config);
+            // Admission has stopped; wake every waiting worker so the
+            // drain-and-exit condition is observed (lock-then-notify, see
+            // `ServerHandle::shutdown` for why the mutex matters).
+            drop(shared.queue.lock().expect("queue lock"));
+            shared.available.notify_all();
+        });
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServeConfig) {
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(ok) => ok,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Accept failure (aborted handshake, fd exhaustion):
+                // count it and back off briefly so a *persistent* error
+                // (EMFILE under load) doesn't busy-spin the acceptor.
+                shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Includes the wake-up connection from `shutdown()`.
+            return;
+        }
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_read_timeout(Some(config.io_timeout));
+        let _ = stream.set_write_timeout(Some(config.io_timeout));
+        let peer = peer.ip();
+
+        // Per-client fairness gate.
+        {
+            let inflight = shared.inflight.lock().expect("inflight lock");
+            if inflight.get(&peer).copied().unwrap_or(0) >= config.per_client_inflight as u64 {
+                drop(inflight);
+                shared.counters.shed_per_client.fetch_add(1, Ordering::Relaxed);
+                shed(shared, stream, 429, "per-client in-flight limit reached");
+                continue;
+            }
+        }
+        // Admission gate: the queue mutex serializes admission, so the
+        // bound is exact — at most `queue_depth` connections wait.
+        {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            if queue.len() >= config.queue_depth {
+                drop(queue);
+                shared.counters.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                shed(shared, stream, 503, "server over capacity");
+                continue;
+            }
+            *shared.inflight.lock().expect("inflight lock").entry(peer).or_insert(0) += 1;
+            queue.push_back(Admitted { stream, peer });
+        }
+        shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        shared.available.notify_one();
+    }
+}
+
+/// Most refusal threads alive at once. Beyond this bound the connection
+/// is dropped without a response (it stays counted as shed): under an
+/// extreme storm of slow peers, bounded resources beat best-effort
+/// politeness.
+const SHED_THREADS_MAX: u64 = 64;
+
+/// Refuse `stream` with `status` without occupying a worker — and
+/// without occupying the *acceptor*: the refusal runs on a short-lived
+/// detached thread (lifetime bounded by the short read/write timeouts,
+/// population bounded by [`SHED_THREADS_MAX`]), so the accept path stays
+/// O(1) even when a storm of slow peers is being shed.
+///
+/// The request is never parsed on this path, so the socket may hold
+/// unread bytes — closing it like that turns into a TCP `RST` that can
+/// destroy the refusal before the client reads it. The thread drains
+/// what the peer sent, answers, then does a bounded lingering close: the
+/// client reliably sees the `503`/`429`, never a reset.
+fn shed(shared: &Arc<Shared>, mut stream: TcpStream, status: u16, message: &'static str) {
+    if shared.shed_threads.fetch_add(1, Ordering::AcqRel) >= SHED_THREADS_MAX {
+        shared.shed_threads.fetch_sub(1, Ordering::AcqRel);
+        return; // beyond the bound: drop, already counted as shed
+    }
+    let on_err = Arc::clone(shared);
+    let shared = Arc::clone(shared);
+    let refusal = move || {
+        use std::io::Read as _;
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        let mut scratch = [0u8; 4096];
+        let _ = stream.read(&mut scratch);
+        if write_response(&mut stream, &Response::error(status, message)).is_err() {
+            shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        linger_close(stream);
+        shared.shed_threads.fetch_sub(1, Ordering::AcqRel);
+    };
+    if std::thread::Builder::new().name("shed".into()).spawn(refusal).is_err() {
+        // Spawn failure drops the closure (and the stream) unrun.
+        on_err.shed_threads.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Bounded lingering close (≤ 4 × 50 ms): send `FIN`, then keep
+/// consuming until the peer finishes and closes, so unread request bytes
+/// can't turn the close into an `RST` that destroys the response in
+/// flight.
+fn linger_close(mut stream: TcpStream) {
+    use std::io::Read as _;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 4096];
+    for _ in 0..4 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn worker_loop<H>(shared: &Shared, config: &ServeConfig, handler: &H)
+where
+    H: Fn(&Request) -> Response + Sync,
+{
+    loop {
+        let admitted = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(item) = queue.pop_front() {
+                    break Some(item);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.available.wait(queue).expect("queue lock");
+            }
+        };
+        let Some(Admitted { stream, peer }) = admitted else {
+            return; // shutdown requested and the queue is drained
+        };
+        serve_connection(shared, config, stream, handler);
+        let mut inflight = shared.inflight.lock().expect("inflight lock");
+        if let Some(n) = inflight.get_mut(&peer) {
+            *n -= 1;
+            if *n == 0 {
+                inflight.remove(&peer);
+            }
+        }
+    }
+}
+
+fn serve_connection<H>(shared: &Shared, config: &ServeConfig, stream: TcpStream, handler: &H)
+where
+    H: Fn(&Request) -> Response + Sync,
+{
+    let _ = config; // timeouts were applied at accept time
+    let mut reader = BufReader::new(&stream);
+    let (response, parse_failed) = match read_request(&mut reader) {
+        Ok(request) => (handler(&request), false),
+        Err(err) => match err.status() {
+            Some(status) => (Response::error(status, err.reason()), true),
+            None => {
+                // A peer that connected and closed without a byte
+                // (`ClosedEarly`, e.g. a TCP liveness probe) is routine,
+                // not an i/o failure.
+                if !matches!(err, crate::http::HttpError::ClosedEarly) {
+                    shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+        },
+    };
+    // A parse failure — or leftover buffered bytes after a clean parse
+    // (a pipelining client) — means the socket holds unread data, so the
+    // close must linger (see `linger_close`) or the response can be
+    // destroyed by an `RST`. A fully-consumed request closes plainly.
+    let dirty = parse_failed || !reader.buffer().is_empty();
+    let class = if (200..300).contains(&response.status) {
+        &shared.counters.served_ok
+    } else {
+        &shared.counters.served_error
+    };
+    if write_response(&mut &stream, &response).is_ok() {
+        class.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    if dirty {
+        drop(reader);
+        linger_close(stream);
+    }
+}

@@ -1,0 +1,102 @@
+//! Test and load-generator support: a tiny raw-HTTP loopback client plus
+//! the concurrency latches the deterministic server tests are built on.
+//! Shared by this crate's integration tests, the umbrella `tests/serve.rs`
+//! suite and the `serve_throughput` bench so the wire-format knowledge
+//! lives in one place. Not part of the serving API.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::server::ServerHandle;
+
+/// Issue one `method target` request over a fresh connection, returning
+/// `(status, body)`. The read timeout turns a dropped connection or a
+/// hang into a loud panic — exactly what a test wants.
+///
+/// # Panics
+/// On connect/send/read failure or a malformed status line.
+pub fn fetch(addr: SocketAddr, method: &str, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    write!(stream, "{method} {target} HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .expect("read response — the server must never drop a connection");
+    let status = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .unwrap_or_else(|| panic!("malformed response {raw:?}"))
+        .parse()
+        .expect("status code");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// A latch a handler blocks on until the test releases it, counting how
+/// many calls have entered — the tool that turns "the worker is busy"
+/// into an *observed* state instead of a sleep.
+#[derive(Debug, Default)]
+pub struct Gate {
+    state: Mutex<(usize, bool)>, // (entered, released)
+    cond: Condvar,
+}
+
+impl Gate {
+    /// Called by the gated handler: count the entry, then block until
+    /// [`Gate::release`].
+    pub fn wait_inside(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.0 += 1;
+        self.cond.notify_all();
+        while !state.1 {
+            state = self.cond.wait(state).unwrap();
+        }
+    }
+
+    /// Open the gate permanently.
+    pub fn release(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.cond.notify_all();
+    }
+
+    /// Block until `n` handler calls have entered the gate.
+    ///
+    /// # Panics
+    /// After 20 s.
+    pub fn await_entered(&self, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut state = self.state.lock().unwrap();
+        while state.0 < n {
+            assert!(Instant::now() < deadline, "handler never entered {n} times");
+            let (s, _) = self.cond.wait_timeout(state, Duration::from_millis(50)).unwrap();
+            state = s;
+        }
+    }
+}
+
+/// Shuts the server down when dropped. Declared inside every test
+/// `thread::scope` body so a failed assertion unwinds into a drain
+/// instead of deadlocking the scope's implicit join on `Server::run`.
+#[derive(Debug)]
+pub struct DrainOnDrop(pub ServerHandle);
+
+impl Drop for DrainOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Releases the gate when dropped — pairs with [`DrainOnDrop`] so an
+/// assertion failure can't leave a handler blocked on the gate while the
+/// drain waits for it.
+#[derive(Debug)]
+pub struct ReleaseOnDrop<'a>(pub &'a Gate);
+
+impl Drop for ReleaseOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: every string — printable, control-char-laden, or
+//! multi-byte — round-trips through the hand-rolled JSON writer without
+//! ever producing invalid JSON. The `.{0,N}` strategy of the vendored
+//! proptest shim deliberately mixes raw control characters and wide
+//! UTF-8 (exactly what XML snippet text can contain), so this pins the
+//! escaping rules of `extract_serve::json` against its own validating
+//! parser.
+
+use extract_serve::json::{self, JsonWriter, Value};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn arbitrary_strings_roundtrip_as_values(s in ".{0,120}") {
+        let mut w = JsonWriter::new();
+        w.str(&s);
+        let doc = w.finish();
+        let parsed = json::parse(&doc)
+            .unwrap_or_else(|e| panic!("writer produced invalid JSON {doc:?}: {e}"));
+        prop_assert_eq!(parsed, Value::Str(s));
+    }
+
+    #[test]
+    fn arbitrary_strings_roundtrip_as_keys(key in ".{0,60}", value in ".{0,60}") {
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.key(&key);
+        w.str(&value);
+        w.obj_end();
+        let doc = w.finish();
+        let parsed = json::parse(&doc)
+            .unwrap_or_else(|e| panic!("writer produced invalid JSON {doc:?}: {e}"));
+        prop_assert_eq!(parsed.get(&key).and_then(Value::as_str), Some(value.as_str()));
+    }
+
+    #[test]
+    fn mixed_documents_stay_valid(
+        strings in proptest::collection::vec(".{0,40}", 0..8),
+        int in 0u64..1_000_000,
+        float_milli in -1_000_000i64..1_000_000,
+        flag in proptest::arbitrary::any::<bool>(),
+    ) {
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.key("int");
+        w.num_u64(int);
+        w.key("float");
+        w.num_f64(float_milli as f64 / 1000.0);
+        w.key("flag");
+        w.bool(flag);
+        w.key("none");
+        w.null();
+        w.key("strings");
+        w.arr_begin();
+        for s in &strings {
+            w.str(s);
+        }
+        w.arr_end();
+        w.obj_end();
+        let doc = w.finish();
+        let parsed = json::parse(&doc)
+            .unwrap_or_else(|e| panic!("writer produced invalid JSON {doc:?}: {e}"));
+        prop_assert_eq!(parsed.get("int").and_then(Value::as_u64), Some(int));
+        prop_assert_eq!(
+            parsed.get("float").and_then(Value::as_f64),
+            Some(float_milli as f64 / 1000.0)
+        );
+        let got: Vec<&str> = parsed
+            .get("strings")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Value::as_str)
+            .collect();
+        let want: Vec<&str> = strings.iter().map(String::as_str).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,251 @@
+//! Deterministic admission-control, fairness and shutdown tests.
+//!
+//! The handler blocks on a [`Gate`] the test controls, so "the worker is
+//! busy" and "the queue holds exactly N connections" are *observed*
+//! states (polled via [`ServerHandle::stats`]), not sleeps — the shed
+//! counts asserted here are exact, matching the acceptance criterion
+//! "with queue-depth Q and 2×Q concurrent requests, exactly the excess
+//! is shed with 503".
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use extract_serve::prelude::*;
+use extract_serve::testing::{fetch, DrainOnDrop, Gate, ReleaseOnDrop};
+
+/// Block until `predicate(stats)` holds (10 s deadline).
+fn await_stats(handle: &ServerHandle, what: &str, predicate: impl Fn(&ServerStats) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if predicate(&handle.stats()) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}: {:?}", handle.stats());
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    fetch(addr, "GET", path)
+}
+
+fn echo_handler(gate: &Gate) -> impl Fn(&Request) -> Response + Sync + '_ {
+    move |req: &Request| {
+        if req.path == "/block" {
+            gate.wait_inside();
+        }
+        if req.path == "/missing" {
+            return Response::error(404, "no such route");
+        }
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.key("path");
+        w.str(&req.path);
+        w.key("q");
+        w.str(req.param("q").unwrap_or(""));
+        w.obj_end();
+        Response::json(200, w.finish())
+    }
+}
+
+#[test]
+fn serves_parses_and_counts() {
+    let config = ServeConfig { workers: 2, queue_depth: 8, ..Default::default() };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let (addr, handle) = (server.local_addr(), server.handle());
+    let gate = Gate::default();
+    gate.release(); // nothing blocks in this test
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        scope.spawn(|| server.run(echo_handler(&gate)));
+
+        let (status, body) = get(addr, "/search?q=store+texas");
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"path":"/search","q":"store texas"}"#);
+
+        let (status, body) = get(addr, "/missing");
+        assert_eq!(status, 404);
+        assert_eq!(body, r#"{"error":"no such route"}"#);
+
+        // A malformed request is answered 400 by the server itself.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 400 "), "{raw:?}");
+
+        // One 200 (/search) and two errors (404 route, 400 parse).
+        await_stats(&handle, "responses counted", |s| s.served_ok == 1 && s.served_error == 2);
+        let stats = handle.stats();
+        assert_eq!(stats.accepted, 3, "{stats:?}");
+        assert_eq!(stats.admitted, 3, "{stats:?}");
+        assert_eq!(stats.shed_total(), 0, "{stats:?}");
+        await_stats(&handle, "drained", |s| s.inflight == 0 && s.queue_len == 0);
+
+        handle.shutdown();
+    });
+    assert!(handle.is_shutting_down());
+}
+
+#[test]
+fn queue_overflow_sheds_exactly_the_excess_with_503() {
+    const QUEUE_DEPTH: usize = 3;
+    const EXCESS: usize = 4;
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: QUEUE_DEPTH,
+        per_client_inflight: 1024, // fairness out of the way: loopback is one IP
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let (addr, handle) = (server.local_addr(), server.handle());
+    let gate = Gate::default();
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        let _open = ReleaseOnDrop(&gate);
+        scope.spawn(|| server.run(echo_handler(&gate)));
+
+        // Occupy the only worker first (otherwise one of the "queued"
+        // requests could race past the still-unclaimed first connection
+        // and overflow the queue prematurely)…
+        let mut blocked = vec![scope.spawn(move || get(addr, "/block"))];
+        gate.await_entered(1);
+        // …then fill the queue to exactly QUEUE_DEPTH.
+        blocked.extend((0..QUEUE_DEPTH).map(|_| scope.spawn(move || get(addr, "/block"))));
+        await_stats(&handle, "full queue", |s| s.queue_len == QUEUE_DEPTH as u64);
+
+        // Every further request is the excess: shed, immediately, as 503.
+        for i in 0..EXCESS {
+            let start = Instant::now();
+            let (status, body) = get(addr, "/block");
+            assert_eq!(status, 503, "excess request {i}");
+            assert_eq!(body, r#"{"error":"server over capacity"}"#);
+            assert!(
+                start.elapsed() < Duration::from_secs(2),
+                "shedding must not wait for a worker"
+            );
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.shed_queue_full, EXCESS as u64, "exactly the excess: {stats:?}");
+        assert_eq!(stats.admitted, 1 + QUEUE_DEPTH as u64, "{stats:?}");
+
+        // Release: every admitted request completes with 200.
+        gate.release();
+        for client in blocked {
+            assert_eq!(client.join().unwrap().0, 200, "admitted request must be served");
+        }
+        await_stats(&handle, "admitted all served", |s| s.served_ok == 1 + QUEUE_DEPTH as u64);
+        handle.shutdown();
+    });
+    let stats = handle.stats();
+    assert_eq!(stats.served_ok, 1 + QUEUE_DEPTH as u64, "{stats:?}");
+    assert_eq!(stats.shed_queue_full, EXCESS as u64, "{stats:?}");
+    assert_eq!(stats.io_errors, 0, "no connection may be dropped: {stats:?}");
+}
+
+#[test]
+fn per_client_cap_sheds_with_429() {
+    let config = ServeConfig {
+        workers: 4,
+        queue_depth: 16,
+        per_client_inflight: 1,
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let (addr, handle) = (server.local_addr(), server.handle());
+    let gate = Gate::default();
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        let _open = ReleaseOnDrop(&gate);
+        scope.spawn(|| server.run(echo_handler(&gate)));
+
+        // One in-flight request from this IP…
+        let first = scope.spawn(move || get(addr, "/block"));
+        gate.await_entered(1);
+
+        // …so the second is over the per-client cap.
+        let (status, body) = get(addr, "/anything");
+        assert_eq!(status, 429);
+        assert_eq!(body, r#"{"error":"per-client in-flight limit reached"}"#);
+        assert_eq!(handle.stats().shed_per_client, 1);
+
+        gate.release();
+        assert_eq!(first.join().unwrap().0, 200);
+
+        // With the first request answered, the same client is admitted again.
+        await_stats(&handle, "inflight drained", |s| s.inflight == 0);
+        assert_eq!(get(addr, "/again").0, 200);
+        handle.shutdown();
+    });
+}
+
+#[test]
+fn shutdown_drains_inflight_and_queued_work() {
+    let config = ServeConfig { workers: 1, queue_depth: 4, ..Default::default() };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let (addr, handle) = (server.local_addr(), server.handle());
+    let gate = Gate::default();
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        let _open = ReleaseOnDrop(&gate);
+        scope.spawn(|| server.run(echo_handler(&gate)));
+
+        // One request in service, one waiting in the queue.
+        let in_service = scope.spawn(move || get(addr, "/block"));
+        gate.await_entered(1);
+        let queued = scope.spawn(move || get(addr, "/queued?q=x"));
+        await_stats(&handle, "one queued", |s| s.queue_len == 1);
+
+        // Shutdown must not abandon either of them.
+        handle.shutdown();
+        gate.release();
+        assert_eq!(in_service.join().unwrap().0, 200);
+        let (status, body) = queued.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"path":"/queued","q":"x"}"#);
+    });
+    // `run` returned (the scope joined it), and the counters survived.
+    let stats = handle.stats();
+    assert_eq!(stats.served_ok, 2, "{stats:?}");
+    assert_eq!(stats.inflight, 0, "{stats:?}");
+
+    // After shutdown nobody answers; connecting may succeed (listener
+    // backlog) but no response ever comes.
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        stream.set_read_timeout(Some(Duration::from_millis(300))).unwrap();
+        let _ = stream.write_all(b"GET / HTTP/1.1\r\n\r\n");
+        let mut buf = [0u8; 64];
+        assert!(!matches!(stream.read(&mut buf), Ok(n) if n > 0), "daemon kept serving");
+    }
+}
+
+#[test]
+fn zero_queue_depth_is_clamped_not_total_shed() {
+    // A 0-depth queue would shed 100% of traffic even against idle
+    // workers (hand-off always goes through the queue); bind clamps it.
+    let config = ServeConfig { workers: 1, queue_depth: 0, ..Default::default() };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let (addr, handle) = (server.local_addr(), server.handle());
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        scope.spawn(|| server.run(|_req| Response::json(200, "{}".into())));
+        assert_eq!(get(addr, "/x").0, 200, "queue_depth 0 must not shed everything");
+        handle.shutdown();
+    });
+}
+
+#[test]
+fn shutdown_is_idempotent_and_prompt() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let handle = server.handle();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        scope.spawn(|| server.run(|_req| Response::json(200, "{}".into())));
+        handle.shutdown();
+        handle.shutdown();
+    });
+    assert!(start.elapsed() < Duration::from_secs(5), "idle shutdown must be prompt");
+}

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Benchmark runner: the PR-2 query-path workload and the PR-3 corpus-scale
-# workload.
+# Benchmark runner: the PR-2 query-path workload, the PR-3 corpus-scale
+# workload and the PR-4 serve-throughput workload.
 #
 # Usage:
-#   scripts/bench.sh [--check|--quick] [pr2|pr3|all]
+#   scripts/bench.sh [--check|--quick] [pr2|pr3|pr4|serve|all]
 #
-#   scripts/bench.sh            — run both workloads, writing
-#                                 BENCH_PR2.json and BENCH_PR3.json
+#   scripts/bench.sh            — run every workload, writing
+#                                 BENCH_PR2.json, BENCH_PR3.json and
+#                                 BENCH_PR4.json
 #   scripts/bench.sh pr3        — run only the corpus-scale workload
+#   scripts/bench.sh serve      — run only the daemon load generator
+#                                 (alias: pr4)
 #   scripts/bench.sh --check    — compile-only (CI gate): build both bench
 #                                 binaries and the Criterion benches
 #                                 without running them
@@ -26,8 +29,9 @@ for arg in "$@"; do
         --check) MODE="check" ;;
         --quick) MODE="quick" ;;
         pr2|pr3|all) TARGET="$arg" ;;
+        pr4|serve) TARGET="pr4" ;;
         *)
-            echo "usage: scripts/bench.sh [--check|--quick] [pr2|pr3|all]" >&2
+            echo "usage: scripts/bench.sh [--check|--quick] [pr2|pr3|pr4|serve|all]" >&2
             exit 2
             ;;
     esac
@@ -35,7 +39,7 @@ done
 
 if [[ "$MODE" == "check" ]]; then
     echo "==> bench.sh --check: compile the bench binaries and Criterion benches"
-    cargo build --release --offline -p extract-bench --bin query_throughput --bin corpus_scale
+    cargo build --release --offline -p extract-bench --bin query_throughput --bin corpus_scale --bin serve_throughput
     cargo bench --no-run --offline -p extract-bench
     echo "bench.sh: compile check green"
     exit 0
@@ -56,4 +60,10 @@ if [[ "$TARGET" == "pr3" || "$TARGET" == "all" ]]; then
     echo "==> bench.sh: running corpus_scale (results → BENCH_PR3.json)"
     cargo run --release --offline -p extract-bench --bin corpus_scale -- \
         --json BENCH_PR3.json "${ARGS[@]+"${ARGS[@]}"}"
+fi
+
+if [[ "$TARGET" == "pr4" || "$TARGET" == "all" ]]; then
+    echo "==> bench.sh: running serve_throughput (results → BENCH_PR4.json)"
+    cargo run --release --offline -p extract-bench --bin serve_throughput -- \
+        --json BENCH_PR4.json "${ARGS[@]+"${ARGS[@]}"}"
 fi

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# CI smoke test for the `serve` daemon: build it, boot it against a small
+# generated corpus, hit /healthz, /search and /stats, assert 200 + well-
+# formed JSON (validated by the dependency-free `jsonv` binary), then
+# exercise graceful shutdown and require a clean exit.
+#
+# Usage: scripts/serve_smoke.sh
+#
+# Two layers:
+#   1. `serve --self-check` — the daemon's built-in loopback round, which
+#      needs no external tools at all;
+#   2. when `curl` is available, the same probes again from a real
+#      external client over the wire.
+#
+# All commands run with --offline: every dependency is a path-local
+# vendored shim (vendor/), so no registry access is needed or wanted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE=target/release/serve
+JSONV=target/release/jsonv
+
+echo "==> serve_smoke: building the daemon and the JSON validator"
+cargo build --release --offline --bin serve --bin jsonv
+
+echo "==> serve_smoke: built-in self-check (ephemeral port, loopback round)"
+"$SERVE" --self-check --gen-docs 6 --gen-nodes 500 --workers 2 --queue-depth 8
+
+if ! command -v curl >/dev/null; then
+    echo "serve_smoke: curl not available — self-check covered the wire probes"
+    echo "serve_smoke: green"
+    exit 0
+fi
+
+echo "==> serve_smoke: external probes over the wire (curl)"
+OUT=$(mktemp)
+"$SERVE" --port 0 --gen-docs 6 --gen-nodes 500 --workers 2 --queue-depth 8 >"$OUT" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$OUT"' EXIT
+
+# Wait for the single ready line and extract the bound address.
+URL=""
+for _ in $(seq 1 100); do
+    URL=$(sed -n 's/^extract-serve listening on \(http:[^ ]*\).*/\1/p' "$OUT")
+    [[ -n "$URL" ]] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "serve_smoke: daemon died before becoming ready" >&2
+        cat "$OUT" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if [[ -z "$URL" ]]; then
+    echo "serve_smoke: daemon never printed its ready line" >&2
+    exit 1
+fi
+echo "serve_smoke: daemon ready at $URL"
+
+probe() { # probe METHOD PATH EXPECTED_STATUS
+    local method=$1 path=$2 want=$3 body status
+    body=$(mktemp)
+    status=$(curl -s -X "$method" -o "$body" -w '%{http_code}' "$URL$path")
+    if [[ "$status" != "$want" ]]; then
+        echo "serve_smoke: $method $path returned $status (want $want)" >&2
+        cat "$body" >&2
+        rm -f "$body"
+        exit 1
+    fi
+    "$JSONV" "$body" || { echo "serve_smoke: $method $path body is not valid JSON" >&2; exit 1; }
+    rm -f "$body"
+    echo "serve_smoke: $method $path → $status, valid JSON"
+}
+
+probe GET  "/healthz" 200
+probe GET  "/search?q=texas&k=3" 200
+probe GET  "/search?q=store+name&k=2&offset=1" 200
+probe GET  "/stats" 200
+probe GET  "/search" 400
+probe GET  "/no-such-route" 404
+
+echo "==> serve_smoke: graceful shutdown"
+probe POST "/shutdown" 200
+for _ in $(seq 1 100); do
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "$PID" 2>/dev/null; then
+    echo "serve_smoke: daemon did not exit after /shutdown" >&2
+    exit 1
+fi
+wait "$PID" || { echo "serve_smoke: daemon exited non-zero" >&2; exit 1; }
+trap 'rm -f "$OUT"' EXIT
+
+echo "serve_smoke: green"

@@ -7,8 +7,11 @@
 #   1. cargo build --release          — every crate, bin, and example
 #   2. cargo test -q                  — unit, integration, property, doc tests
 #   3. cargo clippy ... -D warnings   — lint-clean across all targets
-#   4. cargo bench --no-run           — all seven Criterion benches compile
-#   5. scripts/bench.sh --check       — the throughput bench binary compiles
+#   4. cargo bench --no-run           — every Criterion bench compiles
+#   5. scripts/bench.sh --check       — the bench binaries compile
+#
+# The serving daemon additionally has scripts/serve_smoke.sh (boot, probe,
+# drain), run as its own CI job.
 #
 # All commands run with --offline: every dependency is a path-local
 # vendored shim (vendor/), so no registry access is needed or wanted.

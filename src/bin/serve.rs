@@ -1,0 +1,316 @@
+//! `serve` — the eXtract query daemon.
+//!
+//! One daemon serves one corpus through one [`QuerySession`]: a
+//! hand-rolled HTTP/1.1 front end (`extract-serve`) with bounded-queue
+//! admission control, per-client fairness and graceful drain. See the
+//! README "Serving" section for the wire protocol.
+//!
+//! ```text
+//! serve [options]
+//!
+//! corpus source (pick one; default --gen-docs 24):
+//!   --corpus DIR     ingest every .xml file under DIR (sorted; malformed
+//!                    files are soft-rejected and reported on /stats)
+//!   --gen-docs N     generate a mixed N-document datagen corpus
+//!
+//! options:
+//!   --port P         TCP port (default 7878; 0 picks an ephemeral port)
+//!   --workers N      worker threads (default: available parallelism)
+//!   --queue-depth N  admission queue bound; the excess is shed with 503
+//!                    (default 64)
+//!   --per-client N   in-flight cap per peer IP, shed with 429
+//!                    (default workers + queue depth)
+//!   --gen-nodes N    target nodes per generated document (default 2000)
+//!   --seed S         generator seed (default 0xC0D)
+//!   --bound N        snippet size bound (default 10)
+//!   --default-k N    page size when the request has no k (default 10)
+//!   --max-k N        hard page-size cap (default 100)
+//!   --cache N        session cache capacity, 0 disables (default 4096)
+//!   --self-check     boot on an ephemeral port, run a loopback smoke
+//!                    round (/healthz, /search, /stats, /shutdown),
+//!                    validate every JSON body, then exit
+//! ```
+//!
+//! The daemon prints exactly one ready line to stdout once it accepts
+//! connections:
+//!
+//! ```text
+//! extract-serve listening on http://127.0.0.1:7878 (docs=24 nodes=48231 workers=4 queue=64)
+//! ```
+//!
+//! and exits 0 after a `POST /shutdown` finished draining.
+//!
+//! [`QuerySession`]: extract::session::QuerySession
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use extract::corpus::{Corpus, CorpusBuilder};
+use extract::datagen::corpus::CorpusConfig;
+use extract::prelude::*;
+use extract::serve::serve_corpus;
+use extract_core::ExtractConfig;
+use extract_serve::json;
+use extract_serve::ServeConfig;
+
+struct Options {
+    corpus_dir: Option<String>,
+    gen_docs: usize,
+    gen_nodes: usize,
+    seed: u64,
+    port: u16,
+    workers: usize,
+    queue_depth: usize,
+    per_client: Option<usize>,
+    bound: usize,
+    default_k: usize,
+    max_k: usize,
+    cache: usize,
+    self_check: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            corpus_dir: None,
+            gen_docs: 24,
+            gen_nodes: 2_000,
+            seed: 0xC0D,
+            port: 7878,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            queue_depth: 64,
+            per_client: None,
+            bound: 10,
+            default_k: 10,
+            max_k: 100,
+            cache: 4096,
+            self_check: false,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: serve [--corpus DIR | --gen-docs N] [--port P] [--workers N] \
+         [--queue-depth N] [--per-client N] [--gen-nodes N] [--seed S] [--bound N] \
+         [--default-k N] [--max-k N] [--cache N] [--self-check]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_options() -> Result<Options, ExitCode> {
+    let mut options = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Result<String, ExitCode> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(usage)
+        };
+        match args[i].as_str() {
+            "--corpus" => options.corpus_dir = Some(value(&mut i)?),
+            "--gen-docs" => options.gen_docs = parse_num(&value(&mut i)?)?,
+            "--gen-nodes" => options.gen_nodes = parse_num(&value(&mut i)?)?,
+            "--seed" => options.seed = parse_num(&value(&mut i)?)? as u64,
+            "--port" => {
+                let raw = parse_num(&value(&mut i)?)?;
+                options.port = u16::try_from(raw).map_err(|_| {
+                    eprintln!("serve: port {raw} is out of range (0-65535)");
+                    usage()
+                })?;
+            }
+            "--workers" => options.workers = parse_num(&value(&mut i)?)?,
+            "--queue-depth" => options.queue_depth = parse_num(&value(&mut i)?)?,
+            "--per-client" => options.per_client = Some(parse_num(&value(&mut i)?)?),
+            "--bound" => options.bound = parse_num(&value(&mut i)?)?,
+            "--default-k" => options.default_k = parse_num(&value(&mut i)?)?,
+            "--max-k" => options.max_k = parse_num(&value(&mut i)?)?,
+            "--cache" => options.cache = parse_num(&value(&mut i)?)?,
+            "--self-check" => options.self_check = true,
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                eprintln!("serve: unknown argument `{other}`");
+                return Err(usage());
+            }
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+fn parse_num(raw: &str) -> Result<usize, ExitCode> {
+    raw.parse().map_err(|_| {
+        eprintln!("serve: `{raw}` is not a non-negative integer");
+        usage()
+    })
+}
+
+fn build_corpus(options: &Options) -> Result<Corpus, ExitCode> {
+    let mut builder = CorpusBuilder::new();
+    match &options.corpus_dir {
+        Some(dir) => {
+            let mut paths: Vec<_> = match std::fs::read_dir(dir) {
+                Ok(entries) => entries
+                    .filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|ext| ext == "xml"))
+                    .collect(),
+                Err(e) => {
+                    eprintln!("serve: cannot read corpus dir `{dir}`: {e}");
+                    return Err(ExitCode::FAILURE);
+                }
+            };
+            paths.sort();
+            for path in paths {
+                let name = path.file_stem().unwrap_or_default().to_string_lossy().to_string();
+                match std::fs::read_to_string(&path) {
+                    Ok(xml) => {
+                        if let Err(e) = builder.add_document(&name, &xml) {
+                            eprintln!("serve: {e} (soft-rejected, continuing)");
+                        }
+                    }
+                    Err(e) => eprintln!("serve: skipping {}: {e}", path.display()),
+                }
+            }
+        }
+        None => {
+            let config = CorpusConfig {
+                documents: options.gen_docs,
+                target_nodes_per_doc: options.gen_nodes,
+                seed: options.seed,
+            };
+            for (name, doc) in config.documents() {
+                builder.add_parsed(&name, doc);
+            }
+        }
+    }
+    if builder.is_empty() {
+        eprintln!("serve: the corpus is empty — nothing to serve");
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(builder.finish())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(code) => return code,
+    };
+    let corpus = match build_corpus(&options) {
+        Ok(corpus) => corpus,
+        Err(code) => return code,
+    };
+
+    let serve_config = ServeConfig {
+        workers: options.workers.max(1),
+        queue_depth: options.queue_depth,
+        per_client_inflight: options
+            .per_client
+            .unwrap_or(options.workers.max(1) + options.queue_depth),
+        io_timeout: Duration::from_secs(10),
+    };
+    let app_config = SearchAppConfig {
+        snippet: ExtractConfig::with_bound(options.bound),
+        default_k: options.default_k,
+        max_k: options.max_k,
+    };
+
+    let port = if options.self_check { 0 } else { options.port };
+    let addr = format!("127.0.0.1:{port}");
+    let docs = corpus.len();
+    let nodes = corpus.total_nodes();
+    let (workers, queue) = (serve_config.workers, serve_config.queue_depth);
+    let self_check = options.self_check;
+    let cache = options.cache;
+    let mut checker: Option<std::thread::JoinHandle<bool>> = None;
+
+    let served =
+        serve_corpus(&corpus, &addr, serve_config, app_config, cache, |addr, handle| {
+            println!(
+                "extract-serve listening on http://{addr} (docs={docs} nodes={nodes} \
+                 workers={workers} queue={queue})"
+            );
+            let _ = std::io::stdout().flush();
+            if self_check {
+                checker = Some(std::thread::spawn(move || {
+                    let ok = self_check_round(addr);
+                    if !ok {
+                        // Never leave the daemon running on a failed check.
+                        handle.shutdown();
+                    }
+                    ok
+                }));
+            }
+        });
+    if let Err(e) = served {
+        eprintln!("serve: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(checker) = checker {
+        if !checker.join().unwrap_or(false) {
+            eprintln!("serve: self-check FAILED");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("serve: self-check passed");
+    }
+    eprintln!("serve: drained, bye");
+    ExitCode::SUCCESS
+}
+
+/// One loopback smoke round: status + valid JSON on every core route,
+/// then a graceful shutdown (which also ends `main`'s serve loop).
+fn self_check_round(addr: std::net::SocketAddr) -> bool {
+    let checks: [(&str, &str, u16); 4] = [
+        ("GET", "/healthz", 200),
+        ("GET", "/search?q=texas&k=3", 200),
+        ("GET", "/stats", 200),
+        ("POST", "/shutdown", 200),
+    ];
+    for (method, target, want_status) in checks {
+        match fetch(addr, method, target) {
+            Ok((status, body)) => {
+                if status != want_status {
+                    eprintln!("serve: self-check {method} {target}: status {status}");
+                    return false;
+                }
+                if let Err(e) = json::parse(&body) {
+                    eprintln!("serve: self-check {method} {target}: invalid JSON: {e}");
+                    return false;
+                }
+                eprintln!("serve: self-check {method} {target}: {status} ok");
+            }
+            Err(e) => {
+                eprintln!("serve: self-check {method} {target}: {e}");
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn fetch(
+    addr: std::net::SocketAddr,
+    method: &str,
+    target: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(stream, "{method} {target} HTTP/1.1\r\nHost: self\r\n\r\n")?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line {status_line:?}")))?;
+    let mut line = String::new();
+    while reader.read_line(&mut line)? > 0 && line != "\r\n" {
+        line.clear();
+    }
+    let mut body = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut body)?;
+    Ok((status, body))
+}

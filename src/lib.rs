@@ -79,7 +79,12 @@ pub mod datagen {
 /// whole corpus) with a snippet cache.
 pub mod session;
 
-pub use session::{AnswerPage, CorpusAnswer, CorpusPage, QuerySession};
+/// The HTTP search application: routes `extract-serve` requests
+/// (`/search`, `/stats`, …) to a [`QuerySession`](session::QuerySession)
+/// and renders JSON result pages.
+pub mod serve;
+
+pub use session::{AnswerPage, CorpusAnswer, CorpusPage, CorpusTopK, QuerySession};
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -90,5 +95,6 @@ pub mod prelude {
     pub use extract_search::{Algorithm, Engine, KeywordQuery, QueryResult};
     pub use extract_xml::{DocBuilder, Document, NodeId};
 
-    pub use crate::session::{AnswerPage, CorpusAnswer, CorpusPage, QuerySession};
+    pub use crate::serve::{SearchApp, SearchAppConfig};
+    pub use crate::session::{AnswerPage, CorpusAnswer, CorpusPage, CorpusTopK, QuerySession};
 }

@@ -54,7 +54,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use extract_core::cache::{CacheKey, LruCache, SnippetCache};
+use extract_core::cache::{CacheKey, LruCache, PageKey, SnippetCache};
 use extract_core::ilist::IListScratch;
 use extract_core::{CacheStats, Extract, ExtractConfig, SnippetedResult};
 use extract_corpus::{Corpus, DocId, FanIn};
@@ -89,12 +89,20 @@ pub struct CorpusAnswer {
 /// immutably.
 pub type CorpusPage = Arc<[CorpusAnswer]>;
 
-/// Page-cache key: normalized query text + the config fields that shape
-/// snippets.
-type PageKey = (String, usize, Option<usize>, extract_core::SelectorKind);
-
-fn page_key(query: &KeywordQuery, config: &ExtractConfig) -> PageKey {
-    (query.to_string(), config.size_bound, config.max_dominant_features, config.selector)
+/// One paginated corpus answer: the served window of the globally ranked
+/// result list, plus the exact total so result pages can say "10 of
+/// 74,213" without having paid for 74,213 snippets.
+#[derive(Debug, Clone)]
+pub struct CorpusTopK {
+    /// The `[offset, offset + k)` window, in (score desc, doc, root)
+    /// order — byte-identical to the same slice of an unbounded answer.
+    pub results: CorpusPage,
+    /// How many results the whole corpus holds for this query.
+    pub total: usize,
+    /// The rank cutoff that was requested.
+    pub k: usize,
+    /// The rank of the first served result.
+    pub offset: usize,
 }
 
 /// The engines behind a session: one document, or one per corpus document
@@ -112,7 +120,9 @@ pub struct QuerySession<'d> {
     workers: usize,
     cache_capacity: usize,
     pages: Mutex<LruCache<PageKey, AnswerPage>>,
-    corpus_pages: Mutex<LruCache<PageKey, CorpusPage>>,
+    /// Corpus pages cache *windows*: the key carries `(k, offset)` and the
+    /// value remembers the full result count alongside the served slice.
+    corpus_pages: Mutex<LruCache<PageKey, (CorpusPage, usize)>>,
     snippets: Mutex<SnippetCache>,
     /// Routing fan-in accumulated by [`QuerySession::answer_corpus`]
     /// (directory + posting entries touched), split across atomics so the
@@ -290,7 +300,7 @@ impl<'d> QuerySession<'d> {
     pub fn answer(&self, query_str: &str, config: &ExtractConfig) -> AnswerPage {
         let query = KeywordQuery::parse(query_str);
         let caching = self.cache_capacity > 0;
-        let pkey = caching.then(|| page_key(&query, config));
+        let pkey = caching.then(|| PageKey::unbounded(&query, config));
         if let Some(pkey) = &pkey {
             if let Some(page) = self.pages.lock().expect("page cache lock").get(pkey) {
                 return page;
@@ -345,15 +355,44 @@ impl<'d> QuerySession<'d> {
     ///
     /// On a single-document session this degrades gracefully to the one
     /// document (no routing). Safe to call from many threads at once.
+    ///
+    /// This is the unbounded page: it delegates to
+    /// [`QuerySession::answer_corpus_topk`] with `k = usize::MAX`.
     pub fn answer_corpus(&self, query_str: &str, config: &ExtractConfig) -> CorpusPage {
+        self.answer_corpus_topk(query_str, config, usize::MAX, 0).results
+    }
+
+    /// Answer one corpus query with a **rank cutoff**: route, search and
+    /// rank everywhere the query can match (so `total` and the global
+    /// order are exact), but generate snippets **only** for the
+    /// `[offset, offset + k)` window actually being served. A broad query
+    /// over a big corpus ("name" → 74k merged results on the benchmark
+    /// corpus) pays for ten snippets, not seventy-four thousand — search
+    /// and ranking are cheap next to per-result IList + instance
+    /// selection, which this makes proportional to the page size.
+    ///
+    /// The window is byte-identical to the same slice of an unbounded
+    /// [`QuerySession::answer_corpus`] answer (pinned by tests): ranking
+    /// stays deterministic in (score desc, doc asc, root asc) order, so
+    /// consecutive pages tile the full list without overlap or gaps.
+    /// An `offset` at or past the end yields an empty window with the
+    /// exact `total` intact. Cached pages are keyed by the window too
+    /// ([`PageKey::bounded`]) — distinct pages never alias.
+    pub fn answer_corpus_topk(
+        &self,
+        query_str: &str,
+        config: &ExtractConfig,
+        k: usize,
+        offset: usize,
+    ) -> CorpusTopK {
         let query = KeywordQuery::parse(query_str);
         let caching = self.cache_capacity > 0;
-        let pkey = caching.then(|| page_key(&query, config));
+        let pkey = caching.then(|| PageKey::bounded(&query, config, k, offset));
         if let Some(pkey) = &pkey {
-            if let Some(page) =
+            if let Some((results, total)) =
                 self.corpus_pages.lock().expect("corpus page cache lock").get(pkey)
             {
-                return page;
+                return CorpusTopK { results, total, k, offset };
             }
         }
         let candidates: Vec<DocId> = match (&self.engines, query.is_empty()) {
@@ -368,31 +407,42 @@ impl<'d> QuerySession<'d> {
                 docs
             }
         };
-        let mut merged: Vec<CorpusAnswer> = Vec::new();
-        let mut scratch = IListScratch::default();
+        // Stage 1 — search + rank only: no snippet work yet.
+        let mut ranked: Vec<(DocId, f64, extract_search::QueryResult)> = Vec::new();
         for doc in candidates {
             let extract = self.engine(doc);
             for r in extract.ranked_results(&query) {
-                let result =
-                    self.snippet_for(extract, doc, &query, &r.result, config, &mut scratch);
-                merged.push(CorpusAnswer { doc, score: r.score, result });
+                ranked.push((doc, r.score, r.result));
             }
         }
-        merged.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.doc.cmp(&b.doc))
-                .then_with(|| a.result.result.root.cmp(&b.result.result.root))
+                .then_with(|| a.0.cmp(&b.0))
+                .then_with(|| a.2.root.cmp(&b.2.root))
         });
-        let page: CorpusPage = merged.into();
+        // Stage 2 — snippets for the served window only.
+        let total = ranked.len();
+        let start = offset.min(total);
+        let end = offset.saturating_add(k).min(total);
+        let mut scratch = IListScratch::default();
+        let window: Vec<CorpusAnswer> = ranked[start..end]
+            .iter()
+            .map(|(doc, score, result)| {
+                let extract = self.engine(*doc);
+                let result =
+                    self.snippet_for(extract, *doc, &query, result, config, &mut scratch);
+                CorpusAnswer { doc: *doc, score: *score, result }
+            })
+            .collect();
+        let results: CorpusPage = window.into();
         if let Some(pkey) = pkey {
             self.corpus_pages
                 .lock()
                 .expect("corpus page cache lock")
-                .insert(pkey, page.clone());
+                .insert(pkey, (results.clone(), total));
         }
-        page
+        CorpusTopK { results, total, k, offset }
     }
 
     /// Answer a batch of queries on the worker pool: `workers` scoped
@@ -654,6 +704,76 @@ mod tests {
             let xb: Vec<_> = b.iter().map(|a| (a.doc, a.result.result.root)).collect();
             assert_eq!(xs, xb);
         }
+    }
+
+    #[test]
+    fn topk_windows_tile_the_unbounded_page_exactly() {
+        let corpus = small_corpus();
+        let session = QuerySession::from_corpus_with_options(&corpus, 1, 0); // caches off
+        let config = ExtractConfig::with_bound(8);
+        for q in ["texas", "store texas", "keyword search", "name"] {
+            let full = session.answer_corpus(q, &config);
+            for k in [1, 2, 3, full.len().max(1)] {
+                let mut tiled: Vec<(DocId, String)> = Vec::new();
+                let mut offset = 0;
+                loop {
+                    let page = session.answer_corpus_topk(q, &config, k, offset);
+                    assert_eq!(page.total, full.len(), "query {q} k={k} offset={offset}");
+                    assert_eq!(page.k, k);
+                    assert_eq!(page.offset, offset);
+                    assert!(page.results.len() <= k);
+                    if page.results.is_empty() {
+                        break;
+                    }
+                    tiled.extend(
+                        page.results.iter().map(|a| (a.doc, a.result.snippet.to_xml())),
+                    );
+                    offset += k;
+                }
+                let want: Vec<(DocId, String)> =
+                    full.iter().map(|a| (a.doc, a.result.snippet.to_xml())).collect();
+                assert_eq!(tiled, want, "query {q} k={k}: pages must tile without drift");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_only_snippets_the_served_window() {
+        let corpus = small_corpus();
+        let session = QuerySession::from_corpus_with_options(&corpus, 1, 4096);
+        let config = ExtractConfig::with_bound(8);
+        // "texas" matches many results across documents; serve one.
+        let page = session.answer_corpus_topk("texas", &config, 1, 0);
+        assert!(page.total > 1, "need a broad query for this test: {}", page.total);
+        assert_eq!(page.results.len(), 1);
+        let stats = session.snippet_stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            1,
+            "exactly one snippet may be touched for k=1: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn topk_past_the_end_and_cache_windows_never_alias() {
+        let corpus = small_corpus();
+        let session = QuerySession::from_corpus_with_options(&corpus, 1, 64);
+        let config = ExtractConfig::with_bound(8);
+        let full = session.answer_corpus("store texas", &config);
+        // Past-the-end offset: empty window, exact total.
+        let past = session.answer_corpus_topk("store texas", &config, 5, full.len() + 10);
+        assert!(past.results.is_empty());
+        assert_eq!(past.total, full.len());
+        // usize::MAX k with nonzero offset must not overflow.
+        let tail = session.answer_corpus_topk("store texas", &config, usize::MAX, 1);
+        assert_eq!(tail.results.len(), full.len().saturating_sub(1));
+        // Repeating a window hits the cache; a different window misses.
+        let before = session.corpus_page_stats().hits;
+        let again = session.answer_corpus_topk("store texas", &config, 5, full.len() + 10);
+        assert!(again.results.is_empty() && again.total == full.len());
+        assert_eq!(session.corpus_page_stats().hits, before + 1, "same window must hit");
+        let first = session.answer_corpus_topk("store texas", &config, 1, 0);
+        assert_eq!(first.results.len(), full.len().min(1), "k=1 window, not a stale alias");
     }
 
     #[test]

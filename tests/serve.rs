@@ -1,0 +1,233 @@
+//! Loopback integration tests for the `extract-serve` daemon wired to a
+//! real corpus-backed [`SearchApp`].
+//!
+//! The acceptance criteria of the serving PR, end to end over real
+//! sockets:
+//!
+//! * concurrent clients receive `/search` pages **byte-identical** to
+//!   what a direct (serial) [`QuerySession::answer_corpus_topk`] renders
+//!   for the same `(q, k, offset)`;
+//! * with queue depth Q and `2×Q` concurrent requests against a gated
+//!   single worker, **exactly** the excess beyond `workers + Q` is shed
+//!   with `503` — never a hang, never a dropped connection;
+//! * shutdown drains: every admitted request is answered first;
+//! * every body on the wire, snippets included, is valid JSON.
+
+use std::time::{Duration, Instant};
+
+use extract::prelude::*;
+use extract::serve::{SearchApp, SearchAppConfig};
+use extract_datagen::corpus::CorpusConfig;
+use extract_serve::json::{self, Value};
+use extract_serve::testing::{fetch, DrainOnDrop, Gate, ReleaseOnDrop};
+use extract_serve::{ServeConfig, Server};
+
+fn test_corpus() -> Corpus {
+    let config = CorpusConfig { documents: 6, target_nodes_per_doc: 500, seed: 0x5EED };
+    let mut builder = CorpusBuilder::new();
+    for (name, doc) in config.documents() {
+        builder.add_parsed(&name, doc);
+    }
+    builder.finish()
+}
+
+fn app_config() -> SearchAppConfig {
+    SearchAppConfig { default_k: 5, max_k: 50, ..Default::default() }
+}
+
+/// Percent-encode a query value (only what the tests need).
+fn encode(q: &str) -> String {
+    q.replace(' ', "+")
+}
+
+#[test]
+fn concurrent_pages_are_byte_identical_to_direct_answers() {
+    let corpus = test_corpus();
+    // The reference: a *separate* session over the same corpus, rendered
+    // through the same app code, serially, caches off.
+    let reference = SearchApp::new(
+        QuerySession::from_corpus_with_options(&corpus, 1, 0),
+        app_config(),
+    );
+    // (query, k, offset) mix: broad, narrow, paginated, missing.
+    let cases: Vec<(String, usize, usize)> = CorpusConfig::query_mix()
+        .into_iter()
+        .take(6)
+        .enumerate()
+        .flat_map(|(i, q)| {
+            vec![(q.to_string(), 3 + i % 4, 0), (q.to_string(), 2, 1), (q.to_string(), 50, 0)]
+        })
+        .chain([("zzz-no-such-token".to_string(), 5, 0)])
+        .collect();
+    let expected: Vec<String> =
+        cases.iter().map(|(q, k, o)| reference.render_search(q, *k, *o)).collect();
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig { workers: 3, queue_depth: 32, per_client_inflight: 64, ..Default::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let mut app =
+        SearchApp::new(QuerySession::from_corpus_with_options(&corpus, 1, 256), app_config());
+    app.attach_server(handle.clone());
+
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        scope.spawn(|| server.run(|request| app.handle(request)));
+
+        // Fire all cases concurrently, twice (the second pass crosses the
+        // now-warm page cache — bytes must not change).
+        for pass in 0..2 {
+            let clients: Vec<_> = cases
+                .iter()
+                .map(|(q, k, o)| {
+                    let target = format!("/search?q={}&k={k}&offset={o}", encode(q));
+                    scope.spawn(move || fetch(addr, "GET", &target))
+                })
+                .collect();
+            for ((client, want), (q, k, o)) in clients.into_iter().zip(&expected).zip(&cases) {
+                let (status, body) = client.join().unwrap();
+                assert_eq!(status, 200, "q={q} k={k} offset={o}");
+                assert_eq!(
+                    &body, want,
+                    "pass {pass}: served page must be byte-identical (q={q} k={k} offset={o})"
+                );
+                json::parse(&body).expect("valid JSON on the wire");
+            }
+        }
+
+        // /stats and /healthz round out the protocol.
+        let (status, body) = fetch(addr, "GET", "/stats");
+        assert_eq!(status, 200);
+        let stats = json::parse(&body).expect("stats JSON");
+        let server_section = stats.get("server").expect("server section");
+        assert!(
+            server_section.get("served_ok").and_then(Value::as_u64).unwrap()
+                >= 2 * cases.len() as u64
+        );
+        assert_eq!(server_section.get("shed_queue_full").and_then(Value::as_u64), Some(0));
+        assert_eq!(stats.get("corpus").unwrap().get("documents").and_then(Value::as_u64), Some(6));
+        assert_eq!(fetch(addr, "GET", "/healthz").0, 200);
+
+        // Graceful shutdown over the wire.
+        let (status, body) = fetch(addr, "POST", "/shutdown");
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"draining":true}"#);
+    });
+    assert!(handle.is_shutting_down());
+}
+
+#[test]
+fn overload_sheds_exactly_the_excess_and_drains_on_shutdown() {
+    const QUEUE_DEPTH: usize = 4;
+    let corpus = test_corpus();
+    let reference = SearchApp::new(
+        QuerySession::from_corpus_with_options(&corpus, 1, 0),
+        app_config(),
+    );
+    let queries: Vec<String> = (0..2 * QUEUE_DEPTH)
+        .map(|i| CorpusConfig::query_mix()[i % 4].to_string())
+        .collect();
+    let expected: Vec<String> =
+        queries.iter().map(|q| reference.render_search(q, 3, 0)).collect();
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            queue_depth: QUEUE_DEPTH,
+            per_client_inflight: 1024, // loopback is one IP; fairness tested separately
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let mut app =
+        SearchApp::new(QuerySession::from_corpus_with_options(&corpus, 1, 256), app_config());
+    app.attach_server(handle.clone());
+    let gate = Gate::default();
+
+    std::thread::scope(|scope| {
+        // Gate every /search so the worker stays busy under test control.
+        let gated = |request: &extract_serve::Request| {
+            if request.path == "/search" {
+                gate.wait_inside();
+            }
+            app.handle(request)
+        };
+        let _drain = DrainOnDrop(handle.clone());
+        let _open = ReleaseOnDrop(&gate);
+        scope.spawn(move || server.run(gated));
+
+        // Phase 1: saturate. Occupy the single worker first, so none of
+        // the "queued" requests can race past the unclaimed connection
+        // and overflow the queue prematurely; then fill the queue.
+        let mut first = Vec::new();
+        for (q, want) in queries.iter().zip(expected.iter()).take(1 + QUEUE_DEPTH) {
+            let target = format!("/search?q={}&k=3&offset=0", encode(q));
+            let want: &str = want;
+            first.push(scope.spawn(move || (fetch(addr, "GET", &target), want)));
+            if first.len() == 1 {
+                gate.await_entered(1);
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while handle.stats().queue_len < QUEUE_DEPTH as u64 {
+            assert!(Instant::now() < deadline, "queue never filled: {:?}", handle.stats());
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // Phase 2: 2×Q total — everything beyond capacity is the excess.
+        let excess = &queries[1 + QUEUE_DEPTH..];
+        assert_eq!(excess.len(), QUEUE_DEPTH - 1, "2×Q requests, Q+1 admitted");
+        for q in excess {
+            let start = Instant::now();
+            let (status, body) = fetch(addr, "GET", &format!("/search?q={}&k=3", encode(q)));
+            assert_eq!(status, 503, "excess must be shed");
+            assert_eq!(body, r#"{"error":"server over capacity"}"#);
+            assert!(start.elapsed() < Duration::from_secs(5), "shedding must be immediate");
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.shed_queue_full, (QUEUE_DEPTH - 1) as u64, "exactly the excess");
+        assert_eq!(stats.admitted, (1 + QUEUE_DEPTH) as u64, "{stats:?}");
+
+        // Phase 3: request shutdown *while* work is still gated, then
+        // release — the drain must answer every admitted page correctly.
+        handle.shutdown();
+        gate.release();
+        for client in first {
+            let ((status, body), want) = client.join().unwrap();
+            assert_eq!(status, 200, "admitted request must be served through the drain");
+            assert_eq!(&body, want, "drained page must match the serial reference");
+        }
+    });
+    let stats = handle.stats();
+    assert_eq!(stats.served_ok, (1 + QUEUE_DEPTH) as u64, "{stats:?}");
+    assert_eq!(stats.io_errors, 0, "no dropped connections: {stats:?}");
+}
+
+#[test]
+fn corpus_snippet_text_roundtrips_through_the_json_writer() {
+    let corpus = test_corpus();
+    let session = QuerySession::from_corpus_with_options(&corpus, 1, 0);
+    let config = extract_core::ExtractConfig::with_bound(12);
+    let mut checked = 0usize;
+    for q in CorpusConfig::query_mix() {
+        let page = session.answer_corpus_topk(q, &config, 8, 0);
+        for answer in page.results.iter() {
+            let xml = answer.result.snippet.to_xml();
+            let mut w = extract_serve::JsonWriter::new();
+            w.str(&xml);
+            let doc = w.finish();
+            match json::parse(&doc) {
+                Ok(Value::Str(back)) => assert_eq!(back, xml),
+                other => panic!("snippet {xml:?} → {doc:?} parsed as {other:?}"),
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 10, "the datagen corpora must yield real snippets ({checked})");
+}
