@@ -1,17 +1,22 @@
-//! The PR-4 serve-throughput benchmark: loopback load generation against
-//! the live daemon (see `extract_bench::serve_throughput` for the
-//! scenarios).
+//! The serve-throughput benchmark: loopback load generation against the
+//! live daemon (see `extract_bench::serve_throughput` for the
+//! scenarios), fresh-connection and persistent keep-alive client modes
+//! side by side.
 //!
 //! ```text
-//! serve_throughput [--json PATH] [--quick]
+//! serve_throughput [--json PATH] [--quick] [--check-keepalive]
 //! ```
 //!
 //! `--json PATH` writes the machine-readable payload committed as
-//! `BENCH_PR4.json`; `--quick` shrinks the corpus and request counts.
+//! `BENCH_PR5.json`; `--quick` shrinks the corpus and request counts;
+//! `--check-keepalive` runs only the deterministic connection-reuse
+//! probe (a CI gate, exits non-zero on failure).
 
 use std::time::Duration;
 
-use extract_bench::serve_throughput::{derived, full_workload, quick_workload, run_all, to_json};
+use extract_bench::serve_throughput::{
+    check_keepalive, derived, full_workload, quick_workload, run_all, to_json,
+};
 use extract_bench::{fmt_duration, Table};
 
 fn main() {
@@ -26,9 +31,12 @@ fn main() {
                 json_path = Some(args.get(i).expect("--json needs a path").clone());
             }
             "--quick" => workload = quick_workload(),
+            "--check-keepalive" => {
+                std::process::exit(if check_keepalive() { 0 } else { 1 });
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: serve_throughput [--json PATH] [--quick]");
+                eprintln!("usage: serve_throughput [--json PATH] [--quick] [--check-keepalive]");
                 std::process::exit(2);
             }
         }

@@ -1,20 +1,23 @@
-//! The PR-4 serve-throughput workload: loopback load generation against
-//! a **live daemon** — real sockets, real HTTP parsing, real JSON
+//! The serve-throughput workload: loopback load generation against a
+//! **live daemon** — real sockets, real HTTP parsing, real JSON
 //! rendering — not an in-process shortcut.
 //!
 //! Scenarios (all over the mixed datagen corpus):
 //!
-//! * `serve_cold` — every request is a distinct `(query, k)` page against
-//!   a caches-off session: the end-to-end cost of routing + search +
-//!   rank + top-k snippets + JSON + the socket round-trip;
-//! * `serve_hot` — the same request set against warmed caches: the
-//!   steady-state cost of a result page that is one hash lookup away;
+//! * `serve_cold` / `serve_hot` — one fresh TCP connection per request
+//!   (the PR-4 client model): the end-to-end cost of connect + routing +
+//!   search + rank + top-k snippets + JSON + teardown, against cold and
+//!   warmed caches;
+//! * `serve_cold_keepalive` / `serve_hot_keepalive` — the same request
+//!   sets over **persistent connections** (one socket per client, PR-5):
+//!   what the fresh-connection scenarios pay in connect/teardown is the
+//!   delta between the pairs;
 //! * `serve_overload` — a worker pool of 1 with a small admission queue
 //!   under 2× its concurrency capacity: reports the shed rate (the
 //!   fraction of requests answered `503` instead of queued unboundedly).
 //!
 //! Shared by the `serve_throughput` binary (which writes
-//! `BENCH_PR4.json`) so the committed numbers and the CLI runs measure
+//! `BENCH_PR5.json`) so the committed numbers and the CLI runs measure
 //! exactly the same work.
 
 use std::net::SocketAddr;
@@ -23,6 +26,7 @@ use std::time::{Duration, Instant};
 use extract::prelude::*;
 use extract::serve::{SearchApp, SearchAppConfig};
 use extract_datagen::corpus::CorpusConfig;
+use extract_serve::testing::KeepAliveClient;
 use extract_serve::{ServeConfig, Server};
 
 use crate::throughput::ScenarioResult;
@@ -96,14 +100,36 @@ fn targets(workload: &ServeWorkload) -> Vec<String> {
         .collect()
 }
 
-/// One raw HTTP GET; returns the status code.
+/// One raw HTTP GET over a fresh connection; returns the status code.
 fn get_status(addr: SocketAddr, target: &str) -> u16 {
     extract_serve::testing::fetch(addr, "GET", target).0
 }
 
+/// How each load-generator client talks to the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientMode {
+    /// One fresh TCP connection per request (`Connection: close`).
+    FreshPerRequest,
+    /// One persistent keep-alive connection per client, reconnecting
+    /// only if the server closes it.
+    Persistent,
+}
+
+/// The serving config for the throughput scenarios (generous caps so
+/// the measurement is the request path, not the limits).
+fn throughput_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_depth: 64,
+        per_client_inflight: 1024,
+        io_timeout: Duration::from_secs(30),
+        max_requests_per_connection: 0, // persistent clients never rotate
+        ..Default::default()
+    }
+}
+
 /// Drive `targets`, split across `clients` threads, against a fresh
-/// daemon over `corpus`. Returns `(wall, status counts as (ok, shed,
-/// other))`.
+/// daemon over `corpus`. Returns `(wall, ok, shed, other)`.
 fn drive(
     corpus: &Corpus,
     serve_config: ServeConfig,
@@ -111,6 +137,7 @@ fn drive(
     clients: usize,
     targets: &[String],
     warmup: bool,
+    mode: ClientMode,
 ) -> (Duration, u64, u64, u64) {
     let server = Server::bind("127.0.0.1:0", serve_config).expect("bind");
     let addr = server.local_addr();
@@ -135,8 +162,21 @@ fn drive(
             .map(|mine| {
                 scope.spawn(move || {
                     let (mut ok, mut shed, mut other) = (0u64, 0u64, 0u64);
+                    let mut conn: Option<KeepAliveClient> = None;
                     for target in mine {
-                        match get_status(addr, target) {
+                        let status = match mode {
+                            ClientMode::FreshPerRequest => get_status(addr, target),
+                            ClientMode::Persistent => {
+                                let client = conn
+                                    .get_or_insert_with(|| KeepAliveClient::connect(addr));
+                                let response = client.request("GET", target);
+                                if !response.keep_alive {
+                                    conn = None; // server closed: reconnect next time
+                                }
+                                response.status
+                            }
+                        };
+                        match status {
                             200 => ok += 1,
                             503 | 429 => shed += 1,
                             _ => other += 1,
@@ -158,42 +198,40 @@ fn drive(
     (wall, ok, shed, other)
 }
 
-/// Run the three scenarios; results use ns-per-request (`request` unit)
-/// for the throughput pair and shed percent (`pct` unit) for overload.
+/// Run the scenarios; results use ns-per-request (`request` unit) for
+/// the throughput pairs and shed percent (`pct` unit) for overload.
 pub fn run_all(workload: &ServeWorkload) -> Vec<ScenarioResult> {
     let corpus = build_corpus(workload);
     let targets = targets(workload);
-    let serving = ServeConfig {
-        workers: 2,
-        queue_depth: 64,
-        per_client_inflight: 1024,
-        io_timeout: Duration::from_secs(30),
-    };
     let mut out = Vec::new();
 
+    let throughput = |scenario: &'static str,
+                          cache: usize,
+                          warmup: bool,
+                          mode: ClientMode,
+                          out: &mut Vec<ScenarioResult>| {
+        let (wall, ok, _, other) =
+            drive(&corpus, throughput_config(), cache, workload.clients, &targets, warmup, mode);
+        assert_eq!(other, 0, "{scenario} must not produce errors");
+        out.push(ScenarioResult {
+            corpus: "mixed",
+            scenario,
+            median_ns: wall.as_nanos() as f64 / ok.max(1) as f64,
+            unit: "request",
+        });
+    };
+
     // Cold: caches off, every page computed end to end.
-    let (wall, ok, _, other) =
-        drive(&corpus, serving.clone(), 0, workload.clients, &targets, false);
-    assert_eq!(other, 0, "cold run must not produce errors");
-    out.push(ScenarioResult {
-        corpus: "mixed",
-        scenario: "serve_cold",
-        median_ns: wall.as_nanos() as f64 / ok.max(1) as f64,
-        unit: "request",
-    });
-
+    throughput("serve_cold", 0, false, ClientMode::FreshPerRequest, &mut out);
+    throughput("serve_cold_keepalive", 0, false, ClientMode::Persistent, &mut out);
     // Hot: warmed page cache, same request set.
-    let (wall, ok, _, other) =
-        drive(&corpus, serving.clone(), crate::throughput::CACHE_CAPACITY, workload.clients, &targets, true);
-    assert_eq!(other, 0, "hot run must not produce errors");
-    out.push(ScenarioResult {
-        corpus: "mixed",
-        scenario: "serve_hot",
-        median_ns: wall.as_nanos() as f64 / ok.max(1) as f64,
-        unit: "request",
-    });
+    let cache = crate::throughput::CACHE_CAPACITY;
+    throughput("serve_hot", cache, true, ClientMode::FreshPerRequest, &mut out);
+    throughput("serve_hot_keepalive", cache, true, ClientMode::Persistent, &mut out);
 
-    // Overload: capacity 1 + Q, pressure 2 × capacity concurrent clients.
+    // Overload: capacity 1 + Q, pressure 2 × capacity concurrent
+    // clients, each on a fresh connection so admission geometry is
+    // exactly the PR-4 contract.
     let capacity = 1 + workload.overload_queue_depth;
     let overload_clients = 2 * capacity;
     let overload_targets = &targets[..targets.len().min(overload_clients * 8)];
@@ -204,11 +242,13 @@ pub fn run_all(workload: &ServeWorkload) -> Vec<ScenarioResult> {
             queue_depth: workload.overload_queue_depth,
             per_client_inflight: 1024,
             io_timeout: Duration::from_secs(30),
+            ..Default::default()
         },
         crate::throughput::CACHE_CAPACITY,
         overload_clients,
         overload_targets,
         false,
+        ClientMode::FreshPerRequest,
     );
     let total = ok + shed + other;
     out.push(ScenarioResult {
@@ -226,7 +266,8 @@ pub fn run_all(workload: &ServeWorkload) -> Vec<ScenarioResult> {
     out
 }
 
-/// Derived ratios: hot-vs-cold speedup and requests/s for both.
+/// Derived ratios: hot-vs-cold and keep-alive-vs-fresh speedups,
+/// requests/s for every throughput scenario.
 pub fn derived(results: &[ScenarioResult]) -> Vec<(String, f64)> {
     let get = |scenario: &str| {
         results.iter().find(|r| r.scenario == scenario).map(|r| r.median_ns)
@@ -239,16 +280,28 @@ pub fn derived(results: &[ScenarioResult]) -> Vec<(String, f64)> {
         out.push(("serve_cold_req_per_s".to_string(), 1e9 / cold));
         out.push(("serve_hot_req_per_s".to_string(), 1e9 / hot));
     }
+    if let (Some(fresh), Some(ka)) = (get("serve_hot"), get("serve_hot_keepalive")) {
+        if ka > 0.0 {
+            out.push(("serve_hot_keepalive_vs_fresh".to_string(), fresh / ka));
+            out.push(("serve_hot_keepalive_req_per_s".to_string(), 1e9 / ka));
+        }
+    }
+    if let (Some(fresh), Some(ka)) = (get("serve_cold"), get("serve_cold_keepalive")) {
+        if ka > 0.0 {
+            out.push(("serve_cold_keepalive_vs_fresh".to_string(), fresh / ka));
+            out.push(("serve_cold_keepalive_req_per_s".to_string(), 1e9 / ka));
+        }
+    }
     if let Some(shed) = get("serve_overload_shed") {
         out.push(("serve_overload_shed_pct".to_string(), shed));
     }
     out
 }
 
-/// Serialize as the committed `BENCH_PR4.json` payload.
+/// Serialize as the committed `BENCH_PR5.json` payload.
 pub fn to_json(results: &[ScenarioResult]) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"bench\": \"serve_throughput\",\n  \"pr\": 4,\n  \"scenarios\": [\n");
+    s.push_str("{\n  \"bench\": \"serve_throughput\",\n  \"pr\": 5,\n  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"corpus\": \"{}\", \"scenario\": \"{}\", \"median_ns_per_op\": {:.1}, \"unit\": \"{}\"}}{}\n",
@@ -271,6 +324,49 @@ pub fn to_json(results: &[ScenarioResult]) -> String {
     s
 }
 
+/// A deterministic keep-alive probe for CI (`bench.sh --check`): boot a
+/// tiny daemon, issue a few requests over one socket, and verify — via
+/// the server's own counters — that the connection was actually reused.
+/// Returns `false` (after printing why) instead of panicking so the
+/// caller can exit non-zero.
+pub fn check_keepalive() -> bool {
+    let config = CorpusConfig { documents: 3, target_nodes_per_doc: 200, seed: 7 };
+    let mut builder = CorpusBuilder::new();
+    for (name, doc) in config.documents() {
+        builder.add_parsed(&name, doc);
+    }
+    let corpus = builder.finish();
+    let server = Server::bind("127.0.0.1:0", throughput_config()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let session = QuerySession::from_corpus_with_options(&corpus, 1, 64);
+    let mut app = SearchApp::new(session, SearchAppConfig::default());
+    app.attach_server(handle.clone());
+
+    let mut ok = true;
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run(|request| app.handle(request)));
+        let mut client = KeepAliveClient::connect(addr);
+        for i in 0..3 {
+            let response = client.request("GET", "/search?q=texas&k=2");
+            if response.status != 200 || !response.keep_alive {
+                eprintln!("check_keepalive: request {i}: {response:?}");
+                ok = false;
+            }
+        }
+        let stats = handle.stats();
+        if stats.accepted != 1 || stats.reused_requests < 2 {
+            eprintln!("check_keepalive: no reuse observed: {stats:?}");
+            ok = false;
+        }
+        handle.shutdown();
+    });
+    if ok {
+        eprintln!("check_keepalive: 3 requests over 1 socket, reuse confirmed");
+    }
+    ok
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,9 +382,14 @@ mod tests {
             overload_queue_depth: 1,
         };
         let results = run_all(&workload);
-        assert_eq!(results.len(), 4);
+        assert_eq!(results.len(), 6);
         assert!(results.iter().all(|r| r.median_ns >= 0.0));
         let json = to_json(&results);
         extract_serve::json::parse(&json).expect("payload is valid JSON");
+    }
+
+    #[test]
+    fn keepalive_check_is_green() {
+        assert!(check_keepalive());
     }
 }

@@ -1,0 +1,375 @@
+//! Socket readiness for parked keep-alive connections — a hand-rolled
+//! `epoll` loop behind a small safe wrapper, with a portable fallback.
+//!
+//! The worker pool is the concurrency bound; a kept-alive connection that
+//! has no request in flight must **not** occupy a worker while it idles.
+//! Instead the server *parks* it and asks this module to report when the
+//! socket becomes readable (or is closed by the peer), at which point the
+//! connection re-enters admission like any other request source.
+//!
+//! Two implementations sit behind [`Readiness`]:
+//!
+//! * [`Epoll`] (Linux) — `epoll_create1`/`epoll_ctl`/`epoll_wait` called
+//!   directly through `extern "C"` declarations against the C library the
+//!   Rust standard library already links. No `libc` crate, no tokio: the
+//!   workspace's vendored-only build stands. Registrations use
+//!   `EPOLLONESHOT`, so an fd fires at most once per park and there is no
+//!   rearm/duplicate-event race with the thread that unparks it; adding
+//!   an already-readable fd wakes a concurrent `epoll_wait`, so parking
+//!   never loses a wakeup. The epoll fd itself lives in an
+//!   [`OwnedFd`](std::os::fd::OwnedFd) and closes on drop.
+//! * **Scan** (any platform, and the runtime fallback if `epoll_create1`
+//!   fails) — parked sockets are switched to non-blocking and probed with
+//!   [`TcpStream::peek`] on a short tick. O(parked) per tick instead of
+//!   O(ready), but dependency-free and portable; tests run it on Linux
+//!   too so both paths stay honest.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Which readiness backend to use. `Auto` picks [`Epoll`] on Linux when
+/// the kernel provides it and falls back to the scan backend otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollerKind {
+    /// Platform default: epoll on Linux, scan elsewhere.
+    #[default]
+    Auto,
+    /// Force the portable peek-scan backend (useful in tests, and the
+    /// only backend off Linux).
+    Scan,
+}
+
+/// The readiness facade the server parks connections behind.
+#[derive(Debug)]
+pub enum Readiness {
+    /// Event-driven readiness (Linux).
+    #[cfg(target_os = "linux")]
+    Epoll(Epoll),
+    /// Peek-scan readiness (portable).
+    Scan,
+}
+
+impl Readiness {
+    /// Build the backend for `kind` (see [`PollerKind`]).
+    pub fn new(kind: PollerKind) -> Readiness {
+        match kind {
+            PollerKind::Scan => Readiness::Scan,
+            PollerKind::Auto => {
+                #[cfg(target_os = "linux")]
+                if let Ok(epoll) = Epoll::new() {
+                    return Readiness::Epoll(epoll);
+                }
+                Readiness::Scan
+            }
+        }
+    }
+
+    /// Whether this backend is event-driven (epoll) rather than scanning.
+    pub fn is_event_driven(&self) -> bool {
+        match self {
+            #[cfg(target_os = "linux")]
+            Readiness::Epoll(_) => true,
+            Readiness::Scan => false,
+        }
+    }
+
+    /// Start watching `stream` for readability under `token`. On the scan
+    /// backend this switches the socket to non-blocking so the periodic
+    /// peek probe cannot stall the poller thread.
+    pub fn register(&self, stream: &TcpStream, token: u64) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Readiness::Epoll(epoll) => {
+                use std::os::fd::AsRawFd;
+                epoll.add(stream.as_raw_fd(), token)
+            }
+            Readiness::Scan => stream.set_nonblocking(true),
+        }
+    }
+
+    /// Stop watching `stream`; restores blocking mode on the scan
+    /// backend. Always called before a parked connection is handed back
+    /// to a worker (or dropped), so workers only ever see blocking
+    /// sockets with their timeouts intact.
+    pub fn deregister(&self, stream: &TcpStream) {
+        match self {
+            #[cfg(target_os = "linux")]
+            Readiness::Epoll(epoll) => {
+                use std::os::fd::AsRawFd;
+                epoll.del(stream.as_raw_fd());
+            }
+            Readiness::Scan => {
+                let _ = stream.set_nonblocking(false);
+            }
+        }
+    }
+
+    /// Block up to `timeout` and return the tokens of connections that
+    /// became readable (or hung up). The epoll backend sleeps in
+    /// `epoll_wait`; the scan backend sleeps a short slice of `timeout`
+    /// and then runs `scan_probe`, which the caller implements by peeking
+    /// every parked socket (see [`socket_ready`]). `has_parked` lets the
+    /// scan backend sleep the *full* `timeout` when nothing is parked —
+    /// an idle daemon must not busy-wake 200×/s probing an empty lot
+    /// (the one-time cost is that the first park after an idle stretch
+    /// waits up to `timeout` for its first probe).
+    pub fn wait<F>(&self, timeout: Duration, has_parked: bool, scan_probe: F) -> Vec<u64>
+    where
+        F: FnOnce() -> Vec<u64>,
+    {
+        match self {
+            #[cfg(target_os = "linux")]
+            Readiness::Epoll(epoll) => epoll.wait(timeout).unwrap_or_default(),
+            Readiness::Scan => {
+                if !has_parked {
+                    std::thread::sleep(timeout);
+                    return Vec::new();
+                }
+                std::thread::sleep(timeout.min(SCAN_TICK));
+                scan_probe()
+            }
+        }
+    }
+}
+
+/// How often the scan backend probes parked sockets. Bounded readiness
+/// latency in exchange for O(parked) work per tick.
+const SCAN_TICK: Duration = Duration::from_millis(5);
+
+/// Probe one parked (non-blocking) socket: `true` when a worker should
+/// take it — data is waiting, the peer hung up (`peek` returns `Ok(0)`),
+/// or the socket is in an error state the worker must discover.
+pub fn socket_ready(stream: &TcpStream) -> bool {
+    let mut probe = [0u8; 1];
+    match stream.peek(&mut probe) {
+        Ok(_) => true,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::Epoll;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    //! The raw `epoll` surface: three syscalls, three constants sets, one
+    //! `#[repr(C)]` struct — declared here instead of pulled from the
+    //! `libc` crate so the vendored-only build needs nothing new. The
+    //! symbols resolve against the platform C library `std` already
+    //! links.
+
+    use std::ffi::c_int;
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::time::Duration;
+
+    // `epoll_event` is packed on x86-64 (a 12-byte struct); other Linux
+    // targets use natural alignment. Getting this wrong corrupts every
+    // second event, so the layout is pinned by a test below.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLONESHOT: u32 = 1 << 30;
+
+    /// Most events drained per `epoll_wait` call; the rest are picked up
+    /// on the next loop iteration (epoll round-robins ready fds, so
+    /// nothing starves).
+    const MAX_EVENTS: usize = 64;
+
+    /// A safe wrapper over one epoll instance.
+    #[derive(Debug)]
+    pub struct Epoll {
+        fd: OwnedFd,
+    }
+
+    impl Epoll {
+        /// `epoll_create1(EPOLL_CLOEXEC)`.
+        pub fn new() -> io::Result<Epoll> {
+            let raw = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if raw < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: `raw` is a fresh fd the kernel just handed us; the
+            // OwnedFd takes sole ownership and closes it on drop.
+            Ok(Epoll { fd: unsafe { OwnedFd::from_raw_fd(raw) } })
+        }
+
+        /// Watch `fd` for readability/hangup, one-shot, tagged `token`.
+        pub fn add(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            let mut event =
+                EpollEvent { events: EPOLLIN | EPOLLRDHUP | EPOLLONESHOT, data: token };
+            let rc = unsafe { epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_ADD, fd, &mut event) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Stop watching `fd`. Best-effort: the fd may already be gone
+        /// (closed fds leave the set automatically), so errors are
+        /// swallowed.
+        pub fn del(&self, fd: RawFd) {
+            let mut event = EpollEvent { events: 0, data: 0 };
+            let _ = unsafe { epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_DEL, fd, &mut event) };
+        }
+
+        /// Wait up to `timeout` for events; returns the ready tokens.
+        /// `EINTR` and other wait errors surface as an empty batch — the
+        /// serving loop treats every wakeup as advisory and re-checks
+        /// shared state anyway.
+        pub fn wait(&self, timeout: Duration) -> io::Result<Vec<u64>> {
+            let mut events = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            let timeout_ms =
+                c_int::try_from(timeout.as_millis()).unwrap_or(c_int::MAX).max(1);
+            let rc = unsafe {
+                epoll_wait(
+                    self.fd.as_raw_fd(),
+                    events.as_mut_ptr(),
+                    MAX_EVENTS as c_int,
+                    timeout_ms,
+                )
+            };
+            if rc < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(Vec::new());
+                }
+                return Err(e);
+            }
+            Ok(events[..rc as usize].iter().map(|ev| ev.data).collect())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::io::Write;
+        use std::net::{TcpListener, TcpStream};
+
+        #[test]
+        fn epoll_event_layout_matches_the_abi() {
+            if cfg!(target_arch = "x86_64") {
+                assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+            } else {
+                assert_eq!(std::mem::size_of::<EpollEvent>(), 16);
+            }
+        }
+
+        #[test]
+        fn readable_and_hangup_fds_fire_with_their_tokens() {
+            let epoll = Epoll::new().expect("epoll_create1");
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+
+            let mut alice = TcpStream::connect(addr).unwrap();
+            let (alice_srv, _) = listener.accept().unwrap();
+            let bob = TcpStream::connect(addr).unwrap();
+            let (bob_srv, _) = listener.accept().unwrap();
+
+            epoll.add(alice_srv.as_raw_fd(), 1).unwrap();
+            epoll.add(bob_srv.as_raw_fd(), 2).unwrap();
+
+            // Nothing readable yet: a short wait returns empty.
+            assert_eq!(epoll.wait(Duration::from_millis(10)).unwrap(), Vec::<u64>::new());
+
+            // Data on alice fires token 1 — and only token 1.
+            alice.write_all(b"x").unwrap();
+            let ready = epoll.wait(Duration::from_secs(5)).unwrap();
+            assert_eq!(ready, vec![1]);
+
+            // One-shot: alice does not fire again without a rearm.
+            assert_eq!(epoll.wait(Duration::from_millis(10)).unwrap(), Vec::<u64>::new());
+
+            // Peer hangup on bob fires token 2.
+            drop(bob);
+            let ready = epoll.wait(Duration::from_secs(5)).unwrap();
+            assert_eq!(ready, vec![2]);
+
+            epoll.del(alice_srv.as_raw_fd());
+            epoll.del(bob_srv.as_raw_fd());
+        }
+
+        #[test]
+        fn adding_an_already_readable_fd_wakes_the_wait() {
+            // The park path depends on this: grace-probe times out, the
+            // client's bytes land, *then* the fd is registered — the
+            // pending data must still produce an event.
+            let epoll = Epoll::new().expect("epoll_create1");
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (server_side, _) = listener.accept().unwrap();
+            client.write_all(b"already here").unwrap();
+            std::thread::sleep(Duration::from_millis(20)); // let the bytes land
+            epoll.add(server_side.as_raw_fd(), 7).unwrap();
+            assert_eq!(epoll.wait(Duration::from_secs(5)).unwrap(), vec![7]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    #[test]
+    fn scan_backend_probes_parked_sockets() {
+        let readiness = Readiness::new(PollerKind::Scan);
+        assert!(!readiness.is_event_driven());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        readiness.register(&server_side, 3).unwrap();
+        assert!(!socket_ready(&server_side), "no bytes yet");
+
+        client.write_all(b"ping").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let ready = loop {
+            let ready = readiness
+                .wait(Duration::from_millis(50), true, || {
+                    if socket_ready(&server_side) { vec![3] } else { Vec::new() }
+                });
+            if !ready.is_empty() || std::time::Instant::now() > deadline {
+                break ready;
+            }
+        };
+        assert_eq!(ready, vec![3]);
+        readiness.deregister(&server_side);
+
+        // Hangup also reads as ready, so closed peers get reaped.
+        drop(client);
+        std::thread::sleep(Duration::from_millis(20));
+        let _ = server_side.set_nonblocking(true);
+        assert!(socket_ready(&server_side));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn auto_prefers_epoll_on_linux() {
+        assert!(Readiness::new(PollerKind::Auto).is_event_driven());
+    }
+}

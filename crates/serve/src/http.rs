@@ -2,12 +2,22 @@
 //! streams.
 //!
 //! The daemon speaks exactly the slice of HTTP a snippet service needs:
-//! one request per connection (every response carries `Connection:
-//! close`), `GET`/`POST` request lines with percent-encoded query strings,
-//! and ignored headers apart from `Content-Length` (request bodies are
-//! read and discarded so well-behaved clients never see a reset). All
-//! limits are explicit — request-line length, header count/size, body size
-//! — and violations map to the proper `4xx` instead of a hang or a panic.
+//! `GET`/`POST` request lines with percent-encoded query strings, headers
+//! ignored apart from `Content-Length` and `Connection`, and **persistent
+//! connections**: an HTTP/1.1 request keeps its connection alive unless
+//! the client (or the server's own caps — see
+//! [`ServeConfig`](crate::server::ServeConfig)) say `Connection: close`;
+//! an HTTP/1.0 request must opt in with `Connection: keep-alive`. All
+//! limits are explicit — request-line length, header count/size, body
+//! size — and violations map to the proper `4xx` instead of a hang or a
+//! panic.
+//!
+//! Because the parser's framing state is reused across requests on a
+//! kept-alive connection, framing is strict: a request with duplicate or
+//! non-numeric `Content-Length` headers is rejected with `400`, and
+//! `Transfer-Encoding` (which this server does not implement) is rejected
+//! with `501` — ambiguous framing is exactly how request smuggling slips
+//! a second request past the parser.
 
 use std::io::{self, BufRead, Read, Write};
 
@@ -20,7 +30,8 @@ pub const MAX_HEADER_LINE: usize = 8 * 1024;
 /// Largest accepted (and discarded) request body, in bytes.
 pub const MAX_BODY: usize = 64 * 1024;
 
-/// A parsed request: method, decoded path, decoded query parameters.
+/// A parsed request: method, decoded path, decoded query parameters, and
+/// the connection-persistence the client asked for.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// The request method, uppercased by the client per RFC (`GET`, …).
@@ -29,6 +40,12 @@ pub struct Request {
     pub path: String,
     /// Query parameters in request order, percent-decoded, `+` as space.
     pub query: Vec<(String, String)>,
+    /// Whether the request line was `HTTP/1.1` (or newer `1.x`).
+    pub http11: bool,
+    /// Whether the client wants the connection kept alive after the
+    /// response: the `Connection` header when present, else the version
+    /// default (alive for 1.1, close for 1.0).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -42,13 +59,25 @@ impl Request {
 #[derive(Debug)]
 pub enum HttpError {
     /// The client closed without sending anything (not an error worth a
-    /// response — e.g. the shutdown wake-up connection).
+    /// response — e.g. the shutdown wake-up connection, or a kept-alive
+    /// client that finished and hung up).
     ClosedEarly,
+    /// The read deadline expired before the client sent the *first byte*
+    /// of a request — an idle connection, closed without a response.
+    IdleTimeout,
+    /// The read deadline expired **mid-request** (a partial request line
+    /// or header and then silence) → `408`, connection close. Without
+    /// this a stalled client would pin a worker for the full timeout and
+    /// then be dropped without an answer.
+    Stalled,
     /// Malformed request line / headers / encoding → `400`.
     Malformed(&'static str),
     /// A limit was exceeded → `431` (headers) or `413` (body).
     TooLarge(&'static str, u16),
-    /// The underlying socket failed (timeout, reset).
+    /// A feature this server deliberately does not speak
+    /// (`Transfer-Encoding`) → `501`.
+    Unsupported(&'static str),
+    /// The underlying socket failed (reset, broken pipe).
     Io(io::Error),
 }
 
@@ -56,9 +85,11 @@ impl HttpError {
     /// The status code this error maps to, if a response is worth writing.
     pub fn status(&self) -> Option<u16> {
         match self {
-            HttpError::ClosedEarly | HttpError::Io(_) => None,
+            HttpError::ClosedEarly | HttpError::IdleTimeout | HttpError::Io(_) => None,
+            HttpError::Stalled => Some(408),
             HttpError::Malformed(_) => Some(400),
             HttpError::TooLarge(_, code) => Some(*code),
+            HttpError::Unsupported(_) => Some(501),
         }
     }
 
@@ -66,7 +97,11 @@ impl HttpError {
     pub fn reason(&self) -> &str {
         match self {
             HttpError::ClosedEarly => "connection closed",
-            HttpError::Malformed(m) | HttpError::TooLarge(m, _) => m,
+            HttpError::IdleTimeout => "idle connection",
+            HttpError::Stalled => "request incomplete before the read deadline",
+            HttpError::Malformed(m)
+            | HttpError::TooLarge(m, _)
+            | HttpError::Unsupported(m) => m,
             HttpError::Io(_) => "i/o error",
         }
     }
@@ -78,20 +113,41 @@ impl From<io::Error> for HttpError {
     }
 }
 
+/// Whether an i/o error is a blocking-socket read deadline expiring
+/// (Linux reports `WouldBlock` for `SO_RCVTIMEO`, other platforms
+/// `TimedOut`). Shared with the server's grace-probe classification so
+/// the two can never diverge.
+pub(crate) fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
 /// Read one line terminated by `\n` (tolerating a trailing `\r`), capped
-/// at `cap` bytes.
-fn read_line<R: BufRead>(r: &mut R, cap: usize, what: &'static str) -> Result<String, HttpError> {
+/// at `cap` bytes. `idle_ok` marks the one read position (the start of a
+/// request) where silence means *idle* rather than *stalled mid-request*.
+fn read_line<R: BufRead>(
+    r: &mut R,
+    cap: usize,
+    what: &'static str,
+    idle_ok: bool,
+) -> Result<String, HttpError> {
     let mut buf = Vec::with_capacity(128);
     loop {
         let mut byte = [0u8; 1];
-        match r.read(&mut byte)? {
-            0 => {
-                if buf.is_empty() {
+        match r.read(&mut byte) {
+            Err(e) if is_timeout(&e) => {
+                if idle_ok && buf.is_empty() {
+                    return Err(HttpError::IdleTimeout);
+                }
+                return Err(HttpError::Stalled);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+            Ok(0) => {
+                if idle_ok && buf.is_empty() {
                     return Err(HttpError::ClosedEarly);
                 }
                 return Err(HttpError::Malformed("truncated line"));
             }
-            _ => {
+            Ok(_) => {
                 if byte[0] == b'\n' {
                     if buf.last() == Some(&b'\r') {
                         buf.pop();
@@ -109,26 +165,36 @@ fn read_line<R: BufRead>(r: &mut R, cap: usize, what: &'static str) -> Result<St
 }
 
 /// Parse one request from `stream`: request line, headers (all discarded
-/// except `Content-Length`), then the body is read and thrown away.
+/// except `Content-Length` and `Connection`), then the body is read and
+/// thrown away.
 pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Request, HttpError> {
-    let line = read_line(stream, MAX_REQUEST_LINE, "request line too long")?;
+    let line = read_line(stream, MAX_REQUEST_LINE, "request line too long", true)?;
     let mut parts = line.split(' ');
     let method = parts.next().unwrap_or("");
     let target = parts.next().ok_or(HttpError::Malformed("missing request target"))?;
     let version = parts.next().ok_or(HttpError::Malformed("missing HTTP version"))?;
-    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+    if parts.next().is_some() {
         return Err(HttpError::Malformed("malformed request line"));
     }
+    let minor = version
+        .strip_prefix("HTTP/1.")
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_digit()))
+        .ok_or(HttpError::Malformed("malformed request line"))?;
+    let http11 = minor != "0";
     if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
         return Err(HttpError::Malformed("malformed method"));
     }
 
-    let mut content_length = 0usize;
+    // Framing guard: exactly zero or one Content-Length, digits only.
+    // `usize::from_str` would happily accept `+5`; a smuggler's second
+    // interpretation of the framing starts exactly there.
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive: Option<bool> = None;
     for n in 0.. {
         if n >= MAX_HEADERS {
             return Err(HttpError::TooLarge("too many headers", 431));
         }
-        let header = read_line(stream, MAX_HEADER_LINE, "header line too long")?;
+        let header = read_line(stream, MAX_HEADER_LINE, "header line too long", false)?;
         if header.is_empty() {
             break;
         }
@@ -136,16 +202,41 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Request, HttpError> {
             return Err(HttpError::Malformed("malformed header"));
         };
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse()
-                .map_err(|_| HttpError::Malformed("malformed Content-Length"))?;
+            let value = value.trim();
+            if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::Malformed("malformed Content-Length"));
+            }
+            let parsed =
+                value.parse().map_err(|_| HttpError::Malformed("malformed Content-Length"))?;
+            if content_length.replace(parsed).is_some() {
+                return Err(HttpError::Malformed("duplicate Content-Length"));
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Never guess at framing this parser does not implement: a
+            // TE/CL disagreement is the classic smuggling vector.
+            return Err(HttpError::Unsupported("Transfer-Encoding not supported"));
+        } else if name.eq_ignore_ascii_case("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    keep_alive = Some(false);
+                } else if token.eq_ignore_ascii_case("keep-alive") && keep_alive.is_none() {
+                    keep_alive = Some(true);
+                }
+            }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
         return Err(HttpError::TooLarge("request body too large", 413));
     }
-    io::copy(&mut stream.take(content_length as u64), &mut io::sink())?;
+    let mut body = stream.take(content_length as u64);
+    match io::copy(&mut body, &mut io::sink()) {
+        Ok(n) if n == content_length as u64 => {}
+        Ok(_) => return Err(HttpError::Malformed("truncated body")),
+        Err(e) if is_timeout(&e) => return Err(HttpError::Stalled),
+        Err(e) => return Err(HttpError::Io(e)),
+    }
 
     let (path_raw, query_raw) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
@@ -164,7 +255,13 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Request, HttpError> {
             query.push((k, v));
         }
     }
-    Ok(Request { method: method.to_string(), path, query })
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        http11,
+        keep_alive: keep_alive.unwrap_or(http11),
+    })
 }
 
 /// Percent-decode `s`; in query strings (`plus_is_space`) `+` means a
@@ -229,25 +326,44 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
-/// Write `response` with `Content-Length` and `Connection: close`.
-pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> io::Result<()> {
+/// Write `response` with `Content-Length` and the connection-persistence
+/// decision: `Connection: keep-alive` when the server will read another
+/// request from this socket, `Connection: close` when it won't. The
+/// header is always explicit so clients never have to apply version
+/// defaults.
+///
+/// Head and body go out in **one** write: split across two small
+/// segments, Nagle's algorithm holds the second until the first is
+/// ACKed, and on a kept-alive connection the client's delayed ACK turns
+/// that into a ~10 ms stall per response (a fresh-connection close
+/// flushes the tail, which is why the bug hides without keep-alive).
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         response.status,
         reason_phrase(response.status),
         response.content_type,
         response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
+    let mut wire = Vec::with_capacity(head.len() + response.body.len());
+    wire.extend_from_slice(head.as_bytes());
+    wire.extend_from_slice(&response.body);
+    stream.write_all(&wire)?;
     stream.flush()
 }
 
@@ -270,6 +386,28 @@ mod tests {
         assert_eq!(r.param("k"), Some("5"));
         assert_eq!(r.param("offset"), Some("0"));
         assert_eq!(r.param("missing"), None);
+    }
+
+    #[test]
+    fn keep_alive_follows_version_defaults_and_connection_header() {
+        // HTTP/1.1 defaults to keep-alive…
+        let r = parse("GET /x HTTP/1.1\r\n\r\n").unwrap();
+        assert!(r.http11 && r.keep_alive);
+        // …unless the client says close (any casing, list syntax too).
+        for header in ["Connection: close", "connection: Close", "Connection: foo, CLOSE"] {
+            let r = parse(&format!("GET /x HTTP/1.1\r\n{header}\r\n\r\n")).unwrap();
+            assert!(!r.keep_alive, "{header}");
+        }
+        // `close` wins over `keep-alive` however the list orders them.
+        let r = parse("GET /x HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET /x HTTP/1.1\r\nConnection: close, keep-alive\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        // HTTP/1.0 defaults to close and must opt in.
+        let r = parse("GET /x HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.http11 && !r.keep_alive);
+        let r = parse("GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
     }
 
     #[test]
@@ -299,6 +437,9 @@ mod tests {
             "GET\r\n\r\n",
             "GET /x\r\n\r\n",
             "GET /x SMTP/1.0\r\n\r\n",
+            "GET /x HTTP/2\r\n\r\n",
+            "GET /x HTTP/1.\r\n\r\n",
+            "GET /x HTTP/1.one\r\n\r\n",
             "get /x HTTP/1.1\r\n\r\n",
             "GET /x HTTP/1.1 extra\r\n\r\n",
             "GET /%zz HTTP/1.1\r\n\r\n",
@@ -310,6 +451,38 @@ mod tests {
             assert_eq!(err.status(), Some(400), "{raw:?} → {err:?}");
             assert!(!err.reason().is_empty());
         }
+    }
+
+    #[test]
+    fn ambiguous_framing_is_rejected() {
+        // Duplicate Content-Length — even when the copies agree — is
+        // ambiguous framing, not a negotiation.
+        for raw in [
+            "POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi",
+            "POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nhi!",
+            // Values `usize::from_str` accepts but HTTP forbids.
+            "POST /x HTTP/1.1\r\nContent-Length: +2\r\n\r\nhi",
+            "POST /x HTTP/1.1\r\nContent-Length: 2 2\r\n\r\nhi",
+            "POST /x HTTP/1.1\r\nContent-Length: 2,2\r\n\r\nhi",
+            "POST /x HTTP/1.1\r\nContent-Length:\r\n\r\n",
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(err.status(), Some(400), "{raw:?} → {err:?}");
+        }
+        // Transfer-Encoding is not implemented → 501, never guessed at.
+        for raw in [
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 2\r\n\r\nhi",
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(err.status(), Some(501), "{raw:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_malformed_not_a_hang() {
+        let err = parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi").unwrap_err();
+        assert_eq!(err.status(), Some(400));
     }
 
     #[test]
@@ -335,12 +508,15 @@ mod tests {
     #[test]
     fn response_bytes_are_well_formed() {
         let mut out = Vec::new();
-        write_response(&mut out, &Response::json(200, "{}".to_string())).unwrap();
+        write_response(&mut out, &Response::json(200, "{}".to_string()), false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".to_string()), true).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("Connection: keep-alive\r\n"));
         let err = Response::error(503, "over capacity");
         assert_eq!(err.status, 503);
         assert_eq!(String::from_utf8(err.body).unwrap(), r#"{"error":"over capacity"}"#);

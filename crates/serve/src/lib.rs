@@ -8,10 +8,14 @@
 //! * [`json`] — an escape-correct JSON writer (the wire format) and a
 //!   small validating parser (tests, load generator, `jsonv` bin);
 //! * [`http`] — minimal HTTP/1.1 request parsing and response writing
-//!   with explicit limits;
+//!   with explicit limits and keep-alive negotiation;
+//! * [`event`] — socket readiness for parked keep-alive connections: a
+//!   hand-rolled `epoll` wrapper (Linux, no `libc` crate) with a
+//!   portable peek-scan fallback;
 //! * [`server`] — a blocking acceptor → bounded queue → worker pool with
-//!   admission control (`503` load-shedding), per-client fairness
-//!   (`429`), live counters, and graceful drain-and-shutdown.
+//!   per-request admission control (`503` load-shedding), per-client
+//!   fairness (`429`), HTTP/1.1 keep-alive with idle parking and
+//!   eviction, live counters, and graceful drain-and-shutdown.
 //!
 //! The crate knows nothing about XML or snippets: [`Server::run`] takes
 //! any `Fn(&Request) -> Response` handler. The umbrella `extract` crate
@@ -40,17 +44,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod event;
 pub mod http;
 pub mod json;
 pub mod server;
 pub mod testing;
 
+pub use event::PollerKind;
 pub use http::{Request, Response};
 pub use json::JsonWriter;
 pub use server::{ServeConfig, Server, ServerHandle, ServerStats};
 
 /// The common imports in one place.
 pub mod prelude {
+    pub use crate::event::PollerKind;
     pub use crate::http::{Request, Response};
     pub use crate::json::JsonWriter;
     pub use crate::server::{ServeConfig, Server, ServerHandle, ServerStats};

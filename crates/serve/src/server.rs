@@ -1,48 +1,83 @@
-//! The blocking acceptor → bounded queue → worker-pool server.
+//! The blocking acceptor → bounded queue → worker-pool server, with
+//! keep-alive connections parked on an epoll readiness loop.
 //!
 //! Production machinery, not a toy accept loop:
 //!
-//! * **Admission control** — the acceptor pushes admitted connections
-//!   into a queue bounded by [`ServeConfig::queue_depth`]; when it is
-//!   full the connection is answered `503` *immediately* and closed, so
-//!   overload degrades into fast, explicit shedding instead of unbounded
-//!   latency. Total concurrency is therefore exactly `workers` (in
-//!   service) + `queue_depth` (waiting).
+//! * **Admission control** — admission is per *request*, not per
+//!   connection: the acceptor (for fresh connections) and the readiness
+//!   loop (for kept-alive connections with a new request) push work into
+//!   a queue bounded by [`ServeConfig::queue_depth`]; when it is full the
+//!   request is answered `503` *immediately* and the connection closed,
+//!   so overload degrades into fast, explicit shedding instead of
+//!   unbounded latency. Total concurrency is therefore exactly `workers`
+//!   (in service) + `queue_depth` (waiting) — reused connections cannot
+//!   smuggle extra requests past the bound.
 //! * **Per-client fairness** — at most
-//!   [`ServeConfig::per_client_inflight`] connections per peer IP may be
-//!   admitted-but-unanswered at once; the excess is answered `429` so one
-//!   greedy client cannot occupy the whole pool.
+//!   [`ServeConfig::per_client_inflight`] admitted-but-unanswered
+//!   *requests* per peer IP at once; the excess is answered `429` so one
+//!   greedy client cannot occupy the whole pool. The key is the
+//!   *canonical* peer IP: an IPv4-mapped IPv6 peer (`::ffff:127.0.0.1`)
+//!   pays the same budget as `127.0.0.1` instead of dodging it.
+//! * **Keep-alive** — when [`ServeConfig::keep_alive`] is on, a
+//!   connection whose request asked for persistence is answered
+//!   `Connection: keep-alive` and reused. A worker serves back-to-back
+//!   requests from the same socket only while the queue is empty (a
+//!   short [`KEEPALIVE_GRACE`] read bridges the client's turnaround);
+//!   the moment other work is waiting — or the client goes quiet — the
+//!   connection is *parked* on the [`event`](crate::event) readiness
+//!   loop and the worker moves on. A parked connection that turns
+//!   readable re-enters admission like any fresh one; one idle longer
+//!   than [`ServeConfig::idle_timeout`] is evicted.
+//!   [`ServeConfig::max_requests_per_connection`] caps reuse so a single
+//!   socket cannot pin parser state forever.
 //! * **Graceful shutdown** — [`ServerHandle::shutdown`] stops admission,
-//!   wakes the acceptor, and lets the workers *drain*: every admitted
-//!   request is still answered before [`Server::run`] returns.
+//!   wakes the acceptor, closes parked (request-less) connections, and
+//!   lets the workers *drain*: every admitted request is still answered
+//!   before [`Server::run`] returns.
 //!
 //! Everything is `std`: blocking sockets, a `Mutex`+`Condvar` queue,
-//! scoped worker threads. No epoll, no async runtime — the worker pool is
-//! the concurrency bound, and the queue keeps the accept path O(1).
+//! scoped worker threads, and an epoll fd driven through a thin safe
+//! wrapper (with a portable peek-scan fallback). No tokio — the worker
+//! pool is the concurrency bound, and the queue keeps the accept path
+//! O(1).
 
 use std::collections::{HashMap, VecDeque};
-use std::io::BufReader;
+use std::io::{BufRead, BufReader, Read};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::http::{read_request, write_response, Request, Response};
+use crate::event::{socket_ready, PollerKind, Readiness};
+use crate::http::{is_timeout, read_request, write_response, HttpError, Request, Response};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads answering admitted requests.
     pub workers: usize,
-    /// Admitted connections allowed to wait for a worker; the excess is
+    /// Admitted requests allowed to wait for a worker; the excess is
     /// shed with `503`.
     pub queue_depth: usize,
-    /// Admitted-but-unanswered connections allowed per peer IP; the
-    /// excess is shed with `429`.
+    /// Admitted-but-unanswered requests allowed per (canonical) peer IP;
+    /// the excess is shed with `429`.
     pub per_client_inflight: usize,
     /// Socket read/write timeout, so a stalled peer can occupy a worker
-    /// for at most this long.
+    /// for at most this long (a mid-request stall is answered `408`).
     pub io_timeout: Duration,
+    /// Honor `Connection: keep-alive` and reuse connections. When off,
+    /// every response carries `Connection: close` (the PR-4 behavior).
+    pub keep_alive: bool,
+    /// Most requests served on one connection before the server closes
+    /// it (`0` = unlimited). Bounds how long one socket can pin parser
+    /// state and how long a pipelining client can monopolize reuse.
+    pub max_requests_per_connection: u64,
+    /// How long a kept-alive connection may sit parked with no request
+    /// before the readiness loop evicts (closes) it.
+    pub idle_timeout: Duration,
+    /// Readiness backend for parked connections (epoll on Linux by
+    /// default; the scan fallback is always available).
+    pub poller: PollerKind,
 }
 
 impl Default for ServeConfig {
@@ -52,9 +87,20 @@ impl Default for ServeConfig {
             queue_depth: 64,
             per_client_inflight: 64,
             io_timeout: Duration::from_secs(10),
+            keep_alive: true,
+            max_requests_per_connection: 256,
+            idle_timeout: Duration::from_secs(5),
+            poller: PollerKind::Auto,
         }
     }
 }
+
+/// How long a worker that just answered a keep-alive request waits for
+/// that client's next request before parking the connection and moving
+/// on. Long enough to bridge a loopback (or same-rack) turnaround — so a
+/// request/response ping-pong client stays on a hot worker — short
+/// enough that a quiet client cannot meaningfully pin a worker.
+const KEEPALIVE_GRACE: Duration = Duration::from_millis(1);
 
 /// Monotonic counters of everything the server did, readable at any time
 /// via [`ServerHandle::stats`].
@@ -62,28 +108,42 @@ impl Default for ServeConfig {
 pub struct ServerStats {
     /// Connections the acceptor saw.
     pub accepted: u64,
-    /// Connections admitted to the queue.
+    /// Requests admitted to the queue (or served inline on a kept-alive
+    /// connection). For one-request-per-connection clients this equals
+    /// connections admitted.
     pub admitted: u64,
-    /// Connections shed with `503` because the queue was full.
+    /// Requests shed with `503` because the queue was full.
     pub shed_queue_full: u64,
-    /// Connections shed with `429` because the peer was over its
-    /// in-flight cap.
+    /// Requests shed with `429` because the peer was over its in-flight
+    /// cap.
     pub shed_per_client: u64,
     /// Requests answered with `2xx`.
     pub served_ok: u64,
     /// Requests answered with `4xx`/`5xx` by the handler or the parser.
     pub served_error: u64,
-    /// Connections that died mid-read or mid-write (timeouts, resets).
+    /// Requests served on a reused (kept-alive) connection — the second
+    /// and later request on each socket.
+    pub reused_requests: u64,
+    /// Mid-request read deadlines answered `408` (a partial request and
+    /// then silence).
+    pub request_timeouts: u64,
+    /// Connections closed for idling: parked past
+    /// [`ServeConfig::idle_timeout`], or admitted but silent for the full
+    /// [`ServeConfig::io_timeout`].
+    pub idle_closed: u64,
+    /// Connections that died mid-read or mid-write (resets, broken
+    /// pipes).
     pub io_errors: u64,
-    /// Connections waiting in the queue right now.
+    /// Requests waiting in the queue right now.
     pub queue_len: u64,
-    /// Admitted-but-unanswered connections right now (queued + in
-    /// service).
+    /// Admitted-but-unanswered requests right now (queued + in service).
     pub inflight: u64,
+    /// Kept-alive connections parked on the readiness loop right now.
+    pub parked: u64,
 }
 
 impl ServerStats {
-    /// Every connection that was refused admission.
+    /// Every request that was refused admission.
     pub fn shed_total(&self) -> u64 {
         self.shed_queue_full + self.shed_per_client
     }
@@ -97,29 +157,111 @@ struct Counters {
     shed_per_client: AtomicU64,
     served_ok: AtomicU64,
     served_error: AtomicU64,
+    reused: AtomicU64,
+    request_timeouts: AtomicU64,
+    idle_closed: AtomicU64,
     io_errors: AtomicU64,
 }
 
-/// One admitted connection, waiting for a worker.
+/// A `TcpStream` whose reads honor an **absolute** deadline. A plain
+/// `SO_RCVTIMEO` restarts on every received byte, so a drip-feeding
+/// client (one request-line byte per timeout window — slowloris) could
+/// pin a worker essentially forever while never tripping the per-read
+/// timeout. Here every underlying read shrinks the socket timeout to
+/// the time remaining until the deadline: the whole request, not each
+/// byte, must land inside the window.
 #[derive(Debug)]
-struct Admitted {
+struct DeadlineStream {
     stream: TcpStream,
+    deadline: Option<Instant>,
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.stream.set_read_timeout(Some(remaining))?;
+        }
+        self.stream.read(buf)
+    }
+}
+
+/// One admitted connection with (at least the prefix of) a request to
+/// read. The buffered reader travels with the connection so pipelined
+/// bytes survive queueing, parking and worker hand-offs.
+#[derive(Debug)]
+struct Conn {
+    reader: BufReader<DeadlineStream>,
     peer: IpAddr,
+    /// Requests already answered on this connection.
+    served: u64,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, peer: IpAddr) -> Conn {
+        Conn {
+            reader: BufReader::new(DeadlineStream { stream, deadline: None }),
+            peer,
+            served: 0,
+        }
+    }
+
+    fn stream(&self) -> &TcpStream {
+        &self.reader.get_ref().stream
+    }
+
+    /// Arm the absolute read deadline `window` from now (see
+    /// [`DeadlineStream`]).
+    fn set_read_deadline(&mut self, window: Duration) {
+        self.reader.get_mut().deadline = Some(Instant::now() + window);
+    }
+
+    /// Surrender the connection for shedding/lingering (drops any
+    /// buffered bytes — the connection is closing anyway).
+    fn into_stream(self) -> TcpStream {
+        self.reader.into_inner().stream
+    }
+}
+
+/// A parked kept-alive connection waiting for its next request.
+#[derive(Debug)]
+struct Parked {
+    conn: Conn,
+    since: Instant,
+}
+
+#[derive(Debug)]
+struct Parker {
+    readiness: Readiness,
+    parked: Mutex<HashMap<u64, Parked>>,
+    next_token: AtomicU64,
 }
 
 #[derive(Debug)]
 struct Shared {
-    queue: Mutex<VecDeque<Admitted>>,
+    queue: Mutex<VecDeque<Conn>>,
     available: Condvar,
     shutdown: AtomicBool,
-    /// Admitted-but-unanswered connections per peer IP (entries are
-    /// removed when they reach zero, so the map stays peer-sized).
+    /// Admitted-but-unanswered requests per canonical peer IP (entries
+    /// are removed when they reach zero, so the map stays peer-sized).
     inflight: Mutex<HashMap<IpAddr, u64>>,
+    parker: Parker,
     /// Live refusal threads (see [`shed`]); bounded by
     /// [`SHED_THREADS_MAX`].
     shed_threads: AtomicU64,
     counters: Counters,
     addr: SocketAddr,
+}
+
+/// The admission key for a peer: IPv4-mapped IPv6 addresses
+/// (`::ffff:127.0.0.1`) collapse to the IPv4 address they carry, so a
+/// client arriving over a dual-stack socket pays the same per-client
+/// budget as its IPv4 self instead of bypassing the cap.
+fn canonical_peer(ip: IpAddr) -> IpAddr {
+    ip.to_canonical()
 }
 
 /// A cloneable remote control for a running (or about-to-run) server.
@@ -175,9 +317,13 @@ impl ServerHandle {
             shed_per_client: c.shed_per_client.load(Ordering::Relaxed),
             served_ok: c.served_ok.load(Ordering::Relaxed),
             served_error: c.served_error.load(Ordering::Relaxed),
+            reused_requests: c.reused.load(Ordering::Relaxed),
+            request_timeouts: c.request_timeouts.load(Ordering::Relaxed),
+            idle_closed: c.idle_closed.load(Ordering::Relaxed),
             io_errors: c.io_errors.load(Ordering::Relaxed),
             queue_len: self.shared.queue.lock().expect("queue lock").len() as u64,
             inflight: self.shared.inflight.lock().expect("inflight lock").values().sum(),
+            parked: self.shared.parker.parked.lock().expect("parked lock").len() as u64,
         }
     }
 }
@@ -195,7 +341,7 @@ impl Server {
     /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
     ///
     /// `queue_depth` is clamped to at least 1 — with a 0-depth queue the
-    /// admission gate would shed **every** connection even against idle
+    /// admission gate would shed **every** request even against idle
     /// workers, since hand-off always goes through the queue.
     pub fn bind<A: ToSocketAddrs>(addr: A, mut config: ServeConfig) -> std::io::Result<Server> {
         config.queue_depth = config.queue_depth.max(1);
@@ -205,6 +351,11 @@ impl Server {
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             inflight: Mutex::new(HashMap::new()),
+            parker: Parker {
+                readiness: Readiness::new(config.poller),
+                parked: Mutex::new(HashMap::new()),
+                next_token: AtomicU64::new(0),
+            },
             shed_threads: AtomicU64::new(0),
             counters: Counters::default(),
             addr: listener.local_addr()?,
@@ -217,6 +368,12 @@ impl Server {
         self.shared.addr
     }
 
+    /// Whether parked connections ride an epoll loop (Linux) rather than
+    /// the portable scan fallback.
+    pub fn is_event_driven(&self) -> bool {
+        self.shared.parker.readiness.is_event_driven()
+    }
+
     /// A handle for shutdown and stats, usable from other threads and
     /// from inside the handler.
     pub fn handle(&self) -> ServerHandle {
@@ -225,8 +382,9 @@ impl Server {
 
     /// Accept, admit and answer until shutdown, then drain. The calling
     /// thread runs the acceptor; `workers` scoped threads answer
-    /// requests. Every admitted connection is answered before this
-    /// returns.
+    /// requests and one more runs the readiness loop for parked
+    /// keep-alive connections. Every admitted request is answered before
+    /// this returns.
     pub fn run<H>(self, handler: H)
     where
         H: Fn(&Request) -> Response + Sync,
@@ -237,6 +395,7 @@ impl Server {
             for _ in 0..workers {
                 scope.spawn(|| worker_loop(&shared, &config, &handler));
             }
+            scope.spawn(|| poller_loop(&shared, &config));
             accept_loop(&listener, &shared, &config);
             // Admission has stopped; wake every waiting worker so the
             // drain-and-exit condition is observed (lock-then-notify, see
@@ -270,33 +429,68 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServeConfi
         shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_read_timeout(Some(config.io_timeout));
         let _ = stream.set_write_timeout(Some(config.io_timeout));
-        let peer = peer.ip();
+        // Request/response ping-pong on a kept-alive connection is the
+        // worst case for Nagle + delayed-ACK; responses are small and
+        // written whole, so just send them.
+        let _ = stream.set_nodelay(true);
+        let peer = canonical_peer(peer.ip());
+        admit(shared, config, Conn::new(stream, peer));
+    }
+}
 
-        // Per-client fairness gate.
-        {
-            let inflight = shared.inflight.lock().expect("inflight lock");
-            if inflight.get(&peer).copied().unwrap_or(0) >= config.per_client_inflight as u64 {
-                drop(inflight);
-                shared.counters.shed_per_client.fetch_add(1, Ordering::Relaxed);
-                shed(shared, stream, 429, "per-client in-flight limit reached");
-                continue;
-            }
+/// Admit one request-bearing connection through both gates — the
+/// per-client cap, then the bounded queue — or shed it. Every request
+/// source funnels through here: fresh connections from the acceptor,
+/// parked connections that turned readable, and kept-alive connections
+/// yielding the worker to queued peers.
+fn admit(shared: &Arc<Shared>, config: &ServeConfig, conn: Conn) -> bool {
+    // Per-client fairness gate (on the canonical peer IP).
+    {
+        let inflight = shared.inflight.lock().expect("inflight lock");
+        if inflight.get(&conn.peer).copied().unwrap_or(0) >= config.per_client_inflight as u64 {
+            drop(inflight);
+            shared.counters.shed_per_client.fetch_add(1, Ordering::Relaxed);
+            shed(shared, conn.into_stream(), 429, "per-client in-flight limit reached");
+            return false;
         }
-        // Admission gate: the queue mutex serializes admission, so the
-        // bound is exact — at most `queue_depth` connections wait.
-        {
-            let mut queue = shared.queue.lock().expect("queue lock");
-            if queue.len() >= config.queue_depth {
-                drop(queue);
-                shared.counters.shed_queue_full.fetch_add(1, Ordering::Relaxed);
-                shed(shared, stream, 503, "server over capacity");
-                continue;
-            }
-            *shared.inflight.lock().expect("inflight lock").entry(peer).or_insert(0) += 1;
-            queue.push_back(Admitted { stream, peer });
+    }
+    // Admission gate: the queue mutex serializes admission, so the
+    // bound is exact — at most `queue_depth` requests wait.
+    {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        if queue.len() >= config.queue_depth {
+            drop(queue);
+            shared.counters.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            shed(shared, conn.into_stream(), 503, "server over capacity");
+            return false;
         }
-        shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
-        shared.available.notify_one();
+        *shared.inflight.lock().expect("inflight lock").entry(conn.peer).or_insert(0) += 1;
+        queue.push_back(conn);
+    }
+    shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+    shared.available.notify_one();
+    true
+}
+
+/// Take one per-client in-flight slot for `peer` if the cap allows.
+fn acquire_ticket(shared: &Shared, config: &ServeConfig, peer: IpAddr) -> bool {
+    let mut inflight = shared.inflight.lock().expect("inflight lock");
+    let n = inflight.entry(peer).or_insert(0);
+    if *n >= config.per_client_inflight as u64 {
+        return false;
+    }
+    *n += 1;
+    true
+}
+
+/// Release the per-client in-flight slot taken at admission.
+fn release_ticket(shared: &Shared, peer: IpAddr) {
+    let mut inflight = shared.inflight.lock().expect("inflight lock");
+    if let Some(n) = inflight.get_mut(&peer) {
+        *n -= 1;
+        if *n == 0 {
+            inflight.remove(&peer);
+        }
     }
 }
 
@@ -326,11 +520,12 @@ fn shed(shared: &Arc<Shared>, mut stream: TcpStream, status: u16, message: &'sta
     let shared = Arc::clone(shared);
     let refusal = move || {
         use std::io::Read as _;
+        let _ = stream.set_nonblocking(false); // parked conns may arrive non-blocking
         let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
         let mut scratch = [0u8; 4096];
         let _ = stream.read(&mut scratch);
-        if write_response(&mut stream, &Response::error(status, message)).is_err() {
+        if write_response(&mut stream, &Response::error(status, message), false).is_err() {
             shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
         }
         linger_close(stream);
@@ -359,12 +554,12 @@ fn linger_close(mut stream: TcpStream) {
     }
 }
 
-fn worker_loop<H>(shared: &Shared, config: &ServeConfig, handler: &H)
+fn worker_loop<H>(shared: &Arc<Shared>, config: &ServeConfig, handler: &H)
 where
     H: Fn(&Request) -> Response + Sync,
 {
     loop {
-        let admitted = {
+        let conn = {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
                 if let Some(item) = queue.pop_front() {
@@ -376,58 +571,289 @@ where
                 queue = shared.available.wait(queue).expect("queue lock");
             }
         };
-        let Some(Admitted { stream, peer }) = admitted else {
+        let Some(conn) = conn else {
             return; // shutdown requested and the queue is drained
         };
-        serve_connection(shared, config, stream, handler);
-        let mut inflight = shared.inflight.lock().expect("inflight lock");
-        if let Some(n) = inflight.get_mut(&peer) {
-            *n -= 1;
-            if *n == 0 {
-                inflight.remove(&peer);
+        handle_conn(shared, config, conn, handler);
+    }
+}
+
+/// What to do with a connection after one request/response exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum After {
+    /// Plain close: the socket holds no unread bytes.
+    Close,
+    /// Close, but drain first — unread bytes would turn the close into
+    /// an `RST` that destroys the response (see [`linger_close`]).
+    CloseLinger,
+    /// The next request is already arriving and no one is queued: serve
+    /// it on this worker without a queue round-trip.
+    Continue,
+    /// The next request is arriving but other work is waiting: yield the
+    /// worker and send the connection back through admission.
+    Requeue,
+    /// Kept alive but idle: park on the readiness loop.
+    Park,
+}
+
+/// Serve requests from one admitted connection. The worker holds one
+/// per-client in-flight ticket on entry (taken at admission) and
+/// releases it after each answered request; inline continuation
+/// re-acquires it so the per-client cap stays exact per request.
+fn handle_conn<H>(shared: &Arc<Shared>, config: &ServeConfig, mut conn: Conn, handler: &H)
+where
+    H: Fn(&Request) -> Response + Sync,
+{
+    loop {
+        let after = serve_one(shared, config, &mut conn, handler);
+        release_ticket(shared, conn.peer);
+        match after {
+            After::Close => return,
+            After::CloseLinger => {
+                linger_close(conn.into_stream());
+                return;
+            }
+            After::Continue => {
+                if !acquire_ticket(shared, config, conn.peer) {
+                    shared.counters.shed_per_client.fetch_add(1, Ordering::Relaxed);
+                    let refusal = Response::error(429, "per-client in-flight limit reached");
+                    let _ = write_response(&mut conn.stream(), &refusal, false);
+                    linger_close(conn.into_stream());
+                    return;
+                }
+                shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            After::Requeue => {
+                admit(shared, config, conn);
+                return;
+            }
+            After::Park => {
+                park(shared, conn);
+                return;
             }
         }
     }
 }
 
-fn serve_connection<H>(shared: &Shared, config: &ServeConfig, stream: TcpStream, handler: &H)
+/// Read, handle and answer one request on `conn`; decide what happens to
+/// the connection next.
+fn serve_one<H>(shared: &Shared, config: &ServeConfig, conn: &mut Conn, handler: &H) -> After
 where
     H: Fn(&Request) -> Response + Sync,
 {
-    let _ = config; // timeouts were applied at accept time
-    let mut reader = BufReader::new(&stream);
-    let (response, parse_failed) = match read_request(&mut reader) {
-        Ok(request) => (handler(&request), false),
-        Err(err) => match err.status() {
-            Some(status) => (Response::error(status, err.reason()), true),
-            None => {
-                // A peer that connected and closed without a byte
-                // (`ClosedEarly`, e.g. a TCP liveness probe) is routine,
-                // not an i/o failure.
-                if !matches!(err, crate::http::HttpError::ClosedEarly) {
-                    shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
-                }
-                return;
-            }
-        },
+    // The whole request must arrive within `io_timeout` of this worker
+    // picking the connection up — an absolute deadline, so a client
+    // dripping one byte per timeout window cannot pin the worker.
+    conn.set_read_deadline(config.io_timeout);
+    let request = match read_request(&mut conn.reader) {
+        Ok(request) => request,
+        Err(err) => return failed_request(shared, conn, err),
     };
-    // A parse failure — or leftover buffered bytes after a clean parse
-    // (a pipelining client) — means the socket holds unread data, so the
-    // close must linger (see `linger_close`) or the response can be
-    // destroyed by an `RST`. A fully-consumed request closes plainly.
-    let dirty = parse_failed || !reader.buffer().is_empty();
+    conn.served += 1;
+    if conn.served > 1 {
+        shared.counters.reused.fetch_add(1, Ordering::Relaxed);
+    }
+    let keep_alive = config.keep_alive
+        && request.keep_alive
+        && (config.max_requests_per_connection == 0
+            || conn.served < config.max_requests_per_connection);
+    let response = handler(&request);
+    // The shutdown check comes *after* the handler: a `/shutdown` route
+    // sets the flag mid-request and its own response must already say
+    // `Connection: close`.
+    let keep_alive = keep_alive && !shared.shutdown.load(Ordering::SeqCst);
     let class = if (200..300).contains(&response.status) {
         &shared.counters.served_ok
     } else {
         &shared.counters.served_error
     };
-    if write_response(&mut &stream, &response).is_ok() {
-        class.fetch_add(1, Ordering::Relaxed);
+    if write_response(&mut conn.stream(), &response, keep_alive).is_err() {
+        shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+        return After::Close;
+    }
+    class.fetch_add(1, Ordering::Relaxed);
+    if !keep_alive {
+        return if conn.reader.buffer().is_empty() { After::Close } else { After::CloseLinger };
+    }
+    if !conn.reader.buffer().is_empty() {
+        // A pipelined next request is already buffered.
+        return continue_or_requeue(shared);
+    }
+    // Grace probe: give the client one beat to send its next request
+    // before this worker surrenders the connection to the parking lot.
+    conn.set_read_deadline(KEEPALIVE_GRACE);
+    let probed = conn.reader.fill_buf().map(<[u8]>::len);
+    match probed {
+        Ok(0) => After::Close, // clean EOF: the client is done
+        Ok(_) => continue_or_requeue(shared),
+        Err(e) if is_timeout(&e) => After::Park,
+        Err(_) => {
+            shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+            After::Close
+        }
+    }
+}
+
+/// Serve the next request inline only while nobody else is waiting;
+/// otherwise the connection yields and re-enters admission.
+fn continue_or_requeue(shared: &Shared) -> After {
+    if shared.queue.lock().expect("queue lock").is_empty() {
+        After::Continue
+    } else {
+        After::Requeue
+    }
+}
+
+/// Answer (when an answer is owed) and classify a request that failed to
+/// parse.
+fn failed_request(shared: &Shared, conn: &mut Conn, err: HttpError) -> After {
+    match err {
+        // A peer that connected and closed without a byte (e.g. a TCP
+        // liveness probe) — or a kept-alive client hanging up between
+        // requests — is routine, not an i/o failure.
+        HttpError::ClosedEarly => After::Close,
+        // Admitted, then silent for the whole read deadline: close
+        // without a response, like an eviction from the parking lot.
+        HttpError::IdleTimeout => {
+            shared.counters.idle_closed.fetch_add(1, Ordering::Relaxed);
+            After::Close
+        }
+        // A partial request and then silence: answer 408 so the client
+        // knows the request was *not* processed, then close. Without
+        // this the stall would pin the worker and end in a silent drop.
+        HttpError::Stalled => {
+            shared.counters.request_timeouts.fetch_add(1, Ordering::Relaxed);
+            answer_error(shared, conn, 408, err.reason());
+            After::CloseLinger
+        }
+        HttpError::Io(_) => {
+            shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+            After::Close
+        }
+        // Malformed / over-limit / unsupported framing: answer the 4xx/
+        // 5xx and close — parser state is not trustworthy past this
+        // point, so the connection is never reused.
+        HttpError::Malformed(_) | HttpError::TooLarge(..) | HttpError::Unsupported(_) => {
+            let status = err.status().unwrap_or(400);
+            answer_error(shared, conn, status, err.reason());
+            After::CloseLinger
+        }
+    }
+}
+
+fn answer_error(shared: &Shared, conn: &mut Conn, status: u16, reason: &str) {
+    if write_response(&mut conn.stream(), &Response::error(status, reason), false).is_ok() {
+        shared.counters.served_error.fetch_add(1, Ordering::Relaxed);
     } else {
         shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
     }
-    if dirty {
-        drop(reader);
-        linger_close(stream);
+}
+
+/// Park an idle kept-alive connection on the readiness loop.
+fn park(shared: &Shared, conn: Conn) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return; // shutting down: drop (close) instead of parking
+    }
+    let token = shared.parker.next_token.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut parked = shared.parker.parked.lock().expect("parked lock");
+        parked.insert(token, Parked { conn, since: Instant::now() });
+        let stream = parked[&token].conn.stream();
+        if shared.parker.readiness.register(stream, token).is_err() {
+            parked.remove(&token);
+            shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    // Shutdown race: if the flag was set while we were inserting, the
+    // poller may already have swept the lot — take ours back out so the
+    // socket closes now instead of leaking past the drain.
+    if shared.shutdown.load(Ordering::SeqCst) {
+        if let Some(p) = shared.parker.parked.lock().expect("parked lock").remove(&token) {
+            shared.parker.readiness.deregister(p.conn.stream());
+        }
+    }
+}
+
+/// The readiness loop: waits for parked connections to turn readable and
+/// feeds them back through admission; evicts the ones idle past the
+/// deadline; closes the whole lot on shutdown.
+fn poller_loop(shared: &Arc<Shared>, config: &ServeConfig) {
+    // The tick bounds shutdown latency and idle-eviction granularity.
+    let tick = (config.idle_timeout / 4)
+        .clamp(Duration::from_millis(5), Duration::from_millis(250));
+    loop {
+        let has_parked = !shared.parker.parked.lock().expect("parked lock").is_empty();
+        let ready = shared.parker.readiness.wait(tick, has_parked, || {
+            let parked = shared.parker.parked.lock().expect("parked lock");
+            parked
+                .iter()
+                .filter(|(_, p)| socket_ready(p.conn.stream()))
+                .map(|(token, _)| *token)
+                .collect()
+        });
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Parked connections have no request in flight: close them.
+            let swept: Vec<Parked> = {
+                let mut parked = shared.parker.parked.lock().expect("parked lock");
+                parked.drain().map(|(_, p)| p).collect()
+            };
+            for p in &swept {
+                shared.parker.readiness.deregister(p.conn.stream());
+            }
+            return;
+        }
+        for token in ready {
+            let Some(p) = shared.parker.parked.lock().expect("parked lock").remove(&token)
+            else {
+                continue;
+            };
+            shared.parker.readiness.deregister(p.conn.stream());
+            // A parked connection whose readability is just the peer's
+            // FIN is a corpse: close it here instead of letting a mass
+            // disconnect flood the admission queue and crowd out live
+            // requests. (The socket is readable, so the peek cannot
+            // block.)
+            let mut probe = [0u8; 1];
+            if matches!(p.conn.stream().peek(&mut probe), Ok(0)) {
+                continue; // drop closes it
+            }
+            // Back through the gates like any other request — this is
+            // what keeps 503/429 honest per request, not per connection.
+            admit(shared, config, p.conn);
+        }
+        // Idle sweep: evict connections parked past the deadline.
+        let now = Instant::now();
+        let evicted: Vec<Parked> = {
+            let mut parked = shared.parker.parked.lock().expect("parked lock");
+            let expired: Vec<u64> = parked
+                .iter()
+                .filter(|(_, p)| now.duration_since(p.since) >= config.idle_timeout)
+                .map(|(token, _)| *token)
+                .collect();
+            expired.into_iter().filter_map(|token| parked.remove(&token)).collect()
+        };
+        for p in &evicted {
+            shared.parker.readiness.deregister(p.conn.stream());
+            shared.counters.idle_closed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_client_key_collapses_ipv4_mapped_ipv6() {
+        let mapped: IpAddr = "::ffff:127.0.0.1".parse().unwrap();
+        let plain: IpAddr = "127.0.0.1".parse().unwrap();
+        assert_eq!(canonical_peer(mapped), plain, "mapped peers must share the budget");
+        assert_eq!(canonical_peer(plain), plain);
+        // Real IPv6 peers keep their own identity.
+        let v6: IpAddr = "2001:db8::1".parse().unwrap();
+        assert_eq!(canonical_peer(v6), v6);
+        let loopback6: IpAddr = "::1".parse().unwrap();
+        assert_eq!(canonical_peer(loopback6), loopback6);
     }
 }

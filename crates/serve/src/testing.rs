@@ -1,26 +1,30 @@
-//! Test and load-generator support: a tiny raw-HTTP loopback client plus
+//! Test and load-generator support: a tiny raw-HTTP loopback client (one
+//! fresh connection per request), a persistent keep-alive client, plus
 //! the concurrency latches the deterministic server tests are built on.
 //! Shared by this crate's integration tests, the umbrella `tests/serve.rs`
-//! suite and the `serve_throughput` bench so the wire-format knowledge
-//! lives in one place. Not part of the serving API.
+//! suite, the `serve` binary's self-check and the `serve_throughput`
+//! bench so the wire-format knowledge lives in one place. Not part of the
+//! serving API.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::server::ServerHandle;
 
-/// Issue one `method target` request over a fresh connection, returning
-/// `(status, body)`. The read timeout turns a dropped connection or a
-/// hang into a loud panic — exactly what a test wants.
+/// Issue one `method target` request over a fresh connection (with
+/// `Connection: close`, so keep-alive servers hang up after answering),
+/// returning `(status, body)`. The read timeout turns a dropped
+/// connection or a hang into a loud panic — exactly what a test wants.
 ///
 /// # Panics
 /// On connect/send/read failure or a malformed status line.
 pub fn fetch(addr: SocketAddr, method: &str, target: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
-    write!(stream, "{method} {target} HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+    write!(stream, "{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("send");
     let mut raw = String::new();
     stream
         .read_to_string(&mut raw)
@@ -33,6 +37,117 @@ pub fn fetch(addr: SocketAddr, method: &str, target: &str) -> (u16, String) {
         .expect("status code");
     let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
     (status, body)
+}
+
+/// One response read off a persistent connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The body, framed by `Content-Length`.
+    pub body: String,
+    /// Whether the server said `Connection: keep-alive` (it always sends
+    /// the header explicitly).
+    pub keep_alive: bool,
+}
+
+/// A persistent HTTP/1.1 client: many requests, one socket. Responses
+/// are framed by `Content-Length` (never by EOF), so the connection
+/// survives between exchanges. Panics on malformed responses — a test
+/// client wants loud failures.
+#[derive(Debug)]
+pub struct KeepAliveClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl KeepAliveClient {
+    /// Connect to `addr` with a generous read timeout.
+    ///
+    /// # Panics
+    /// On connect failure.
+    pub fn connect(addr: SocketAddr) -> KeepAliveClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+        KeepAliveClient { reader: BufReader::new(stream) }
+    }
+
+    /// The underlying socket (for raw writes in pipelining tests).
+    pub fn stream(&self) -> &TcpStream {
+        self.reader.get_ref()
+    }
+
+    /// Send a request without reading its response (pipelining).
+    /// `extra_headers` are raw `Name: value` lines.
+    ///
+    /// # Panics
+    /// On send failure.
+    pub fn send(&mut self, method: &str, target: &str, extra_headers: &[&str]) {
+        let mut head = format!("{method} {target} HTTP/1.1\r\nHost: t\r\n");
+        for header in extra_headers {
+            head.push_str(header);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        self.reader.get_ref().write_all(head.as_bytes()).expect("send");
+    }
+
+    /// Read one `Content-Length`-framed response.
+    ///
+    /// # Panics
+    /// On a malformed or missing response (including the server closing
+    /// the connection before a response arrives).
+    pub fn read_response(&mut self) -> WireResponse {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        assert!(!line.is_empty(), "connection closed before a response arrived");
+        let status = line
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.get(..3))
+            .unwrap_or_else(|| panic!("malformed status line {line:?}"))
+            .parse()
+            .expect("status code");
+        let mut content_length = 0usize;
+        let mut keep_alive = false;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("header line");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("Content-Length");
+                } else if name.eq_ignore_ascii_case("connection") {
+                    keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        WireResponse {
+            status,
+            body: String::from_utf8(body).expect("UTF-8 body"),
+            keep_alive,
+        }
+    }
+
+    /// Send one request and read its response.
+    ///
+    /// # Panics
+    /// On any wire failure (see [`KeepAliveClient::send`] /
+    /// [`KeepAliveClient::read_response`]).
+    pub fn request(&mut self, method: &str, target: &str) -> WireResponse {
+        self.send(method, target, &[]);
+        self.read_response()
+    }
+
+    /// Whether the server has closed the connection: a zero-byte read at
+    /// EOF. Blocks until EOF or data (use after the server should have
+    /// hung up).
+    pub fn at_eof(&mut self) -> bool {
+        matches!(self.reader.fill_buf(), Ok(buf) if buf.is_empty())
+    }
 }
 
 /// A latch a handler blocks on until the test releases it, counting how

@@ -182,6 +182,68 @@ fn per_client_cap_sheds_with_429() {
 }
 
 #[test]
+fn per_client_cap_counts_ipv4_mapped_ipv6_peers() {
+    // On a dual-stack listener a client that dials the IPv4 address
+    // shows up as `::ffff:127.0.0.1`. The per-client key must collapse
+    // that to `127.0.0.1` so the mapped form pays the same budget —
+    // before the fix the map keyed the raw `IpAddr::V6` and a mapped
+    // peer had a fresh cap.
+    let config = ServeConfig {
+        workers: 4,
+        queue_depth: 16,
+        per_client_inflight: 1,
+        ..Default::default()
+    };
+    let Ok(server) = Server::bind("[::]:0", config) else {
+        eprintln!("skipping: IPv6 unavailable in this environment");
+        return;
+    };
+    let port = server.local_addr().port();
+    let v4: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+    let v6: SocketAddr = format!("[::1]:{port}").parse().unwrap();
+    // Availability probes happen *before* the server runs (they sit in
+    // the listener backlog and are reaped as empty connections once it
+    // starts); a probe against the live server would hold a per-client
+    // slot until its corpse drains and skew the cap assertions below.
+    if TcpStream::connect_timeout(&v4, Duration::from_millis(500)).is_err() {
+        eprintln!("skipping: dual-stack v4 dialing unavailable in this environment");
+        return;
+    }
+    let v6_ok = TcpStream::connect_timeout(&v6, Duration::from_millis(500)).is_ok();
+    let probes = 1 + u64::from(v6_ok);
+    let handle = server.handle();
+    let gate = Gate::default();
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        let _open = ReleaseOnDrop(&gate);
+        scope.spawn(|| server.run(echo_handler(&gate)));
+        await_stats(&handle, "probe corpses reaped", |s| {
+            s.accepted == probes && s.inflight == 0
+        });
+
+        // One in-flight request dialed over IPv4 (arrives mapped)…
+        let first = scope.spawn(move || get(v4, "/block"));
+        gate.await_entered(1);
+
+        // …so a second IPv4-dialed request is over the canonical cap.
+        let (status, body) = get(v4, "/anything");
+        assert_eq!(status, 429, "mapped peer must pay the 127.0.0.1 budget");
+        assert_eq!(body, r#"{"error":"per-client in-flight limit reached"}"#);
+        let stats = handle.stats();
+        assert_eq!(stats.shed_per_client, 1, "{stats:?}");
+
+        // A *real* IPv6 peer (`::1`) is a different client and admitted.
+        if v6_ok {
+            assert_eq!(get(v6, "/v6-ok").0, 200, "::1 is not the same client as 127.0.0.1");
+        }
+
+        gate.release();
+        assert_eq!(first.join().unwrap().0, 200);
+        handle.shutdown();
+    });
+}
+
+#[test]
 fn shutdown_drains_inflight_and_queued_work() {
     let config = ServeConfig { workers: 1, queue_depth: 4, ..Default::default() };
     let server = Server::bind("127.0.0.1:0", config).unwrap();

@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
 # Benchmark runner: the PR-2 query-path workload, the PR-3 corpus-scale
-# workload and the PR-4 serve-throughput workload.
+# workload and the serve-throughput workload (PR-4 fresh-connection and
+# PR-5 keep-alive client modes side by side).
 #
 # Usage:
-#   scripts/bench.sh [--check|--quick] [pr2|pr3|pr4|serve|all]
+#   scripts/bench.sh [--check|--quick] [pr2|pr3|pr5|serve|all]
 #
 #   scripts/bench.sh            — run every workload, writing
 #                                 BENCH_PR2.json, BENCH_PR3.json and
-#                                 BENCH_PR4.json
+#                                 BENCH_PR5.json
 #   scripts/bench.sh pr3        — run only the corpus-scale workload
 #   scripts/bench.sh serve      — run only the daemon load generator
-#                                 (alias: pr4)
-#   scripts/bench.sh --check    — compile-only (CI gate): build both bench
-#                                 binaries and the Criterion benches
-#                                 without running them
+#                                 (aliases: pr4, pr5; writes
+#                                 BENCH_PR5.json, which supersedes
+#                                 BENCH_PR4.json with keep-alive
+#                                 scenarios added)
+#   scripts/bench.sh --check    — CI gate: build both bench binaries and
+#                                 the Criterion benches without running
+#                                 the workloads, then run the
+#                                 deterministic serve keep-alive probe
+#                                 (3 requests over 1 socket must reuse
+#                                 the connection)
 #   scripts/bench.sh --quick    — fast smoke run (fewer samples, smaller
 #                                 corpus), still writes the JSON files
 #
@@ -29,9 +36,9 @@ for arg in "$@"; do
         --check) MODE="check" ;;
         --quick) MODE="quick" ;;
         pr2|pr3|all) TARGET="$arg" ;;
-        pr4|serve) TARGET="pr4" ;;
+        pr4|pr5|serve) TARGET="pr5" ;;
         *)
-            echo "usage: scripts/bench.sh [--check|--quick] [pr2|pr3|pr4|serve|all]" >&2
+            echo "usage: scripts/bench.sh [--check|--quick] [pr2|pr3|pr5|serve|all]" >&2
             exit 2
             ;;
     esac
@@ -41,6 +48,8 @@ if [[ "$MODE" == "check" ]]; then
     echo "==> bench.sh --check: compile the bench binaries and Criterion benches"
     cargo build --release --offline -p extract-bench --bin query_throughput --bin corpus_scale --bin serve_throughput
     cargo bench --no-run --offline -p extract-bench
+    echo "==> bench.sh --check: serve keep-alive probe (connection reuse must work)"
+    cargo run --release --offline -p extract-bench --bin serve_throughput -- --check-keepalive
     echo "bench.sh: compile check green"
     exit 0
 fi
@@ -62,8 +71,8 @@ if [[ "$TARGET" == "pr3" || "$TARGET" == "all" ]]; then
         --json BENCH_PR3.json "${ARGS[@]+"${ARGS[@]}"}"
 fi
 
-if [[ "$TARGET" == "pr4" || "$TARGET" == "all" ]]; then
-    echo "==> bench.sh: running serve_throughput (results → BENCH_PR4.json)"
+if [[ "$TARGET" == "pr5" || "$TARGET" == "all" ]]; then
+    echo "==> bench.sh: running serve_throughput (results → BENCH_PR5.json)"
     cargo run --release --offline -p extract-bench --bin serve_throughput -- \
-        --json BENCH_PR4.json "${ARGS[@]+"${ARGS[@]}"}"
+        --json BENCH_PR5.json "${ARGS[@]+"${ARGS[@]}"}"
 fi

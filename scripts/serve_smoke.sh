@@ -7,10 +7,13 @@
 # Usage: scripts/serve_smoke.sh
 #
 # Two layers:
-#   1. `serve --self-check` — the daemon's built-in loopback round, which
-#      needs no external tools at all;
+#   1. `serve --self-check` — the daemon's built-in loopback round
+#      (including two requests over one kept-alive socket), which needs
+#      no external tools at all;
 #   2. when `curl` is available, the same probes again from a real
-#      external client over the wire.
+#      external client over the wire, plus a keep-alive probe: two
+#      requests on one reused connection, verified against the server's
+#      own `reused_requests` counter on /stats.
 #
 # All commands run with --offline: every dependency is a path-local
 # vendored shim (vendor/), so no registry access is needed or wanted.
@@ -77,6 +80,23 @@ probe GET  "/search?q=store+name&k=2&offset=1" 200
 probe GET  "/stats" 200
 probe GET  "/search" 400
 probe GET  "/no-such-route" 404
+
+echo "==> serve_smoke: keep-alive probe (two requests, one socket)"
+# One curl invocation with two URLs reuses the connection; the server's
+# own counter proves it (the self-check already covered this without
+# curl, but this exercises a real external client).
+BEFORE=$(curl -s "$URL/stats" | sed -n 's/.*"reused_requests":\([0-9]*\).*/\1/p')
+curl -s "$URL/search?q=texas&k=1" "$URL/healthz" > /dev/null
+AFTER=$(curl -s "$URL/stats" | sed -n 's/.*"reused_requests":\([0-9]*\).*/\1/p')
+if [[ -z "$BEFORE" || -z "$AFTER" ]]; then
+    echo "serve_smoke: /stats is missing the reused_requests counter" >&2
+    exit 1
+fi
+if (( AFTER <= BEFORE )); then
+    echo "serve_smoke: connection was not reused (reused_requests $BEFORE -> $AFTER)" >&2
+    exit 1
+fi
+echo "serve_smoke: connection reused (reused_requests $BEFORE -> $AFTER)"
 
 echo "==> serve_smoke: graceful shutdown"
 probe POST "/shutdown" 200

@@ -20,6 +20,14 @@
 //!                    (default 64)
 //!   --per-client N   in-flight cap per peer IP, shed with 429
 //!                    (default workers + queue depth)
+//!   --no-keep-alive  one request per connection (PR-4 behavior); by
+//!                    default HTTP/1.1 connections are kept alive and
+//!                    parked on the epoll readiness loop between requests
+//!   --max-requests N most requests served per connection, 0 = unlimited
+//!                    (default 256)
+//!   --idle-timeout-ms N
+//!                    evict a kept-alive connection parked idle this long
+//!                    (default 5000)
 //!   --gen-nodes N    target nodes per generated document (default 2000)
 //!   --seed S         generator seed (default 0xC0D)
 //!   --bound N        snippet size bound (default 10)
@@ -27,8 +35,9 @@
 //!   --max-k N        hard page-size cap (default 100)
 //!   --cache N        session cache capacity, 0 disables (default 4096)
 //!   --self-check     boot on an ephemeral port, run a loopback smoke
-//!                    round (/healthz, /search, /stats, /shutdown),
-//!                    validate every JSON body, then exit
+//!                    round (/healthz, /search, /stats, /shutdown, plus
+//!                    two requests over one kept-alive socket), validate
+//!                    every JSON body, then exit
 //! ```
 //!
 //! The daemon prints exactly one ready line to stdout once it accepts
@@ -64,6 +73,9 @@ struct Options {
     workers: usize,
     queue_depth: usize,
     per_client: Option<usize>,
+    keep_alive: bool,
+    max_requests: u64,
+    idle_timeout_ms: u64,
     bound: usize,
     default_k: usize,
     max_k: usize,
@@ -82,6 +94,9 @@ impl Default for Options {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             queue_depth: 64,
             per_client: None,
+            keep_alive: true,
+            max_requests: 256,
+            idle_timeout_ms: 5_000,
             bound: 10,
             default_k: 10,
             max_k: 100,
@@ -94,7 +109,8 @@ impl Default for Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: serve [--corpus DIR | --gen-docs N] [--port P] [--workers N] \
-         [--queue-depth N] [--per-client N] [--gen-nodes N] [--seed S] [--bound N] \
+         [--queue-depth N] [--per-client N] [--no-keep-alive] [--max-requests N] \
+         [--idle-timeout-ms N] [--gen-nodes N] [--seed S] [--bound N] \
          [--default-k N] [--max-k N] [--cache N] [--self-check]"
     );
     ExitCode::from(2)
@@ -124,6 +140,11 @@ fn parse_options() -> Result<Options, ExitCode> {
             "--workers" => options.workers = parse_num(&value(&mut i)?)?,
             "--queue-depth" => options.queue_depth = parse_num(&value(&mut i)?)?,
             "--per-client" => options.per_client = Some(parse_num(&value(&mut i)?)?),
+            "--no-keep-alive" => options.keep_alive = false,
+            "--max-requests" => options.max_requests = parse_num(&value(&mut i)?)? as u64,
+            "--idle-timeout-ms" => {
+                options.idle_timeout_ms = parse_num(&value(&mut i)?)? as u64;
+            }
             "--bound" => options.bound = parse_num(&value(&mut i)?)?,
             "--default-k" => options.default_k = parse_num(&value(&mut i)?)?,
             "--max-k" => options.max_k = parse_num(&value(&mut i)?)?,
@@ -210,6 +231,10 @@ fn main() -> ExitCode {
             .per_client
             .unwrap_or(options.workers.max(1) + options.queue_depth),
         io_timeout: Duration::from_secs(10),
+        keep_alive: options.keep_alive,
+        max_requests_per_connection: options.max_requests,
+        idle_timeout: Duration::from_millis(options.idle_timeout_ms),
+        ..Default::default()
     };
     let app_config = SearchAppConfig {
         snippet: ExtractConfig::with_bound(options.bound),
@@ -222,6 +247,7 @@ fn main() -> ExitCode {
     let docs = corpus.len();
     let nodes = corpus.total_nodes();
     let (workers, queue) = (serve_config.workers, serve_config.queue_depth);
+    let keepalive = if serve_config.keep_alive { "on" } else { "off" };
     let self_check = options.self_check;
     let cache = options.cache;
     let mut checker: Option<std::thread::JoinHandle<bool>> = None;
@@ -230,12 +256,13 @@ fn main() -> ExitCode {
         serve_corpus(&corpus, &addr, serve_config, app_config, cache, |addr, handle| {
             println!(
                 "extract-serve listening on http://{addr} (docs={docs} nodes={nodes} \
-                 workers={workers} queue={queue})"
+                 workers={workers} queue={queue} keepalive={keepalive})"
             );
             let _ = std::io::stdout().flush();
             if self_check {
+                let expect_keep_alive = keepalive == "on";
                 checker = Some(std::thread::spawn(move || {
-                    let ok = self_check_round(addr);
+                    let ok = self_check_round(addr, expect_keep_alive);
                     if !ok {
                         // Never leave the daemon running on a failed check.
                         handle.shutdown();
@@ -260,8 +287,32 @@ fn main() -> ExitCode {
 }
 
 /// One loopback smoke round: status + valid JSON on every core route,
-/// then a graceful shutdown (which also ends `main`'s serve loop).
-fn self_check_round(addr: std::net::SocketAddr) -> bool {
+/// two requests over one kept-alive socket, then a graceful shutdown
+/// (which also ends `main`'s serve loop).
+fn self_check_round(addr: std::net::SocketAddr, expect_keep_alive: bool) -> bool {
+    // Keep-alive first: two requests, one socket, both valid JSON.
+    if expect_keep_alive {
+        let mut client = extract_serve::testing::KeepAliveClient::connect(addr);
+        for target in ["/search?q=texas&k=2", "/healthz"] {
+            let response = client.request("GET", target);
+            if response.status != 200 {
+                eprintln!("serve: self-check keep-alive {target}: status {}", response.status);
+                return false;
+            }
+            if let Err(e) = json::parse(&response.body) {
+                eprintln!("serve: self-check keep-alive {target}: invalid JSON: {e}");
+                return false;
+            }
+            if !response.keep_alive {
+                eprintln!(
+                    "serve: self-check keep-alive {target}: connection was not kept alive"
+                );
+                return false;
+            }
+        }
+        eprintln!("serve: self-check keep-alive round: 2 requests on one socket ok");
+    }
+
     let checks: [(&str, &str, u16); 4] = [
         ("GET", "/healthz", 200),
         ("GET", "/search?q=texas&k=3", 200),
@@ -297,7 +348,7 @@ fn fetch(
 ) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    write!(stream, "{method} {target} HTTP/1.1\r\nHost: self\r\n\r\n")?;
+    write!(stream, "{method} {target} HTTP/1.1\r\nHost: self\r\nConnection: close\r\n\r\n")?;
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;

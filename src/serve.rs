@@ -189,12 +189,20 @@ impl<'d> SearchApp<'d> {
             w.num_u64(s.served_ok);
             w.key("served_error");
             w.num_u64(s.served_error);
+            w.key("reused_requests");
+            w.num_u64(s.reused_requests);
+            w.key("request_timeouts");
+            w.num_u64(s.request_timeouts);
+            w.key("idle_closed");
+            w.num_u64(s.idle_closed);
             w.key("io_errors");
             w.num_u64(s.io_errors);
             w.key("queue_len");
             w.num_u64(s.queue_len);
             w.key("inflight");
             w.num_u64(s.inflight);
+            w.key("parked");
+            w.num_u64(s.parked);
             w.obj_end();
         }
         w.key("session");
@@ -295,6 +303,8 @@ mod tests {
             method: method.to_string(),
             path: path.to_string(),
             query: query.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            http11: true,
+            keep_alive: true,
         }
     }
 

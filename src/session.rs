@@ -573,10 +573,16 @@ mod tests {
         let qs = queries();
         session.answer_batch(&qs, &config);
         let pages = session.page_stats();
-        // 8 queries, 5 distinct: at least 3 page hits (batch scheduling may
-        // race two threads past the same miss, so "at least" not "exactly").
-        assert!(pages.hits >= 1, "repeated queries must hit: {pages:?}");
+        // 8 queries, 5 distinct. Batch scheduling may race any number of
+        // worker threads past the same miss (under a loaded machine even
+        // every duplicate can go concurrent), so the only deterministic
+        // batch-side claim is the miss floor.
         assert!(pages.misses >= 5, "5 distinct queries: {pages:?}");
+        // A *serial* repeat after the batch is deterministic: the page
+        // is cached, so it must hit.
+        session.answer(qs[0], &config);
+        let after = session.page_stats();
+        assert!(after.hits > pages.hits, "serial repeat must hit: {pages:?} -> {after:?}");
         session.clear_cache();
         assert_eq!(session.page_stats(), CacheStats::default());
         assert_eq!(session.snippet_stats(), CacheStats::default());

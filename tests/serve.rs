@@ -19,7 +19,7 @@ use extract::prelude::*;
 use extract::serve::{SearchApp, SearchAppConfig};
 use extract_datagen::corpus::CorpusConfig;
 use extract_serve::json::{self, Value};
-use extract_serve::testing::{fetch, DrainOnDrop, Gate, ReleaseOnDrop};
+use extract_serve::testing::{fetch, DrainOnDrop, Gate, KeepAliveClient, ReleaseOnDrop};
 use extract_serve::{ServeConfig, Server};
 
 fn test_corpus() -> Corpus {
@@ -115,6 +115,74 @@ fn concurrent_pages_are_byte_identical_to_direct_answers() {
         let (status, body) = fetch(addr, "POST", "/shutdown");
         assert_eq!(status, 200);
         assert_eq!(body, r#"{"draining":true}"#);
+    });
+    assert!(handle.is_shutting_down());
+}
+
+#[test]
+fn keep_alive_pages_are_byte_identical_to_fresh_answers() {
+    let corpus = test_corpus();
+    let reference = SearchApp::new(
+        QuerySession::from_corpus_with_options(&corpus, 1, 0),
+        app_config(),
+    );
+    let cases: Vec<(String, usize, usize)> = CorpusConfig::query_mix()
+        .into_iter()
+        .take(5)
+        .enumerate()
+        .flat_map(|(i, q)| vec![(q.to_string(), 2 + i % 3, 0), (q.to_string(), 2, 1)])
+        .collect();
+    let expected: Vec<String> =
+        cases.iter().map(|(q, k, o)| reference.render_search(q, *k, *o)).collect();
+
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let mut app =
+        SearchApp::new(QuerySession::from_corpus_with_options(&corpus, 1, 256), app_config());
+    app.attach_server(handle.clone());
+
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        scope.spawn(|| server.run(|request| app.handle(request)));
+
+        // Every page over ONE socket, sequentially — each byte-identical
+        // to the serial reference AND to a fresh-connection fetch.
+        let mut client = KeepAliveClient::connect(addr);
+        for ((q, k, o), want) in cases.iter().zip(&expected) {
+            let target = format!("/search?q={}&k={k}&offset={o}", encode(q));
+            let response = client.request("GET", &target);
+            assert_eq!(response.status, 200, "q={q} k={k} offset={o}");
+            assert!(response.keep_alive, "connection must stay alive: {target}");
+            assert_eq!(&response.body, want, "kept-alive page must match serial reference");
+            let (fresh_status, fresh_body) = fetch(addr, "GET", &target);
+            assert_eq!(fresh_status, 200);
+            assert_eq!(fresh_body, response.body, "fresh and reused answers must agree");
+        }
+
+        // The server's own counters prove the reuse, and /stats exposes
+        // them on the wire.
+        let stats_page = client.request("GET", "/stats");
+        let stats = json::parse(&stats_page.body).expect("stats JSON");
+        let server_section = stats.get("server").expect("server section");
+        let reused = server_section
+            .get("reused_requests")
+            .and_then(Value::as_u64)
+            .expect("reused_requests counter");
+        assert!(
+            reused >= cases.len() as u64,
+            "every request after the first on this socket is a reuse: {reused}"
+        );
+
+        // Graceful shutdown over the same kept-alive socket: the final
+        // response is served, marked `Connection: close`, and the socket
+        // actually closes.
+        client.send("POST", "/shutdown", &[]);
+        let response = client.read_response();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, r#"{"draining":true}"#);
+        assert!(!response.keep_alive, "draining server must close the connection");
+        assert!(client.at_eof());
     });
     assert!(handle.is_shutting_down());
 }
