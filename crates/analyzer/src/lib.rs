@@ -18,6 +18,7 @@
 //! * [`features`] — feature extraction and the per-result statistics
 //!   `N(e,a,v)`, `N(e,a)`, `D(e,a)` that define dominance scores (§2.3).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

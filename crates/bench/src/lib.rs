@@ -2,6 +2,7 @@
 //! table rendering shared by the `experiments` binary and the Criterion
 //! benches.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod corpus_scale;

@@ -56,6 +56,7 @@
 //! assert!(snippets[0].snippet.to_xml().contains("Levis"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

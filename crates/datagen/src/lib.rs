@@ -24,6 +24,7 @@
 //!
 //! All generators are deterministic given a seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -208,6 +208,9 @@ mod linux {
     impl Epoll {
         /// `epoll_create1(EPOLL_CLOEXEC)`.
         pub fn new() -> io::Result<Epoll> {
+            // SAFETY: `epoll_create1` takes no pointers; any flag value
+            // is acceptable to the kernel (bad ones return -1/EINVAL,
+            // handled below).
             let raw = unsafe { epoll_create1(EPOLL_CLOEXEC) };
             if raw < 0 {
                 return Err(io::Error::last_os_error());
@@ -221,6 +224,9 @@ mod linux {
         pub fn add(&self, fd: RawFd, token: u64) -> io::Result<()> {
             let mut event =
                 EpollEvent { events: EPOLLIN | EPOLLRDHUP | EPOLLONESHOT, data: token };
+            // SAFETY: `event` is a live, properly-laid-out (ABI-pinned
+            // by test) stack value for the duration of the call; the
+            // kernel reads it before returning and keeps no pointer.
             let rc = unsafe { epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_ADD, fd, &mut event) };
             if rc < 0 {
                 return Err(io::Error::last_os_error());
@@ -233,6 +239,9 @@ mod linux {
         /// swallowed.
         pub fn del(&self, fd: RawFd) {
             let mut event = EpollEvent { events: 0, data: 0 };
+            // SAFETY: as in `add` — `event` outlives the call (pre-2.6.9
+            // kernels require a non-null pointer even for DEL, so one is
+            // always passed); DEL on an unknown fd just returns ENOENT.
             let _ = unsafe { epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_DEL, fd, &mut event) };
         }
 
@@ -244,6 +253,10 @@ mod linux {
             let mut events = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
             let timeout_ms =
                 c_int::try_from(timeout.as_millis()).unwrap_or(c_int::MAX).max(1);
+            // SAFETY: `events` is a stack array of exactly `MAX_EVENTS`
+            // initialized elements and `maxevents` passes that same
+            // bound, so the kernel writes only within the buffer; the
+            // buffer outlives the call.
             let rc = unsafe {
                 epoll_wait(
                     self.fd.as_raw_fd(),
@@ -259,7 +272,11 @@ mod linux {
                 }
                 return Err(e);
             }
-            Ok(events[..rc as usize].iter().map(|ev| ev.data).collect())
+            // `rc` is the kernel's count of filled slots, ≤ MAX_EVENTS;
+            // `take` keeps that bound without an indexing panic path.
+            // (Copying `data` out of the packed struct is fine — only
+            // *references* into it would be UB.)
+            Ok(events.iter().take(rc as usize).map(|ev| ev.data).collect())
         }
     }
 

@@ -132,8 +132,8 @@ fn read_line<R: BufRead>(
 ) -> Result<String, HttpError> {
     let mut buf = Vec::with_capacity(128);
     loop {
-        let mut byte = [0u8; 1];
-        match r.read(&mut byte) {
+        let mut byte = 0u8;
+        match r.read(std::slice::from_mut(&mut byte)) {
             Err(e) if is_timeout(&e) => {
                 if idle_ok && buf.is_empty() {
                     return Err(HttpError::IdleTimeout);
@@ -148,7 +148,7 @@ fn read_line<R: BufRead>(
                 return Err(HttpError::Malformed("truncated line"));
             }
             Ok(_) => {
-                if byte[0] == b'\n' {
+                if byte == b'\n' {
                     if buf.last() == Some(&b'\r') {
                         buf.pop();
                     }
@@ -158,7 +158,7 @@ fn read_line<R: BufRead>(
                 if buf.len() >= cap {
                     return Err(HttpError::TooLarge(what, 431));
                 }
-                buf.push(byte[0]);
+                buf.push(byte);
             }
         }
     }
@@ -270,8 +270,8 @@ pub fn percent_decode(s: &str, plus_is_space: bool) -> Option<String> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&b) = bytes.get(i) {
+        match b {
             b'%' => {
                 let hi = (*bytes.get(i + 1)? as char).to_digit(16)?;
                 let lo = (*bytes.get(i + 2)? as char).to_digit(16)?;

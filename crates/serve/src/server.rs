@@ -40,6 +40,35 @@
 //! wrapper (with a portable peek-scan fallback). No tokio — the worker
 //! pool is the concurrency bound, and the queue keeps the accept path
 //! O(1).
+//!
+//! # Lock order
+//!
+//! Three lock domains exist: `queue` (the admission queue),
+//! `inflight` (the per-client request counts) and `parked` (the
+//! keep-alive parking lot). The canonical acquisition order is
+//!
+//! > **`queue` → `inflight` → `parked`**
+//!
+//! — a later domain may be acquired while an earlier one is held
+//! (admission holds `queue` while bumping `inflight`; `stats()` holds
+//! all three briefly), never the reverse. `xlint`'s L1 lock-order lint
+//! machine-checks every function in this file against that order, so an
+//! inversion (and with it a potential deadlock) fails CI rather than
+//! review.
+//!
+//! # Poisoning policy
+//!
+//! Every acquisition goes through [`lock_unpoisoned`], which *recovers*
+//! a poisoned mutex instead of panicking. Rationale: the handler runs
+//! with **no** locks held, so a panicking request cannot corrupt a
+//! critical section; the in-lock regions themselves only perform
+//! trivially atomic updates (queue push/pop, counter bump, map
+//! insert/remove) that are valid at every statement boundary. Poisoning
+//! here would only mean "some other worker panicked elsewhere" — and
+//! turning that into a cascade of lock panics through `/stats`,
+//! admission and shutdown would convert one failed request into a dead
+//! daemon. Recovering is strictly better: the data is consistent, and
+//! the daemon keeps serving.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read};
@@ -256,6 +285,15 @@ struct Shared {
     addr: SocketAddr,
 }
 
+/// Acquire a mutex, recovering from poisoning instead of panicking —
+/// see the module-level "Poisoning policy". All lock acquisitions in
+/// this file go through here (the L1 lock-order lint knows this helper
+/// by name), so a worker that panicked mid-request can never cascade
+/// into poisoned-lock panics in `/stats`, admission or shutdown.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The admission key for a peer: IPv4-mapped IPv6 addresses
 /// (`::ffff:127.0.0.1`) collapse to the IPv4 address they carry, so a
 /// client arriving over a dual-stack socket pays the same per-client
@@ -286,7 +324,7 @@ impl ServerHandle {
         // and notifying: a worker that already checked the flag is still
         // holding the mutex until it enters `wait`, so without this the
         // notification could land in that window and be lost forever.
-        drop(self.shared.queue.lock().expect("queue lock"));
+        drop(lock_unpoisoned(&self.shared.queue));
         self.shared.available.notify_all();
         // Wake the blocking `accept` with a throwaway connection; if the
         // acceptor is already gone the connect simply fails. A wildcard
@@ -321,9 +359,9 @@ impl ServerHandle {
             request_timeouts: c.request_timeouts.load(Ordering::Relaxed),
             idle_closed: c.idle_closed.load(Ordering::Relaxed),
             io_errors: c.io_errors.load(Ordering::Relaxed),
-            queue_len: self.shared.queue.lock().expect("queue lock").len() as u64,
-            inflight: self.shared.inflight.lock().expect("inflight lock").values().sum(),
-            parked: self.shared.parker.parked.lock().expect("parked lock").len() as u64,
+            queue_len: lock_unpoisoned(&self.shared.queue).len() as u64,
+            inflight: lock_unpoisoned(&self.shared.inflight).values().sum(),
+            parked: lock_unpoisoned(&self.shared.parker.parked).len() as u64,
         }
     }
 }
@@ -400,7 +438,7 @@ impl Server {
             // Admission has stopped; wake every waiting worker so the
             // drain-and-exit condition is observed (lock-then-notify, see
             // `ServerHandle::shutdown` for why the mutex matters).
-            drop(shared.queue.lock().expect("queue lock"));
+            drop(lock_unpoisoned(&shared.queue));
             shared.available.notify_all();
         });
     }
@@ -446,7 +484,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServeConfi
 fn admit(shared: &Arc<Shared>, config: &ServeConfig, conn: Conn) -> bool {
     // Per-client fairness gate (on the canonical peer IP).
     {
-        let inflight = shared.inflight.lock().expect("inflight lock");
+        let inflight = lock_unpoisoned(&shared.inflight);
         if inflight.get(&conn.peer).copied().unwrap_or(0) >= config.per_client_inflight as u64 {
             drop(inflight);
             shared.counters.shed_per_client.fetch_add(1, Ordering::Relaxed);
@@ -457,14 +495,14 @@ fn admit(shared: &Arc<Shared>, config: &ServeConfig, conn: Conn) -> bool {
     // Admission gate: the queue mutex serializes admission, so the
     // bound is exact — at most `queue_depth` requests wait.
     {
-        let mut queue = shared.queue.lock().expect("queue lock");
+        let mut queue = lock_unpoisoned(&shared.queue);
         if queue.len() >= config.queue_depth {
             drop(queue);
             shared.counters.shed_queue_full.fetch_add(1, Ordering::Relaxed);
             shed(shared, conn.into_stream(), 503, "server over capacity");
             return false;
         }
-        *shared.inflight.lock().expect("inflight lock").entry(conn.peer).or_insert(0) += 1;
+        *lock_unpoisoned(&shared.inflight).entry(conn.peer).or_insert(0) += 1;
         queue.push_back(conn);
     }
     shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
@@ -474,7 +512,7 @@ fn admit(shared: &Arc<Shared>, config: &ServeConfig, conn: Conn) -> bool {
 
 /// Take one per-client in-flight slot for `peer` if the cap allows.
 fn acquire_ticket(shared: &Shared, config: &ServeConfig, peer: IpAddr) -> bool {
-    let mut inflight = shared.inflight.lock().expect("inflight lock");
+    let mut inflight = lock_unpoisoned(&shared.inflight);
     let n = inflight.entry(peer).or_insert(0);
     if *n >= config.per_client_inflight as u64 {
         return false;
@@ -485,7 +523,7 @@ fn acquire_ticket(shared: &Shared, config: &ServeConfig, peer: IpAddr) -> bool {
 
 /// Release the per-client in-flight slot taken at admission.
 fn release_ticket(shared: &Shared, peer: IpAddr) {
-    let mut inflight = shared.inflight.lock().expect("inflight lock");
+    let mut inflight = lock_unpoisoned(&shared.inflight);
     if let Some(n) = inflight.get_mut(&peer) {
         *n -= 1;
         if *n == 0 {
@@ -560,7 +598,7 @@ where
 {
     loop {
         let conn = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(item) = queue.pop_front() {
                     break Some(item);
@@ -568,7 +606,10 @@ where
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shared.available.wait(queue).expect("queue lock");
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         let Some(conn) = conn else {
@@ -697,7 +738,7 @@ where
 /// Serve the next request inline only while nobody else is waiting;
 /// otherwise the connection yields and re-enters admission.
 fn continue_or_requeue(shared: &Shared) -> After {
-    if shared.queue.lock().expect("queue lock").is_empty() {
+    if lock_unpoisoned(&shared.queue).is_empty() {
         After::Continue
     } else {
         After::Requeue
@@ -756,10 +797,13 @@ fn park(shared: &Shared, conn: Conn) {
     }
     let token = shared.parker.next_token.fetch_add(1, Ordering::Relaxed);
     {
-        let mut parked = shared.parker.parked.lock().expect("parked lock");
-        parked.insert(token, Parked { conn, since: Instant::now() });
-        let stream = parked[&token].conn.stream();
-        if shared.parker.readiness.register(stream, token).is_err() {
+        let mut parked = lock_unpoisoned(&shared.parker.parked);
+        // Registration happens while the entry is already in the map
+        // (and under the lock), so a readiness event can never race a
+        // token the poller cannot find. The token is fresh, so the
+        // entry is always the one just inserted.
+        let slot = parked.entry(token).or_insert(Parked { conn, since: Instant::now() });
+        if shared.parker.readiness.register(slot.conn.stream(), token).is_err() {
             parked.remove(&token);
             shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
             return;
@@ -769,7 +813,7 @@ fn park(shared: &Shared, conn: Conn) {
     // poller may already have swept the lot — take ours back out so the
     // socket closes now instead of leaking past the drain.
     if shared.shutdown.load(Ordering::SeqCst) {
-        if let Some(p) = shared.parker.parked.lock().expect("parked lock").remove(&token) {
+        if let Some(p) = lock_unpoisoned(&shared.parker.parked).remove(&token) {
             shared.parker.readiness.deregister(p.conn.stream());
         }
     }
@@ -783,9 +827,9 @@ fn poller_loop(shared: &Arc<Shared>, config: &ServeConfig) {
     let tick = (config.idle_timeout / 4)
         .clamp(Duration::from_millis(5), Duration::from_millis(250));
     loop {
-        let has_parked = !shared.parker.parked.lock().expect("parked lock").is_empty();
+        let has_parked = !lock_unpoisoned(&shared.parker.parked).is_empty();
         let ready = shared.parker.readiness.wait(tick, has_parked, || {
-            let parked = shared.parker.parked.lock().expect("parked lock");
+            let parked = lock_unpoisoned(&shared.parker.parked);
             parked
                 .iter()
                 .filter(|(_, p)| socket_ready(p.conn.stream()))
@@ -795,7 +839,7 @@ fn poller_loop(shared: &Arc<Shared>, config: &ServeConfig) {
         if shared.shutdown.load(Ordering::SeqCst) {
             // Parked connections have no request in flight: close them.
             let swept: Vec<Parked> = {
-                let mut parked = shared.parker.parked.lock().expect("parked lock");
+                let mut parked = lock_unpoisoned(&shared.parker.parked);
                 parked.drain().map(|(_, p)| p).collect()
             };
             for p in &swept {
@@ -804,7 +848,7 @@ fn poller_loop(shared: &Arc<Shared>, config: &ServeConfig) {
             return;
         }
         for token in ready {
-            let Some(p) = shared.parker.parked.lock().expect("parked lock").remove(&token)
+            let Some(p) = lock_unpoisoned(&shared.parker.parked).remove(&token)
             else {
                 continue;
             };
@@ -825,7 +869,7 @@ fn poller_loop(shared: &Arc<Shared>, config: &ServeConfig) {
         // Idle sweep: evict connections parked past the deadline.
         let now = Instant::now();
         let evicted: Vec<Parked> = {
-            let mut parked = shared.parker.parked.lock().expect("parked lock");
+            let mut parked = lock_unpoisoned(&shared.parker.parked);
             let expired: Vec<u64> = parked
                 .iter()
                 .filter(|(_, p)| now.duration_since(p.since) >= config.idle_timeout)

@@ -1,0 +1,125 @@
+//! `xlint` — run the workspace lint policy and report violations.
+//!
+//! Usage: `cargo run -p extract-xlint -- [--json] [--deny-warnings] [--root DIR]`
+//!
+//! Exit status: 0 when clean, 1 on violations (warnings count only under
+//! `--deny-warnings`), 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use extract_xlint::{run, Diagnostic, Severity};
+
+struct Options {
+    json: bool,
+    deny_warnings: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { json: false, deny_warnings: false, root: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory argument")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                return Err("usage: xlint [--json] [--deny-warnings] [--root DIR]".to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"code\":\"{}\",\"lint\":\"{}\",\"severity\":\"{}\",\
+             \"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            d.code,
+            d.lint,
+            match d.severity {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            },
+            json_escape(&d.path),
+            d.line,
+            json_escape(&d.message),
+        ));
+    }
+    out.push_str("\n]");
+    out
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let start = opts.root.clone().unwrap_or_else(|| {
+        std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."))
+    });
+    let root = match extract_xlint::find_workspace_root(&start) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("xlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = match run(&root) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("xlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.len() - errors;
+    if opts.json {
+        println!("{}", render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        if diags.is_empty() {
+            println!("xlint: clean");
+        } else {
+            println!("xlint: {errors} error(s), {warnings} warning(s)");
+        }
+    }
+    let failing = errors > 0 || (opts.deny_warnings && warnings > 0);
+    if failing {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

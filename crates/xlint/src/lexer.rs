@@ -1,0 +1,409 @@
+//! A hand-rolled Rust lexer — just enough syntax to lint with.
+//!
+//! The workspace's vendored-only policy rules out `syn`, and the lints in
+//! this crate work on token shape, not full ASTs, so this lexer produces a
+//! flat token stream with line numbers and gets the genuinely tricky
+//! surface right:
+//!
+//! * raw strings (`r"…"`, `r#"…"#`, any hash depth) and raw *identifiers*
+//!   (`r#fn`), which share a prefix;
+//! * byte / C strings (`b"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`) and byte
+//!   chars (`b'x'`);
+//! * nested block comments (`/* /* */ */`) — Rust nests them, C does not;
+//! * lifetimes vs. char literals (`'a` vs. `'a'` vs. `'\n'` vs. `'_`);
+//! * line vs. block comments, with comment **text** preserved so waiver
+//!   and `SAFETY:` scanning can work on what the author actually wrote.
+//!
+//! The lexer never panics and never fails: unexpected bytes become
+//! [`TokenKind::Punct`] tokens and an unterminated literal simply ends at
+//! EOF. Garbage in, tokens out — a linter must survive every file in the
+//! tree, including the ones that do not compile yet.
+
+/// What a token is. Only identifiers and comments carry text; everything
+/// else is identified by kind (and spelling, for punctuation) alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `len`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`) — *not* a char literal.
+    Lifetime,
+    /// A numeric literal (`0`, `4096`, `0x2000`, `1.5e3`).
+    Num,
+    /// A string, raw string, byte string, C string or char literal.
+    Literal,
+    /// A line or block comment; `text` holds the content without the
+    /// comment markers.
+    Comment,
+    /// A single punctuation character (`.`, `{`, `!`, …). Multi-char
+    /// operators arrive as consecutive tokens.
+    Punct(char),
+}
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token class (and spelling, for punctuation).
+    pub kind: TokenKind,
+    /// Identifier name or comment content; empty for other kinds.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Lex `src` into a flat token stream. Never fails; see the module docs.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consume one char, tracking newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if is_ident_start(c) => self.ident_or_prefixed(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), String::new(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // `//`
+        // Doc comments (`///`, `//!`) are comments too; keep their text.
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    /// A plain (escaped) string body; the opening `"` is at the cursor.
+    fn string(&mut self, line: u32) {
+        self.bump(); // `"`
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped char, whatever it is
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    /// A raw string body `"…"#…#` with `hashes` closing hashes; the
+    /// cursor sits on the opening `"`.
+    fn raw_string(&mut self, hashes: usize, line: u32) {
+        self.bump(); // `"`
+        'body: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'body;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    /// `'` starts either a lifetime or a char literal:
+    ///
+    /// * `'\…'` — always a char literal;
+    /// * `'x'` (ident-ish char then `'`) — char literal;
+    /// * `'abc` / `'_` (ident chars *not* followed by `'`) — lifetime;
+    /// * `'('`-style (non-ident char) — char literal.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // `'`
+        match self.peek(0) {
+            Some('\\') => {
+                self.bump();
+                self.bump(); // escape head: `\n`, `\u`, `\'`, …
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Literal, String::new(), line);
+            }
+            Some(c) if is_ident_continue(c) => {
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    name.push(c);
+                    self.bump();
+                }
+                if name.chars().count() == 1 && self.peek(0) == Some('\'') {
+                    self.bump(); // closing quote: char literal like 'a'
+                    self.push(TokenKind::Literal, String::new(), line);
+                } else {
+                    self.push(TokenKind::Lifetime, name, line);
+                }
+            }
+            Some(_) => {
+                self.bump(); // the char itself
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Literal, String::new(), line);
+            }
+            None => self.push(TokenKind::Punct('\''), String::new(), line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        // Digits, `_`, suffixes and hex letters; a `.` continues the
+        // number only when followed by a digit (so `0..n` stays a range).
+        while let Some(c) = self.peek(0) {
+            let continues = is_ident_continue(c)
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokenKind::Num, String::new(), line);
+    }
+
+    /// An identifier — or a string with an `r`/`b`/`c` prefix, or a raw
+    /// identifier `r#name`.
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            name.push(c);
+            self.bump();
+        }
+        let raw_capable = matches!(name.as_str(), "r" | "br" | "cr");
+        let string_capable = raw_capable || matches!(name.as_str(), "b" | "c");
+        match self.peek(0) {
+            Some('"') if string_capable => self.string(line),
+            Some('\'') if name == "b" => self.char_or_lifetime(line),
+            Some('#') if raw_capable => {
+                // Count hashes; `"` after them is a raw string, anything
+                // else is a raw identifier (`r#fn`) or stray tokens.
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string(hashes, line);
+                } else if name == "r" && hashes == 1 {
+                    self.bump(); // `#`
+                    let mut raw = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        raw.push(c);
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, raw, line);
+                } else {
+                    self.push(TokenKind::Ident, name, line);
+                }
+            }
+            _ => self.push(TokenKind::Ident, name, line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("fn main() {\n    x.lock();\n}");
+        assert!(toks[0].is_ident("fn"));
+        assert!(toks[1].is_ident("main"));
+        assert_eq!(toks[0].line, 1);
+        let lock = toks.iter().find(|t| t.is_ident("lock")).unwrap();
+        assert_eq!(lock.line, 2);
+        assert!(toks.last().unwrap().is_punct('}'));
+        assert_eq!(toks.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str, c: char) { let y = 'b'; let z = '\\n'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(lifetimes[0].1, "a");
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Literal).count();
+        assert_eq!(chars, 2, "'b' and '\\n' are literals: {toks:?}");
+        let toks = kinds("let l: &'static str = s; let u = '_';");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "static"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_content() {
+        // Unescaped quotes, fake comments and fake idents inside raw
+        // strings must not leak tokens.
+        let toks = kinds(r####"let s = r#"no // comment "quote" unsafe"#; done();"####);
+        assert!(!toks.iter().any(|(_, t)| t == "unsafe"), "{toks:?}");
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Comment));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "done"));
+        // Hash-depth 2, and byte/C-string prefixes.
+        let toks = kinds(r#####"let s = r##"a "# b"##; let b = br"x"; let c = cr#"y"#;"#####);
+        assert!(toks.iter().filter(|(k, _)| *k == TokenKind::Literal).count() == 3, "{toks:?}");
+    }
+
+    #[test]
+    fn raw_idents_are_idents() {
+        let toks = kinds("let r#fn = 1; r#match.call();");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "fn"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "match"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).map(|(_, t)| t).collect();
+        assert_eq!(idents, ["a", "b"], "{toks:?}");
+        let comment = toks.iter().find(|(k, _)| *k == TokenKind::Comment).unwrap();
+        assert!(comment.1.contains("inner"));
+    }
+
+    #[test]
+    fn comment_text_and_lines_survive() {
+        let toks = lex("x();\n// SAFETY: the fd is fresh\nunsafe { y() }");
+        let comment = toks.iter().find(|t| t.kind == TokenKind::Comment).unwrap();
+        assert_eq!(comment.line, 2);
+        assert!(comment.text.contains("SAFETY: the fd is fresh"));
+        let u = toks.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert_eq!(u.line, 3);
+    }
+
+    #[test]
+    fn strings_with_escapes_do_not_leak() {
+        let toks = kinds(r#"let s = "quote \" and // not a comment"; next();"#);
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Comment), "{toks:?}");
+        assert!(toks.iter().any(|(_, t)| t == "next"));
+        let toks = kinds(r#"let c = '\''; let b = b'x'; after();"#);
+        assert!(toks.iter().any(|(_, t)| t == "after"), "{toks:?}");
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e3 + 0x2000 + 4_096u32; }");
+        let nums = toks.iter().filter(|(k, _)| *k == TokenKind::Num).count();
+        assert_eq!(nums, 5, "{toks:?}"); // 0, 10, 1.5e3, 0x2000, 4_096u32
+        // `0..10` keeps its two range dots as punctuation.
+        let dots = toks.iter().filter(|(k, _)| *k == TokenKind::Punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        for src in ["\"unterminated", "r#\"open", "/* open", "'", "'\\", "b'", "r#", "€ ∞"] {
+            let _ = lex(src); // must simply not panic
+        }
+    }
+}

@@ -1,0 +1,852 @@
+//! The lint registry: five domain-specific analyses over the token
+//! stream, each motivated by a real hazard in the serving tier.
+//!
+//! | id | name | hazard |
+//! |----|------|--------|
+//! | L1 | `lock-order` | lock-acquisition cycles / canonical-order inversions → deadlock |
+//! | L2 | `condvar-wait` | `Condvar::wait` outside a predicate loop → lost wakeup |
+//! | L3 | `panic-path` | `unwrap`/`expect`/`panic!`/indexing on the request path → daemon death |
+//! | L4 | `unsafe-hygiene` | `unsafe` without a `SAFETY:` comment, or outside allowlisted crates |
+//! | L5 | `cast-truncation` | `as u8/u16/u32` narrowing of len/count expressions → silent corruption |
+//!
+//! All lints are waivable inline with
+//! `// xlint: allow(<lint>, "<reason>")` — the reason is mandatory; an
+//! empty one is itself an error (`bad-waiver`). The analyses are
+//! deliberately heuristic (token-shaped, not type-checked): they are
+//! tuned to have zero false positives on this workspace, and anything
+//! they cannot prove safe must be either rewritten or waived with a
+//! justification a reviewer can audit.
+
+use std::collections::HashSet;
+
+use crate::config::Config;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// How bad a finding is. Warnings only fail the run under
+/// `--deny-warnings` (which CI always passes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious; fails only under `--deny-warnings`.
+    Warning,
+    /// A policy violation; always fails the run.
+    Error,
+}
+
+/// One finding, pointing at a workspace-relative file and 1-based line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Short lint id (`L1`…`L5`, `X0` for bad waivers).
+    pub code: &'static str,
+    /// Lint name as used in waivers (`lock-order`, …).
+    pub lint: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Render as `path:line: error[L1 lock-order]: message`.
+    pub fn render(&self) -> String {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        format!(
+            "{}:{}: {}[{} {}]: {}",
+            self.path, self.line, sev, self.code, self.lint, self.message
+        )
+    }
+}
+
+/// Everything the lints need to know about one file.
+struct FileCtx<'a> {
+    path: &'a str,
+    crate_name: &'a str,
+    tokens: Vec<Token>,
+    /// Lines that contain at least one non-comment token.
+    code_lines: HashSet<u32>,
+    /// `(line, text)` for every comment line (block comments contribute
+    /// one entry per covered line).
+    comment_lines: Vec<(u32, String)>,
+    /// Token-index ranges that belong to `#[cfg(test)]` / `#[test]` items.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn new(path: &'a str, crate_name: &'a str, src: &str) -> FileCtx<'a> {
+        let tokens = lex(src);
+        let mut code_lines = HashSet::new();
+        let mut comment_lines = Vec::new();
+        for t in &tokens {
+            if t.kind == TokenKind::Comment {
+                for (i, part) in t.text.split('\n').enumerate() {
+                    comment_lines.push((t.line + i as u32, part.to_string()));
+                }
+            } else {
+                code_lines.insert(t.line);
+            }
+        }
+        let test_ranges = find_test_ranges(&tokens);
+        FileCtx { path, crate_name, tokens, code_lines, comment_lines, test_ranges }
+    }
+
+    fn in_tests(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| idx >= lo && idx < hi)
+    }
+
+    /// All comment text on `line` (a line can hold several comments only
+    /// via block comments; concatenation is fine for substring scans).
+    fn comments_on(&self, line: u32) -> impl Iterator<Item = &str> {
+        self.comment_lines.iter().filter(move |(l, _)| *l == line).map(|(_, t)| t.as_str())
+    }
+
+    /// Walk upward from `line - 1` over contiguous comment-only lines,
+    /// yielding their text — the zone where a waiver or `SAFETY:` comment
+    /// for `line` may sit. The same-line comment (trailing) is included.
+    fn comment_block_for(&self, line: u32) -> Vec<&str> {
+        let mut out: Vec<&str> = self.comments_on(line).collect();
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if self.code_lines.contains(&l) {
+                break;
+            }
+            let before = out.len();
+            out.extend(self.comments_on(l));
+            if out.len() == before {
+                break; // blank line: the comment block ended
+            }
+        }
+        out
+    }
+}
+
+/// Token ranges covered by `#[cfg(test)]` or `#[test]` items: from the
+/// attribute to the end of the item's braced body (or its `;`).
+fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1;
+            let mut is_test_attr = false;
+            while j < tokens.len() && depth > 0 {
+                match tokens[j].kind {
+                    TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(']') => depth -= 1,
+                    // `#[test]`, `#[cfg(test)]` and `#[cfg_attr(test, …)]`
+                    // all mention `test` somewhere inside the attribute.
+                    TokenKind::Ident if tokens[j].text == "test" => is_test_attr = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_test_attr {
+                // Skip to the end of the annotated item: the matching `}`
+                // of its first brace, or a `;` before any brace opens.
+                let start = i;
+                let mut k = j;
+                let mut body_depth = 0usize;
+                let mut entered = false;
+                while k < tokens.len() {
+                    match tokens[k].kind {
+                        TokenKind::Punct('{') => {
+                            body_depth += 1;
+                            entered = true;
+                        }
+                        TokenKind::Punct('}') => {
+                            body_depth = body_depth.saturating_sub(1);
+                            if entered && body_depth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        TokenKind::Punct(';') if !entered => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                out.push((start, k));
+                i = k;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Run every applicable lint on one file and apply waivers. `path` is
+/// workspace-relative with forward slashes.
+pub fn analyze_source(
+    path: &str,
+    crate_name: &str,
+    src: &str,
+    cfg: &Config,
+) -> Vec<Diagnostic> {
+    let ctx = FileCtx::new(path, crate_name, src);
+    let mut raw = Vec::new();
+    lock_order(&ctx, cfg, &mut raw);
+    condvar_wait(&ctx, cfg, &mut raw);
+    panic_path(&ctx, cfg, &mut raw);
+    unsafe_hygiene(&ctx, cfg, &mut raw);
+    cast_truncation(&ctx, cfg, &mut raw);
+    let mut out = apply_waivers(&ctx, raw);
+    out.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+/// A parsed `xlint: allow(<lint>, "<reason>")` marker.
+struct Waiver {
+    lint: String,
+    reason: String,
+    line: u32,
+}
+
+fn parse_waivers(text: &str, line: u32) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("xlint: allow(") {
+        rest = &rest[pos + "xlint: allow(".len()..];
+        let Some(end) = rest.find(')') else { break };
+        let inside = &rest[..end];
+        rest = &rest[end + 1..];
+        let (lint, reason_raw) = match inside.split_once(',') {
+            Some((l, r)) => (l.trim(), r.trim()),
+            None => (inside.trim(), ""),
+        };
+        let reason = reason_raw
+            .strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        out.push(Waiver { lint: lint.to_string(), reason, line });
+    }
+    out
+}
+
+/// Suppress diagnostics covered by a justified waiver on the same line or
+/// in the contiguous comment block above; flag unjustified waivers.
+fn apply_waivers(ctx: &FileCtx, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut waivers: Vec<Waiver> = Vec::new();
+    for (line, text) in &ctx.comment_lines {
+        waivers.extend(parse_waivers(text, *line));
+    }
+    let mut out = Vec::new();
+    for w in &waivers {
+        if w.reason.is_empty() {
+            out.push(Diagnostic {
+                code: "X0",
+                lint: "bad-waiver",
+                severity: Severity::Error,
+                path: ctx.path.to_string(),
+                line: w.line,
+                message: format!(
+                    "waiver for `{}` has no justification — write \
+                     `xlint: allow({}, \"why this is sound\")`",
+                    w.lint, w.lint
+                ),
+            });
+        }
+    }
+    'diags: for d in raw {
+        for text in ctx.comment_block_for(d.line) {
+            for w in parse_waivers(text, d.line) {
+                if w.lint == d.lint && !w.reason.is_empty() {
+                    continue 'diags; // justified waiver: suppressed
+                }
+            }
+        }
+        out.push(d);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L1 lock-order
+// ---------------------------------------------------------------------------
+
+/// A live lock guard during the L1 scan.
+struct Guard {
+    domain: usize,
+    /// Binding name for `let g = …lock()…;` guards; `None` for
+    /// temporaries (dropped at end of statement).
+    name: Option<String>,
+    /// Brace depth the binding was declared at (temporaries: current).
+    depth: usize,
+    line: u32,
+}
+
+/// L1: build the per-function acquisition graph over the configured lock
+/// domains and reject self-nesting and canonical-order inversions.
+///
+/// The model is lexical but faithful to the workspace's idiom:
+/// acquisitions are `<domain>.lock()` or `lock_fn(&path.to.domain)`;
+/// a guard is **named** (lives to `drop(name)` or end of its block) when
+/// the whole statement is `let [mut] name = <acquisition>[.expect(…)|
+/// .unwrap(…)|.unwrap_or_else(…)]*;`, and a **temporary** (lives to the
+/// end of the statement; conservatively cleared at `{`) otherwise.
+fn lock_order(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.lock_order_files.iter().any(|f| f == ctx.path) || cfg.lock_order.is_empty() {
+        return;
+    }
+    let order = &cfg.lock_order;
+    let domain_of = |t: &Token| -> Option<usize> {
+        if t.kind != TokenKind::Ident {
+            return None;
+        }
+        order.iter().position(|d| *d == t.text)
+    };
+    let toks = &ctx.tokens;
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokenKind::Comment)
+        .collect();
+    // Walk functions: every `fn name(…) { … }` body is analyzed with its
+    // own guard state.
+    let mut ci = 0;
+    while ci < code.len() {
+        let i = code[ci];
+        if !toks[i].is_ident("fn") || ctx.in_tests(i) {
+            ci += 1;
+            continue;
+        }
+        let fn_name = code
+            .get(ci + 1)
+            .map(|&j| toks[j].text.clone())
+            .unwrap_or_default();
+        // Find the body `{`, or give up at `;` (trait method decl).
+        let mut bi = ci + 1;
+        let mut body_start = None;
+        while bi < code.len() {
+            match toks[code[bi]].kind {
+                TokenKind::Punct('{') => {
+                    body_start = Some(bi);
+                    break;
+                }
+                TokenKind::Punct(';') => break,
+                _ => bi += 1,
+            }
+        }
+        let Some(body_start) = body_start else {
+            ci = bi + 1;
+            continue;
+        };
+
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut depth = 1usize;
+        let mut stmt_start = true;
+        let mut pending_let: Option<String> = None;
+        let mut k = body_start + 1;
+        while k < code.len() && depth > 0 {
+            let t = &toks[code[k]];
+            // Statement-shape tracking for named-guard detection.
+            if stmt_start {
+                pending_let = None;
+                if t.is_ident("let") {
+                    let mut p = k + 1;
+                    if code.get(p).is_some_and(|&j| toks[j].is_ident("mut")) {
+                        p += 1;
+                    }
+                    if let (Some(&nj), Some(&ej)) = (code.get(p), code.get(p + 1)) {
+                        if toks[nj].kind == TokenKind::Ident && toks[ej].is_punct('=') {
+                            pending_let = Some(toks[nj].text.clone());
+                        }
+                    }
+                }
+                stmt_start = false;
+            }
+            match t.kind {
+                TokenKind::Punct('{') => {
+                    depth += 1;
+                    // Conservative: temporaries in conditions are dropped
+                    // before the branch body runs.
+                    guards.retain(|g| g.name.is_some());
+                    stmt_start = true;
+                }
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    guards.retain(|g| g.name.is_none() || g.depth <= depth);
+                    guards.retain(|g| g.name.is_some() || depth == 0);
+                    stmt_start = true;
+                }
+                TokenKind::Punct(';') => {
+                    guards.retain(|g| g.name.is_some());
+                    stmt_start = true;
+                }
+                TokenKind::Ident => {
+                    // `drop(name)` kills the named guard.
+                    if t.text == "drop"
+                        && code.get(k + 1).is_some_and(|&j| toks[j].is_punct('('))
+                    {
+                        if let Some(&nj) = code.get(k + 2) {
+                            if code.get(k + 3).is_some_and(|&j| toks[j].is_punct(')')) {
+                                let name = &toks[nj].text;
+                                guards.retain(|g| g.name.as_deref() != Some(name.as_str()));
+                            }
+                        }
+                    }
+                    if let Some((domain, after)) = acquisition_at(toks, &code, k, cfg, &domain_of)
+                    {
+                        let line = t.line;
+                        for g in &guards {
+                            let held = &order[g.domain];
+                            let acquired = &order[domain];
+                            if g.domain == domain {
+                                push_l1(out, ctx, line, format!(
+                                    "`{fn_name}` acquires `{acquired}` while already holding \
+                                     it (guard taken on line {}) — self-deadlock",
+                                    g.line
+                                ));
+                            } else if g.domain > domain {
+                                push_l1(out, ctx, line, format!(
+                                    "`{fn_name}` acquires `{acquired}` while holding `{held}` \
+                                     (taken on line {}) — inverts the canonical lock order \
+                                     `{}`",
+                                    g.line,
+                                    order.join(" → ")
+                                ));
+                            }
+                        }
+                        let named = pending_let.take().filter(|_| {
+                            statement_binds_guard(toks, &code, after)
+                        });
+                        let is_named = named.is_some();
+                        guards.push(Guard { domain, name: named, depth, line });
+                        if is_named {
+                            // The rest of the statement cannot bind again.
+                        }
+                        k = after;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        ci += 1;
+    }
+}
+
+fn push_l1(out: &mut Vec<Diagnostic>, ctx: &FileCtx, line: u32, message: String) {
+    out.push(Diagnostic {
+        code: "L1",
+        lint: "lock-order",
+        severity: Severity::Error,
+        path: ctx.path.to_string(),
+        line,
+        message,
+    });
+}
+
+/// If an acquisition starts at code-index `k`, return its domain and the
+/// code-index just past the acquisition call's closing `)`.
+fn acquisition_at(
+    toks: &[Token],
+    code: &[usize],
+    k: usize,
+    cfg: &Config,
+    domain_of: &dyn Fn(&Token) -> Option<usize>,
+) -> Option<(usize, usize)> {
+    let t = &toks[code[k]];
+    // `<domain>.lock()`
+    if let Some(domain) = domain_of(t) {
+        if code.get(k + 1).is_some_and(|&j| toks[j].is_punct('.'))
+            && code.get(k + 2).is_some_and(|&j| toks[j].is_ident("lock"))
+            && code.get(k + 3).is_some_and(|&j| toks[j].is_punct('('))
+            && code.get(k + 4).is_some_and(|&j| toks[j].is_punct(')'))
+        {
+            return Some((domain, k + 5));
+        }
+    }
+    // `lock_fn(&path.to.domain)` — the domain is the last domain-named
+    // ident inside the call's parens.
+    if cfg.lock_fns.iter().any(|f| t.is_ident(f))
+        && code.get(k + 1).is_some_and(|&j| toks[j].is_punct('('))
+    {
+        let mut depth = 1usize;
+        let mut p = k + 2;
+        let mut domain = None;
+        while p < code.len() && depth > 0 {
+            match toks[code[p]].kind {
+                TokenKind::Punct('(') => depth += 1,
+                TokenKind::Punct(')') => depth -= 1,
+                _ => {
+                    if let Some(d) = domain_of(&toks[code[p]]) {
+                        domain = Some(d);
+                    }
+                }
+            }
+            p += 1;
+        }
+        if let Some(domain) = domain {
+            return Some((domain, p));
+        }
+    }
+    None
+}
+
+/// After an acquisition ending at code-index `after`, a guard is bound to
+/// the statement's `let` only if the remaining chain is
+/// `[.expect(…)|.unwrap(…)|.unwrap_or_else(…)]* ;`.
+fn statement_binds_guard(toks: &[Token], code: &[usize], mut after: usize) -> bool {
+    loop {
+        match code.get(after).map(|&j| &toks[j]) {
+            Some(t) if t.is_punct(';') => return true,
+            Some(t) if t.is_punct('.') => {
+                let adapter = code.get(after + 1).map(|&j| &toks[j]);
+                let ok = adapter.is_some_and(|a| {
+                    a.is_ident("expect") || a.is_ident("unwrap") || a.is_ident("unwrap_or_else")
+                });
+                if !ok {
+                    return false;
+                }
+                // Skip the adapter's argument list.
+                let mut p = after + 2;
+                if !code.get(p).is_some_and(|&j| toks[j].is_punct('(')) {
+                    return false;
+                }
+                let mut depth = 1usize;
+                p += 1;
+                while p < code.len() && depth > 0 {
+                    match toks[code[p]].kind {
+                        TokenKind::Punct('(') => depth += 1,
+                        TokenKind::Punct(')') => depth -= 1,
+                        _ => {}
+                    }
+                    p += 1;
+                }
+                after = p;
+            }
+            _ => return false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L2 condvar-wait
+// ---------------------------------------------------------------------------
+
+/// L2: `Condvar::wait`/`wait_timeout` must sit inside a `while`/`loop`
+/// that re-checks the predicate — an `if` is a lost-wakeup bug (spurious
+/// wakeups are allowed, and a notify between test and wait vanishes).
+/// `wait_while`/`wait_timeout_while` re-check internally and pass.
+fn condvar_wait(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let is_condvar = |name: &str| {
+        cfg.condvar_names.iter().any(|n| n == name)
+            || name.contains("cond")
+            || name.contains("cvar")
+    };
+    let toks = &ctx.tokens;
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokenKind::Comment)
+        .collect();
+    // Block-kind stack: what construct each `{` belongs to.
+    #[derive(PartialEq, Clone, Copy)]
+    enum Kind {
+        Fn,
+        Loop,
+        Other,
+    }
+    let mut stack: Vec<Kind> = Vec::new();
+    let mut pending = Kind::Other;
+    for (ci, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        match t.kind {
+            TokenKind::Ident => match t.text.as_str() {
+                "fn" => pending = Kind::Fn,
+                "loop" | "while" => pending = Kind::Loop,
+                "if" | "else" | "match" => pending = Kind::Other,
+                _ => {
+                    // `<condvar>.wait(` / `<condvar>.wait_timeout(`
+                    if is_condvar(&t.text)
+                        && code.get(ci + 1).is_some_and(|&j| toks[j].is_punct('.'))
+                        && code.get(ci + 2).is_some_and(|&j| {
+                            toks[j].is_ident("wait") || toks[j].is_ident("wait_timeout")
+                        })
+                        && code.get(ci + 3).is_some_and(|&j| toks[j].is_punct('('))
+                    {
+                        let in_loop = stack
+                            .iter()
+                            .rev()
+                            .take_while(|k| **k != Kind::Fn)
+                            .any(|k| *k == Kind::Loop);
+                        if !in_loop {
+                            out.push(Diagnostic {
+                                code: "L2",
+                                lint: "condvar-wait",
+                                severity: Severity::Error,
+                                path: ctx.path.to_string(),
+                                line: t.line,
+                                message: format!(
+                                    "`{}.{}` is not inside a `while`/`loop` re-checking its \
+                                     predicate — spurious wakeups and notify races will be \
+                                     lost (use a loop, or `wait_while`)",
+                                    t.text, toks[code[ci + 2]].text
+                                ),
+                            });
+                        }
+                    }
+                }
+            },
+            TokenKind::Punct('{') => {
+                stack.push(pending);
+                pending = Kind::Other;
+            }
+            TokenKind::Punct('}') => {
+                stack.pop();
+            }
+            TokenKind::Punct(';') => pending = Kind::Other,
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L3 panic-path
+// ---------------------------------------------------------------------------
+
+/// L3: no `unwrap`/`expect`/`panic!`-family macros/index expressions in
+/// request-handling files, outside `#[cfg(test)]`/`#[test]` code. A
+/// panicking worker poisons every lock it holds and can take the whole
+/// daemon down; the serving path must degrade, not die.
+fn panic_path(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.panic_path_files.iter().any(|f| f == ctx.path) {
+        return;
+    }
+    let toks = &ctx.tokens;
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokenKind::Comment)
+        .collect();
+    let mut push = |line: u32, message: String| {
+        out.push(Diagnostic {
+            code: "L3",
+            lint: "panic-path",
+            severity: Severity::Error,
+            path: ctx.path.to_string(),
+            line,
+            message,
+        });
+    };
+    for (ci, &i) in code.iter().enumerate() {
+        if ctx.in_tests(i) {
+            continue;
+        }
+        let t = &toks[i];
+        match t.kind {
+            TokenKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                let dotted = ci > 0 && toks[code[ci - 1]].is_punct('.');
+                let called = code.get(ci + 1).is_some_and(|&j| toks[j].is_punct('('));
+                if dotted && called {
+                    push(
+                        t.line,
+                        format!(
+                            "`.{}()` on the serving path — a panic here kills the worker \
+                             and poisons its locks; handle the failure or waive with a \
+                             documented policy",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            TokenKind::Ident
+                if matches!(
+                    t.text.as_str(),
+                    "panic" | "unimplemented" | "todo" | "unreachable"
+                ) && code.get(ci + 1).is_some_and(|&j| toks[j].is_punct('!')) =>
+            {
+                push(
+                    t.line,
+                    format!(
+                        "`{}!` on the serving path — requests must be answered, not aborted",
+                        t.text
+                    ),
+                );
+            }
+            TokenKind::Punct('[') => {
+                // Index expressions: `expr[…]` where expr ends in an
+                // identifier, `)` or `]`. Array/slice literals and types
+                // follow `=`, `(`, `&`, `:` … and macro brackets follow
+                // `!`; none of those match. A keyword before `[` (as in
+                // `&mut [u8]` or `return [a, b]`) is a type or literal,
+                // not an indexable expression.
+                let keyword = |t: &Token| {
+                    matches!(
+                        t.text.as_str(),
+                        "mut" | "dyn" | "in" | "as" | "return" | "break" | "if" | "else"
+                            | "match" | "move" | "ref" | "where" | "const" | "static"
+                    )
+                };
+                let indexable = ci > 0
+                    && match toks[code[ci - 1]].kind {
+                        TokenKind::Ident => !keyword(&toks[code[ci - 1]]),
+                        TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+                        _ => false,
+                    };
+                if indexable {
+                    push(
+                        t.line,
+                        "index expression on the serving path can panic on a bad bound — \
+                         use `.get()`/iterators, or waive with the bound's invariant"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L4 unsafe-hygiene
+// ---------------------------------------------------------------------------
+
+/// L4: `unsafe` is allowed only in allowlisted crates, and every site
+/// needs a `SAFETY:` comment on the same line or the contiguous comment
+/// block directly above its statement.
+fn unsafe_hygiene(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    for t in &ctx.tokens {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if !cfg.unsafe_allow.iter().any(|c| c == ctx.crate_name) {
+            out.push(Diagnostic {
+                code: "L4",
+                lint: "unsafe-hygiene",
+                severity: Severity::Error,
+                path: ctx.path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`unsafe` in crate `{}`, which is not allowlisted in xlint.toml \
+                     ([unsafe] allow) — keep unsafe confined to the audited crates",
+                    ctx.crate_name
+                ),
+            });
+            continue;
+        }
+        let documented = ctx
+            .comment_block_for(t.line)
+            .iter()
+            .any(|c| c.contains("SAFETY:"));
+        if !documented {
+            out.push(Diagnostic {
+                code: "L4",
+                lint: "unsafe-hygiene",
+                severity: Severity::Error,
+                path: ctx.path.to_string(),
+                line: t.line,
+                message: "`unsafe` without a `// SAFETY:` comment directly above — \
+                          state the invariant that makes this sound"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L5 cast-truncation
+// ---------------------------------------------------------------------------
+
+/// L5: `as u8`/`as u16`/`as u32` narrowing applied to an expression that
+/// mentions a length/count/index — in index and stats code a silently
+/// wrapped cast corrupts postings offsets or counters. Use `try_from`
+/// (loud) or waive with the bound that makes the cast safe.
+fn cast_truncation(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.cast_paths.iter().any(|p| {
+        ctx.path == *p || ctx.path.starts_with(&format!("{p}/"))
+    }) {
+        return;
+    }
+    let toks = &ctx.tokens;
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokenKind::Comment)
+        .collect();
+    for (ci, &i) in code.iter().enumerate() {
+        if ctx.in_tests(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(&tj) = code.get(ci + 1) else { continue };
+        let target = &toks[tj];
+        if !(target.is_ident("u8") || target.is_ident("u16") || target.is_ident("u32")) {
+            continue;
+        }
+        if let Some(name) = suspicious_source(toks, &code, ci) {
+            out.push(Diagnostic {
+                code: "L5",
+                lint: "cast-truncation",
+                severity: Severity::Warning,
+                path: ctx.path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`… {} as {}` silently truncates when the value exceeds \
+                     {}::MAX — use `{}::try_from` or waive with the proven bound",
+                    name, target.text, target.text, target.text
+                ),
+            });
+        }
+    }
+}
+
+/// Walk the postfix expression backwards from the `as` at code-index `ci`
+/// and return the first length/count-flavored identifier in it, if any.
+fn suspicious_source(toks: &[Token], code: &[usize], ci: usize) -> Option<String> {
+    let suspicious = |name: &str| {
+        matches!(
+            name,
+            "len" | "count" | "index" | "total" | "size" | "capacity" | "sum" | "offset"
+        ) || ["_len", "_count", "_index", "_size", "_total", "_offset", "_capacity"]
+            .iter()
+            .any(|s| name.ends_with(s))
+    };
+    let mut depth = 0i32; // grows as we pass `)` walking backwards
+    let mut found = None;
+    let mut steps = 0;
+    let mut p = ci;
+    while p > 0 && steps < 24 {
+        p -= 1;
+        steps += 1;
+        let t = &toks[code[p]];
+        match t.kind {
+            TokenKind::Punct(')') | TokenKind::Punct(']') => depth += 1,
+            TokenKind::Punct('(') | TokenKind::Punct('[') => {
+                depth -= 1;
+                if depth < 0 {
+                    break; // left the enclosing expression
+                }
+            }
+            TokenKind::Ident => {
+                if suspicious(&t.text) {
+                    found = Some(t.text.clone());
+                }
+            }
+            TokenKind::Num | TokenKind::Punct('.') | TokenKind::Punct('?') => {}
+            // Inside a balanced group anything goes; at the top level an
+            // operator/comma/`=` ends the postfix chain.
+            _ if depth > 0 => {}
+            _ => break,
+        }
+    }
+    found
+}

@@ -1,0 +1,16 @@
+// A file every lint accepts: canonical lock order, looped condvar
+// waits, panic-free handling, documented unsafe, widening casts only.
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+fn drain(queue: &Mutex<VecDeque<u32>>, cond: &Condvar) -> u64 {
+    let mut queue = queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    while queue.is_empty() {
+        queue = cond.wait(queue).unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    let mut total = 0u64;
+    while let Some(item) = queue.pop_front() {
+        total += item as u64;
+    }
+    total
+}

@@ -1,0 +1,30 @@
+// Seeded L2 violation: a Condvar wait guarded by `if` instead of a
+// predicate loop (lost-wakeup bug).
+use std::sync::{Condvar, Mutex};
+
+fn lost_wakeup(lock: &Mutex<bool>, cond: &Condvar) {
+    let mut ready = lock.lock().unwrap();
+    if !*ready {
+        ready = cond.wait(ready).unwrap(); // L2: wait under `if`
+    }
+    *ready = false;
+}
+
+fn rechecked(lock: &Mutex<bool>, cond: &Condvar) {
+    let mut ready = lock.lock().unwrap();
+    while !*ready {
+        ready = cond.wait(ready).unwrap(); // ok: predicate loop
+    }
+    *ready = false;
+}
+
+fn rechecked_with_branch(lock: &Mutex<bool>, cond: &Condvar) {
+    let mut ready = lock.lock().unwrap();
+    loop {
+        if *ready {
+            break;
+        }
+        ready = cond.wait(ready).unwrap(); // ok: enclosing loop re-checks
+    }
+    *ready = false;
+}

@@ -1,0 +1,25 @@
+// Seeded L3 violations: panic paths in request-handling code.
+fn handler(values: &[u32], maybe: Option<u32>) -> u32 {
+    let first = values[0]; // L3: index expression
+    let forced = maybe.unwrap(); // L3: unwrap
+    let stated = maybe.expect("present"); // L3: expect
+    if first > 10 {
+        panic!("too big"); // L3: panic!
+    }
+    first + forced + stated
+}
+
+fn degraded(values: &[u32], maybe: Option<u32>) -> u32 {
+    let first = values.first().copied().unwrap_or(0); // ok: total
+    first + maybe.unwrap_or_default() // ok: total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v = [1u32, 2, 3];
+        assert_eq!(v[0], 1);
+        let _ = Some(5u32).unwrap();
+    }
+}

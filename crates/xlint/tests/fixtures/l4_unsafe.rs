@@ -1,0 +1,11 @@
+// Seeded L4 violation: an unsafe block with no SAFETY comment, next to
+// a properly documented one.
+fn undocumented() -> i32 {
+    unsafe { std::mem::transmute::<u32, i32>(1) } // L4: no SAFETY comment
+}
+
+fn documented() -> i32 {
+    // SAFETY: u32 and i32 have identical size and every bit pattern is
+    // valid for both.
+    unsafe { std::mem::transmute::<u32, i32>(2) }
+}

@@ -1,0 +1,12 @@
+// Seeded L5 violation: narrowing a length with a silent `as` cast.
+fn shrink(items: &[u8]) -> u32 {
+    items.len() as u32 // L5: len narrowed
+}
+
+fn widen(items: &[u8]) -> u64 {
+    items.len() as u64 // ok: widening
+}
+
+fn unrelated(flags: u64) -> u32 {
+    flags as u32 // ok: not a len/count expression
+}

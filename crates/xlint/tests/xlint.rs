@@ -1,0 +1,159 @@
+//! Fixture-driven coverage: every lint must fire on its seeded
+//! violation (exact lint ID and line), stay quiet on clean and waived
+//! code, reject unjustified waivers — and the real workspace must pass.
+
+use std::path::Path;
+
+use extract_xlint::{analyze_source, Config, Diagnostic, Severity};
+
+/// The policy used for the fixture corpus (mirrors the real xlint.toml
+/// shape, but scoped to the fixture files).
+fn cfg() -> Config {
+    Config {
+        exclude: vec![],
+        unsafe_allow: vec!["fixture-ffi".into()],
+        lock_order_files: vec![
+            "tests/fixtures/l1_lock_order.rs".into(),
+            "tests/fixtures/clean.rs".into(),
+        ],
+        lock_order: vec!["queue".into(), "inflight".into(), "parked".into()],
+        lock_fns: vec!["lock_unpoisoned".into()],
+        condvar_names: vec!["available".into()],
+        panic_path_files: vec![
+            "tests/fixtures/l3_panic.rs".into(),
+            "tests/fixtures/waived.rs".into(),
+            "tests/fixtures/clean.rs".into(),
+        ],
+        cast_paths: vec!["tests/fixtures".into()],
+    }
+}
+
+fn findings(path: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
+    analyze_source(path, crate_name, src, &cfg())
+}
+
+fn codes(diags: &[Diagnostic]) -> Vec<(&'static str, u32)> {
+    diags.iter().map(|d| (d.code, d.line)).collect()
+}
+
+#[test]
+fn l1_fires_on_inversion_and_self_nesting_only() {
+    let diags = findings(
+        "tests/fixtures/l1_lock_order.rs",
+        "fixture",
+        include_str!("fixtures/l1_lock_order.rs"),
+    );
+    assert_eq!(codes(&diags), [("L1", 15), ("L1", 22)], "{diags:#?}");
+    assert!(diags[0].message.contains("inverts the canonical lock order"));
+    assert!(diags[1].message.contains("self-deadlock"));
+}
+
+#[test]
+fn l2_fires_on_if_guarded_wait_only() {
+    let diags = findings(
+        "tests/fixtures/l2_condvar.rs",
+        "fixture",
+        include_str!("fixtures/l2_condvar.rs"),
+    );
+    assert_eq!(codes(&diags), [("L2", 8)], "{diags:#?}");
+}
+
+#[test]
+fn l3_fires_on_each_panic_shape_outside_tests() {
+    let diags = findings(
+        "tests/fixtures/l3_panic.rs",
+        "fixture",
+        include_str!("fixtures/l3_panic.rs"),
+    );
+    assert_eq!(
+        codes(&diags),
+        [("L3", 3), ("L3", 4), ("L3", 5), ("L3", 7)],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn l4_fires_on_undocumented_unsafe_in_an_allowlisted_crate() {
+    let diags = findings(
+        "tests/fixtures/l4_unsafe.rs",
+        "fixture-ffi",
+        include_str!("fixtures/l4_unsafe.rs"),
+    );
+    assert_eq!(codes(&diags), [("L4", 4)], "{diags:#?}");
+    assert!(diags[0].message.contains("SAFETY"));
+}
+
+#[test]
+fn l4_fires_on_every_unsafe_outside_the_allowlist() {
+    let diags = findings(
+        "tests/fixtures/l4_unsafe.rs",
+        "extract-core",
+        include_str!("fixtures/l4_unsafe.rs"),
+    );
+    assert_eq!(codes(&diags), [("L4", 4), ("L4", 10)], "{diags:#?}");
+    assert!(diags[0].message.contains("not allowlisted"));
+}
+
+#[test]
+fn l5_fires_on_narrowing_len_casts_only() {
+    let diags = findings(
+        "tests/fixtures/l5_cast.rs",
+        "fixture",
+        include_str!("fixtures/l5_cast.rs"),
+    );
+    assert_eq!(codes(&diags), [("L5", 3)], "{diags:#?}");
+    assert_eq!(diags[0].severity, Severity::Warning);
+}
+
+#[test]
+fn clean_code_passes_every_lint() {
+    let diags = findings(
+        "tests/fixtures/clean.rs",
+        "fixture",
+        include_str!("fixtures/clean.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn justified_waivers_suppress_findings() {
+    let diags = findings(
+        "tests/fixtures/waived.rs",
+        "fixture",
+        include_str!("fixtures/waived.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn an_unjustified_waiver_is_rejected_and_suppresses_nothing() {
+    let diags = findings(
+        "tests/fixtures/bad_waiver.rs",
+        "fixture",
+        include_str!("fixtures/bad_waiver.rs"),
+    );
+    assert_eq!(codes(&diags), [("X0", 4), ("L5", 5)], "{diags:#?}");
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert!(diags[0].message.contains("no justification"));
+}
+
+#[test]
+fn waivers_inside_string_literals_are_inert() {
+    // The waiver text appears in a *string*, not a comment: the cast
+    // must still be flagged.
+    let src = "fn f(items: &[u8]) -> u32 {\n    let _note = \"xlint: allow(cast-truncation, \\\"nope\\\")\";\n    items.len() as u32\n}\n";
+    let diags = findings("tests/fixtures/synthetic.rs", "fixture", src);
+    assert_eq!(codes(&diags), [("L5", 3)], "{diags:#?}");
+}
+
+#[test]
+fn the_real_workspace_passes_clean() {
+    let root = extract_xlint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the xlint crate");
+    let diags = extract_xlint::run(&root).expect("workspace scan");
+    assert!(
+        diags.is_empty(),
+        "the workspace must pass its own lints:\n{}",
+        diags.iter().map(Diagnostic::render).collect::<Vec<_>>().join("\n")
+    );
+}

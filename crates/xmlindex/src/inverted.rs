@@ -40,9 +40,23 @@ impl TokenId {
 
     /// Reconstruct from a raw index. The caller must ensure it came from
     /// [`TokenId::index`] on the same index.
+    ///
+    /// # Panics
+    ///
+    /// On an index past `u32::MAX` — a silent `as u32` here would alias
+    /// index 2³² back onto id 0 and quietly answer queries from the
+    /// wrong posting list.
     pub fn from_index(index: usize) -> TokenId {
-        TokenId(index as u32)
+        TokenId(id32(index))
     }
+}
+
+/// Dense-index → `u32` id, loud on overflow: the posting arena's offset
+/// table is `u32`, so a vocabulary (or corpus) past 4 billion entries
+/// cannot be represented — truncating instead of panicking would corrupt
+/// the index silently.
+fn id32(index: usize) -> u32 {
+    u32::try_from(index).expect("dense id exceeds u32::MAX")
 }
 
 /// Inverted index from token to matching elements.
@@ -71,12 +85,12 @@ impl InvertedIndex {
             }
             seen.clear();
             for tok in tokens_of(doc.resolve(n.label())) {
-                seen.push(tokens.intern(&tok).index() as u32);
+                seen.push(id32(tokens.intern(&tok).index()));
             }
             for &child in n.children() {
                 if let Some(text) = doc.node(child).text() {
                     for tok in tokens_of(text) {
-                        seen.push(tokens.intern(&tok).index() as u32);
+                        seen.push(id32(tokens.intern(&tok).index()));
                     }
                 }
             }
@@ -119,7 +133,7 @@ impl InvertedIndex {
     /// must already be normalized (see [`crate::tokenize`]). Resolving ids
     /// once per query keyword makes every later lookup hash-free.
     pub fn token_id(&self, token: &str) -> Option<TokenId> {
-        self.tokens.get(token).map(|s| TokenId(s.index() as u32))
+        self.tokens.get(token).map(|s| TokenId(id32(s.index())))
     }
 
     /// The token string of an id from this index.
@@ -165,7 +179,7 @@ impl InvertedIndex {
     /// occurrence order of the build pass).
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
         self.tokens.iter().map(move |(sym, s)| {
-            (s, self.postings_by_id(TokenId(sym.index() as u32)))
+            (s, self.postings_by_id(TokenId(id32(sym.index()))))
         })
     }
 
@@ -192,6 +206,20 @@ pub const TOKEN_TABLE_OVERHEAD: usize = extract_xml::SYMBOL_ENTRY_OVERHEAD;
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn token_id_roundtrips_at_the_u32_boundary() {
+        assert_eq!(TokenId::from_index(u32::MAX as usize).index(), u32::MAX as usize);
+    }
+
+    // Regression: `from_index` used a bare `as u32`, so index 2^32
+    // silently aliased back onto TokenId(0) — a wrong-posting-list
+    // lookup, not an error. It must panic instead.
+    #[test]
+    #[should_panic(expected = "dense id exceeds u32::MAX")]
+    fn token_id_from_index_rejects_truncating_indices() {
+        let _ = TokenId::from_index(u32::MAX as usize + 1);
+    }
 
     fn doc() -> Document {
         Document::parse_str(

@@ -30,6 +30,7 @@
 //! assert!(index.postings("dallas").is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

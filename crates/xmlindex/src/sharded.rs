@@ -49,8 +49,14 @@ impl DocId {
 
     /// Reconstruct from a raw index. The caller must ensure it came from
     /// [`DocId::index`] on the same corpus.
+    ///
+    /// # Panics
+    ///
+    /// On an index past `u32::MAX` — a silent `as u32` would alias
+    /// document 2³² back onto document 0 and attribute its postings to
+    /// the wrong document.
     pub fn from_index(index: usize) -> DocId {
-        DocId(index as u32)
+        DocId(u32::try_from(index).expect("document index exceeds u32::MAX"))
     }
 }
 
@@ -408,7 +414,9 @@ impl ShardedPostingsBuilder {
     /// label or directly-contained text yields it, once per element.
     pub fn add_document(&mut self, doc: &Document) -> DocId {
         let id = DocId(self.doc_count);
-        self.doc_count += 1;
+        // Loud overflow: wrapping past u32::MAX would hand out DocId(0)
+        // again and merge two documents' postings.
+        self.doc_count = self.doc_count.checked_add(1).expect("corpus exceeds u32::MAX documents");
         let mut seen: Vec<u32> = Vec::with_capacity(8);
         let mut doc_tokens: Vec<u32> = Vec::new();
         for node in doc.all_nodes() {
@@ -466,7 +474,7 @@ impl ShardedPostingsBuilder {
             self.token_shards.push(0);
         }
         self.token_shards[t] |= 1u64 << shard;
-        t as u32
+        u32::try_from(t).expect("vocabulary exceeds u32::MAX tokens")
     }
 
     /// Finalize into an immutable [`ShardedPostings`]. Each shard is
@@ -539,6 +547,20 @@ impl ShardedPostingsBuilder {
 mod tests {
     use super::*;
     use crate::InvertedIndex;
+
+    #[test]
+    fn doc_id_roundtrips_at_the_u32_boundary() {
+        assert_eq!(DocId::from_index(u32::MAX as usize).index(), u32::MAX as usize);
+    }
+
+    // Regression: `from_index` used a bare `as u32`, so index 2^32
+    // silently aliased back onto DocId(0), merging two documents'
+    // postings. It must panic instead.
+    #[test]
+    #[should_panic(expected = "document index exceeds u32::MAX")]
+    fn doc_id_from_index_rejects_truncating_indices() {
+        let _ = DocId::from_index(u32::MAX as usize + 1);
+    }
 
     fn docs() -> Vec<Document> {
         vec![

@@ -40,6 +40,7 @@
 //! assert_eq!(doc.text_of(name), Some("Levis"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

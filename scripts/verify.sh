@@ -7,8 +7,11 @@
 #   1. cargo build --release          — every crate, bin, and example
 #   2. cargo test -q                  — unit, integration, property, doc tests
 #   3. cargo clippy ... -D warnings   — lint-clean across all targets
-#   4. cargo bench --no-run           — every Criterion bench compiles
-#   5. scripts/bench.sh --check       — the bench binaries compile
+#   4. xlint --deny-warnings          — workspace invariants (lock order,
+#                                       condvar loops, panic-free serving
+#                                       path, unsafe hygiene, casts)
+#   5. cargo bench --no-run           — every Criterion bench compiles
+#   6. scripts/bench.sh --check       — the bench binaries compile
 #
 # The serving daemon additionally has scripts/serve_smoke.sh (boot, probe,
 # drain), run as its own CI job.
@@ -26,6 +29,7 @@ run() {
 run cargo build --release --offline
 run cargo test -q --offline
 run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo run --offline -q -p extract-xlint -- --deny-warnings
 run cargo bench --no-run --offline
 run scripts/bench.sh --check
 

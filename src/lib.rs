@@ -36,6 +36,7 @@
 //! println!("{}", out[0].snippet.to_ascii_tree());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// XML substrate: parsing, arena DOM, Dewey order labels, DTD, schema.
