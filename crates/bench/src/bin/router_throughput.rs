@@ -1,0 +1,77 @@
+//! The router-throughput benchmark: the scatter-gather router over two
+//! shard daemons versus a single daemon over the union corpus (see
+//! `extract_bench::router_throughput` for the scenarios), plus a
+//! degraded run where one shard serves a 500 window and then stalls so
+//! the retry/hedge/breaker counters have something to say.
+//!
+//! ```text
+//! router_throughput [--json PATH] [--quick] [--check-router]
+//! ```
+//!
+//! `--json PATH` writes the machine-readable payload committed as
+//! `BENCH_PR7.json`; `--quick` shrinks the corpus and request counts;
+//! `--check-router` runs only the deterministic two-shard scatter probe
+//! (a CI gate, exits non-zero on failure).
+
+use std::time::Duration;
+
+use extract_bench::router_throughput::{
+    check_router, derived, full_workload, quick_workload, run_all, to_json,
+};
+use extract_bench::{fmt_duration, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut workload = full_workload();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json needs a path").clone());
+            }
+            "--quick" => workload = quick_workload(),
+            "--check-router" => {
+                std::process::exit(if check_router() { 0 } else { 1 });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: router_throughput [--json PATH] [--quick] [--check-router]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "running router_throughput (2 × {} docs × ~{} nodes, {}×{} requests)…",
+        workload.documents_per_shard,
+        workload.target_nodes_per_doc,
+        workload.clients,
+        workload.requests_per_client
+    );
+    let (results, counters) = run_all(&workload);
+
+    let mut table = Table::new(["corpus", "scenario", "value", "unit"]);
+    for r in &results {
+        let rendered = match r.unit {
+            "count" => format!("{:.0}", r.median_ns),
+            _ => fmt_duration(Duration::from_nanos(r.median_ns as u64)),
+        };
+        table.row([r.corpus.to_string(), r.scenario.to_string(), rendered, r.unit.to_string()]);
+    }
+    println!("{}", table.render());
+
+    let mut dt = Table::new(["derived", "value"]);
+    for (name, x) in derived(&results) {
+        dt.row([name, format!("{x:.2}")]);
+    }
+    println!("{}", dt.render());
+    eprintln!("degraded-run counters: {counters:?}");
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&results)).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

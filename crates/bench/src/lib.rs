@@ -6,6 +6,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus_scale;
+pub mod router_throughput;
 pub mod serve_throughput;
 pub mod throughput;
 

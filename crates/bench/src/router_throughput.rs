@@ -1,0 +1,587 @@
+//! PR-7 router throughput workload: the scatter-gather router over two
+//! shard daemons versus a single daemon over the union corpus, plus a
+//! degraded scenario where one shard misbehaves (a 500 window followed
+//! by stalls) so the retry, hedge and breaker machinery is exercised
+//! under load. Everything runs over real sockets: two shard servers,
+//! one router server, keep-alive load-generator clients.
+
+use std::net::SocketAddr;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use extract::prelude::*;
+use extract::serve::{serve_corpus, SearchAppConfig};
+use extract_corpus::CorpusBuilder;
+use extract_datagen::corpus::CorpusConfig;
+use extract_router::{serve_router, HedgeConfig, RouterConfig};
+use extract_serve::fault::FaultPlan;
+use extract_serve::json::{self, Value};
+use extract_serve::testing::KeepAliveClient;
+use extract_serve::{ClientConfig, ServeConfig, ServerHandle};
+
+use crate::throughput::ScenarioResult;
+
+/// Knobs for one router bench run.
+#[derive(Debug, Clone)]
+pub struct RouterWorkload {
+    /// Documents per shard (the union daemon serves `2 ×` this).
+    pub documents_per_shard: usize,
+    /// Target node count per generated document.
+    pub target_nodes_per_doc: usize,
+    /// Corpus generator seed.
+    pub seed: u64,
+    /// Concurrent load-generator clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+}
+
+/// The committed-baseline configuration.
+pub fn full_workload() -> RouterWorkload {
+    RouterWorkload {
+        documents_per_shard: 48,
+        target_nodes_per_doc: 8_000,
+        seed: 0xC0D,
+        clients: 4,
+        requests_per_client: 64,
+    }
+}
+
+/// A fast smoke configuration.
+pub fn quick_workload() -> RouterWorkload {
+    RouterWorkload {
+        documents_per_shard: 3,
+        target_nodes_per_doc: 800,
+        seed: 0xC0D,
+        clients: 2,
+        requests_per_client: 12,
+    }
+}
+
+/// Build the union corpus and its two-way partition. One generator run
+/// produces `2 × documents_per_shard` documents; the first half becomes
+/// shard 0, the second shard 1, and all of them (same names, same
+/// order) the single-daemon union — so the comparison is over exactly
+/// the same data.
+fn build_corpora(workload: &RouterWorkload) -> (Corpus, Corpus, Corpus) {
+    let config = CorpusConfig {
+        documents: workload.documents_per_shard * 2,
+        target_nodes_per_doc: workload.target_nodes_per_doc,
+        seed: workload.seed,
+    };
+    let mut union = CorpusBuilder::new();
+    let mut left = CorpusBuilder::new();
+    let mut right = CorpusBuilder::new();
+    for (i, (name, doc)) in config.documents().enumerate() {
+        if i < workload.documents_per_shard {
+            left.add_parsed(&name, doc.clone());
+        } else {
+            right.add_parsed(&name, doc.clone());
+        }
+        union.add_parsed(&name, doc);
+    }
+    (union.finish(), left.finish(), right.finish())
+}
+
+/// The request mix: the corpus query mix crossed with page sizes.
+fn targets(workload: &RouterWorkload) -> Vec<String> {
+    let mix = CorpusConfig::query_mix();
+    (0..workload.clients * workload.requests_per_client)
+        .map(|i| {
+            let q = mix[i % mix.len()].replace(' ', "+");
+            let k = 1 + (i / mix.len()) % 10;
+            format!("/search?q={q}&k={k}")
+        })
+        .collect()
+}
+
+/// Shard/daemon serving config: generous caps so the measurement is the
+/// request path, not admission limits.
+fn shard_config(fault: Option<Arc<FaultPlan>>) -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        queue_depth: 64,
+        per_client_inflight: 1024,
+        io_timeout: Duration::from_secs(30),
+        max_requests_per_connection: 0,
+        fault,
+        ..Default::default()
+    }
+}
+
+/// Router counters scraped from `/stats` after a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterCounterSnapshot {
+    /// Shard attempts beyond the first per request.
+    pub retries: u64,
+    /// Hedged second requests launched.
+    pub hedges_fired: u64,
+    /// Hedges whose response was used.
+    pub hedge_wins: u64,
+    /// Fresh Closed→Open breaker transitions.
+    pub breaker_opens: u64,
+    /// `200` responses flagged `"partial": true`.
+    pub partial_responses: u64,
+}
+
+fn counter(router: &Value, key: &str) -> u64 {
+    router.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn scrape_counters(addr: SocketAddr) -> RouterCounterSnapshot {
+    let (status, body) = extract_serve::testing::fetch(addr, "GET", "/stats");
+    if status != 200 {
+        return RouterCounterSnapshot::default();
+    }
+    let Some(stats) = json::parse(&body).ok() else {
+        return RouterCounterSnapshot::default();
+    };
+    let Some(router) = stats.get("router") else {
+        return RouterCounterSnapshot::default();
+    };
+    RouterCounterSnapshot {
+        retries: counter(router, "retries"),
+        hedges_fired: counter(router, "hedges_fired"),
+        hedge_wins: counter(router, "hedge_wins"),
+        breaker_opens: counter(router, "breaker_opens"),
+        partial_responses: counter(router, "partial_responses"),
+    }
+}
+
+/// Outcome of driving one target set against one front door.
+struct DriveOutcome {
+    wall: Duration,
+    ok: u64,
+    other: u64,
+}
+
+/// How a scenario is driven: client count, shard/daemon page-cache
+/// size, and whether a serial warmup pass precedes the measured run.
+#[derive(Debug, Clone, Copy)]
+struct DrivePlan {
+    clients: usize,
+    cache_capacity: usize,
+    warmup: bool,
+}
+
+/// Split `targets` across `clients` persistent keep-alive connections
+/// against `addr`; returns wall time and status tallies.
+fn drive_clients(
+    addr: SocketAddr,
+    clients: usize,
+    targets: &[String],
+    warmup: bool,
+) -> DriveOutcome {
+    if warmup {
+        let mut conn = KeepAliveClient::connect(addr);
+        for target in targets {
+            conn.request("GET", target);
+        }
+    }
+    let start = Instant::now();
+    let chunk = targets.len().div_ceil(clients.max(1));
+    let (mut ok, mut other) = (0u64, 0u64);
+    std::thread::scope(|scope| {
+        let counters: Vec<_> = targets
+            .chunks(chunk)
+            .map(|mine| {
+                scope.spawn(move || {
+                    let (mut ok, mut other) = (0u64, 0u64);
+                    let mut conn: Option<KeepAliveClient> = None;
+                    for target in mine {
+                        let client =
+                            conn.get_or_insert_with(|| KeepAliveClient::connect(addr));
+                        let response = client.request("GET", target);
+                        if !response.keep_alive {
+                            conn = None;
+                        }
+                        match response.status {
+                            200 => ok += 1,
+                            _ => other += 1,
+                        }
+                    }
+                    (ok, other)
+                })
+            })
+            .collect();
+        for counter in counters {
+            let (o, x) = counter.join().expect("client");
+            ok += o;
+            other += x;
+        }
+    });
+    DriveOutcome { wall: start.elapsed(), ok, other }
+}
+
+/// Drive `targets` against a single daemon over `corpus`.
+fn drive_single(corpus: &Corpus, targets: &[String], plan: DrivePlan) -> DriveOutcome {
+    let (ready_tx, ready_rx) = mpsc::channel();
+    let mut outcome = DriveOutcome { wall: Duration::ZERO, ok: 0, other: 0 };
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            serve_corpus(
+                corpus,
+                "127.0.0.1:0",
+                shard_config(None),
+                SearchAppConfig::default(),
+                plan.cache_capacity,
+                |addr, handle| drop(ready_tx.send((addr, handle))),
+            )
+            .expect("bind single daemon");
+        });
+        let (addr, handle): (SocketAddr, ServerHandle) =
+            ready_rx.recv().expect("single daemon ready");
+        outcome = drive_clients(addr, plan.clients, targets, plan.warmup);
+        handle.shutdown();
+    });
+    outcome
+}
+
+/// Drive `targets` through a router over two shards (the second with an
+/// optional fault plan). Returns the outcome plus the router's own
+/// counters.
+fn drive_router(
+    left: &Corpus,
+    right: &Corpus,
+    right_fault: Option<Arc<FaultPlan>>,
+    router_config: impl FnOnce(Vec<SocketAddr>) -> RouterConfig,
+    targets: &[String],
+    plan: DrivePlan,
+) -> (DriveOutcome, RouterCounterSnapshot) {
+    let (shard_tx, shard_rx) = mpsc::channel();
+    let (router_tx, router_rx) = mpsc::channel();
+    let mut outcome = DriveOutcome { wall: Duration::ZERO, ok: 0, other: 0 };
+    let mut counters = RouterCounterSnapshot::default();
+    std::thread::scope(|scope| {
+        for (index, (corpus, fault)) in
+            [(left, None), (right, right_fault)].into_iter().enumerate()
+        {
+            let shard_tx = shard_tx.clone();
+            scope.spawn(move || {
+                serve_corpus(
+                    corpus,
+                    "127.0.0.1:0",
+                    shard_config(fault),
+                    SearchAppConfig::default(),
+                    plan.cache_capacity,
+                    |addr, handle| drop(shard_tx.send((index, addr, handle))),
+                )
+                .expect("bind shard");
+            });
+        }
+        // Restore partition order regardless of readiness arrival order.
+        let mut slots: [Option<(SocketAddr, ServerHandle)>; 2] = [None, None];
+        for _ in 0..2 {
+            let (index, addr, handle) = shard_rx.recv().expect("shard ready");
+            slots[index] = Some((addr, handle));
+        }
+        let shards: Vec<(SocketAddr, ServerHandle)> =
+            slots.into_iter().map(|s| s.expect("both shards ready")).collect();
+        let config = router_config(shards.iter().map(|(a, _)| *a).collect());
+        scope.spawn(move || {
+            serve_router(
+                "127.0.0.1:0",
+                shard_config(None),
+                config,
+                |addr, handle| drop(router_tx.send((addr, handle))),
+            )
+            .expect("bind router");
+        });
+        let (addr, handle): (SocketAddr, ServerHandle) =
+            router_rx.recv().expect("router ready");
+        outcome = drive_clients(addr, plan.clients, targets, plan.warmup);
+        counters = scrape_counters(addr);
+        handle.shutdown();
+        for (_, shard) in &shards {
+            shard.shutdown();
+        }
+    });
+    (outcome, counters)
+}
+
+/// The healthy-path router config: defaults, short probe cadence, a
+/// hedge policy that stays quiet while the shards are fast.
+fn healthy_router_config(shards: Vec<SocketAddr>) -> RouterConfig {
+    RouterConfig {
+        shards,
+        request_deadline: Duration::from_secs(10),
+        client: ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// The degraded-path config: tight hedge ceiling and small backoffs so
+/// the run spends its time in the machinery under test, not sleeping.
+/// The breaker threshold is set above anything the fault plan can
+/// produce: a bench run is far shorter than any realistic cooldown, so
+/// an opened breaker would simply skip the shard for the rest of the
+/// run and measure nothing — breaker open/heal behavior is covered by
+/// the integration tests and the smoke script instead.
+fn degraded_router_config(shards: Vec<SocketAddr>) -> RouterConfig {
+    RouterConfig {
+        retry_budget: 2,
+        retry_backoff_base: Duration::from_millis(2),
+        retry_backoff_max: Duration::from_millis(10),
+        hedge: Some(HedgeConfig {
+            percentile: 0.9,
+            min_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(10),
+            min_samples: 4,
+        }),
+        breaker_threshold: 64,
+        ..healthy_router_config(shards)
+    }
+}
+
+/// The fault plan for the degraded scenario: shard 1 answers its first
+/// six `/search` hits with `500` (burning retries and costing the two
+/// unluckiest requests their shard-1 results), then stalls a window of
+/// requests by 30 ms (firing hedges until the window drains), then
+/// behaves.
+fn degraded_fault(targets: usize) -> Arc<FaultPlan> {
+    let stall_window = (targets / 2).max(8);
+    let plan = FaultPlan::from_specs(&[
+        "status:/search:code=500:count=6".to_string(),
+        format!("stall:/search:ms=30:after=6:count={stall_window}"),
+    ])
+    .expect("valid fault specs");
+    Arc::new(plan)
+}
+
+/// One run of all three scenarios. Throughput rows are ns-per-request;
+/// the returned snapshot holds the degraded run's router counters.
+pub fn run_all(
+    workload: &RouterWorkload,
+) -> (Vec<ScenarioResult>, RouterCounterSnapshot) {
+    let (union, left, right) = build_corpora(workload);
+    let targets = targets(workload);
+    let cache = crate::throughput::CACHE_CAPACITY;
+    let mut out = Vec::new();
+    let per_request = |o: &DriveOutcome| o.wall.as_nanos() as f64 / o.ok.max(1) as f64;
+
+    // Cold: page caches disabled, every request pays the full per-shard
+    // search — the scatter's parallelism has real work to overlap.
+    let cold_plan = DrivePlan { clients: workload.clients, cache_capacity: 0, warmup: false };
+    let hot_plan = DrivePlan { clients: workload.clients, cache_capacity: cache, warmup: true };
+
+    let single_cold = drive_single(&union, &targets, cold_plan);
+    assert_eq!(single_cold.other, 0, "single daemon (cold) must not produce errors");
+    out.push(ScenarioResult {
+        corpus: "mixed",
+        scenario: "single_daemon_cold",
+        median_ns: per_request(&single_cold),
+        unit: "request",
+    });
+    let (router_cold, cold_counters) =
+        drive_router(&left, &right, None, healthy_router_config, &targets, cold_plan);
+    assert_eq!(router_cold.other, 0, "cold router must not produce errors");
+    assert_eq!(
+        cold_counters.partial_responses, 0,
+        "cold router must not degrade to partial results"
+    );
+    out.push(ScenarioResult {
+        corpus: "mixed",
+        scenario: "router_2shard_cold",
+        median_ns: per_request(&router_cold),
+        unit: "request",
+    });
+
+    // Hot: warmed page caches — the per-request floor, where the extra
+    // hop and fan-out overhead dominate.
+    let single = drive_single(&union, &targets, hot_plan);
+    assert_eq!(single.other, 0, "single daemon must not produce errors");
+    out.push(ScenarioResult {
+        corpus: "mixed",
+        scenario: "single_daemon_hot",
+        median_ns: per_request(&single),
+        unit: "request",
+    });
+
+    let (healthy, healthy_counters) =
+        drive_router(&left, &right, None, healthy_router_config, &targets, hot_plan);
+    assert_eq!(healthy.other, 0, "healthy router must not produce errors");
+    assert_eq!(
+        healthy_counters.partial_responses, 0,
+        "healthy router must not degrade to partial results"
+    );
+    out.push(ScenarioResult {
+        corpus: "mixed",
+        scenario: "router_2shard_hot",
+        median_ns: per_request(&healthy),
+        unit: "request",
+    });
+
+    // No warmup pass: the fault windows must land inside the measured
+    // run, so this number is genuinely "latency while one shard is
+    // misbehaving" (including its cold caches).
+    let (degraded, counters) = drive_router(
+        &left,
+        &right,
+        Some(degraded_fault(targets.len())),
+        degraded_router_config,
+        &targets,
+        DrivePlan { clients: workload.clients, cache_capacity: cache, warmup: false },
+    );
+    assert_eq!(
+        degraded.other, 0,
+        "degraded router must stay 200 (partial results, never 5xx)"
+    );
+    out.push(ScenarioResult {
+        corpus: "mixed",
+        scenario: "router_degraded_shard",
+        median_ns: per_request(&degraded),
+        unit: "request",
+    });
+    for (name, value) in [
+        ("router_degraded_retries", counters.retries),
+        ("router_degraded_hedges_fired", counters.hedges_fired),
+        ("router_degraded_hedge_wins", counters.hedge_wins),
+        ("router_degraded_breaker_opens", counters.breaker_opens),
+        ("router_degraded_partial_responses", counters.partial_responses),
+    ] {
+        out.push(ScenarioResult {
+            corpus: "mixed",
+            scenario: name,
+            median_ns: value as f64,
+            unit: "count",
+        });
+    }
+    (out, counters)
+}
+
+/// Derived ratios: router overhead vs the single daemon, requests/s,
+/// and the degraded run's resilience counters restated.
+pub fn derived(results: &[ScenarioResult]) -> Vec<(String, f64)> {
+    let get = |scenario: &str| {
+        results.iter().find(|r| r.scenario == scenario).map(|r| r.median_ns)
+    };
+    let mut out = Vec::new();
+    if let (Some(single), Some(router)) =
+        (get("single_daemon_cold"), get("router_2shard_cold"))
+    {
+        if router > 0.0 {
+            out.push(("router_cold_speedup_vs_single".to_string(), single / router));
+        }
+        out.push(("single_daemon_cold_req_per_s".to_string(), 1e9 / single));
+        out.push(("router_2shard_cold_req_per_s".to_string(), 1e9 / router));
+    }
+    if let (Some(single), Some(router)) =
+        (get("single_daemon_hot"), get("router_2shard_hot"))
+    {
+        if single > 0.0 {
+            out.push(("router_hot_overhead_vs_single".to_string(), router / single));
+        }
+        out.push(("single_daemon_hot_req_per_s".to_string(), 1e9 / single));
+        out.push(("router_2shard_hot_req_per_s".to_string(), 1e9 / router));
+    }
+    if let Some(degraded) = get("router_degraded_shard") {
+        if degraded > 0.0 {
+            out.push(("router_degraded_req_per_s".to_string(), 1e9 / degraded));
+        }
+    }
+    out
+}
+
+/// Serialize as the committed `BENCH_PR7.json` payload.
+pub fn to_json(results: &[ScenarioResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"router_throughput\",\n  \"pr\": 7,\n  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"corpus\": \"{}\", \"scenario\": \"{}\", \"median_ns_per_op\": {:.1}, \"unit\": \"{}\"}}{}\n",
+            r.corpus,
+            r.scenario,
+            r.median_ns,
+            r.unit,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n  \"derived\": {\n");
+    let d = derived(results);
+    for (i, (name, x)) in d.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{name}\": {x:.2}{}\n",
+            if i + 1 == d.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// A deterministic router probe for CI (`bench.sh --check`): two tiny
+/// shards behind a router, a handful of requests, verify 200s with
+/// `"partial": false` and zero degraded counters. Returns `false`
+/// (after printing why) instead of panicking so the caller can exit
+/// non-zero.
+pub fn check_router() -> bool {
+    let workload = RouterWorkload {
+        documents_per_shard: 2,
+        target_nodes_per_doc: 200,
+        seed: 7,
+        clients: 1,
+        requests_per_client: 4,
+    };
+    let (_, left, right) = build_corpora(&workload);
+    let targets = targets(&workload);
+    let (outcome, counters) = drive_router(
+        &left,
+        &right,
+        None,
+        healthy_router_config,
+        &targets,
+        DrivePlan {
+            clients: workload.clients,
+            cache_capacity: crate::throughput::CACHE_CAPACITY,
+            warmup: false,
+        },
+    );
+    let mut ok = true;
+    if outcome.other != 0 {
+        eprintln!("check_router: {} non-200 responses", outcome.other);
+        ok = false;
+    }
+    if counters.partial_responses != 0 || counters.breaker_opens != 0 {
+        eprintln!("check_router: unexpected degradation: {counters:?}");
+        ok = false;
+    }
+    if ok {
+        eprintln!(
+            "check_router: {} requests scattered over 2 shards, all 200, no degradation",
+            outcome.ok
+        );
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_workload_runs_and_serializes() {
+        let workload = RouterWorkload {
+            documents_per_shard: 2,
+            target_nodes_per_doc: 300,
+            seed: 7,
+            clients: 2,
+            requests_per_client: 4,
+        };
+        let (results, counters) = run_all(&workload);
+        // 4 cold/hot throughput rows + the degraded row + 5 counter rows.
+        assert_eq!(results.len(), 10);
+        assert!(results.iter().all(|r| r.median_ns >= 0.0));
+        // The 500 window guarantees retries were spent.
+        assert!(counters.retries > 0, "degraded run must record retries");
+        let json = to_json(&results);
+        extract_serve::json::parse(&json).expect("payload is valid JSON");
+    }
+
+    #[test]
+    fn router_check_is_green() {
+        assert!(check_router());
+    }
+}

@@ -1,0 +1,234 @@
+//! `router` — the eXtract scatter-gather front tier.
+//!
+//! One router fronts N `serve` shard daemons, each holding a partition
+//! of the corpus, and exposes the same `/search` / `/stats` /
+//! `/healthz` / `/shutdown` surface as a single daemon over the union
+//! corpus. See the README "Distributed serving" section.
+//!
+//! ```text
+//! router --shards ADDR,ADDR[,...] [options]
+//!
+//! required:
+//!   --shards LIST    comma-separated shard addresses in partition order
+//!                    (the order defines the global doc-id remapping)
+//!
+//! options:
+//!   --port P         TCP port (default 7979; 0 picks an ephemeral port)
+//!   --workers N      worker threads (default: available parallelism)
+//!   --queue-depth N  admission queue bound, excess shed with 503
+//!                    (default 64)
+//!   --per-client N   in-flight cap per peer IP, shed with 429
+//!                    (default workers + queue depth)
+//!   --deadline-ms N  absolute per-request deadline covering every
+//!                    retry, backoff and hedge (default 2000)
+//!   --retry-budget N extra attempts per shard per request (default 2)
+//!   --no-hedge       disable hedged second requests
+//!   --hedge-min-ms N / --hedge-max-ms N
+//!                    clamp band for the hedge delay (default 20 / 500)
+//!   --breaker-threshold N
+//!                    consecutive failures that open a shard's breaker
+//!                    (default 3)
+//!   --breaker-cooldown-ms N
+//!                    open-breaker cooldown before a half-open probe
+//!                    (default 1000)
+//!   --probe-interval-ms N
+//!                    background prober period (default 200)
+//!   --default-k N    page size when the request has no k (default 10)
+//!   --max-k N        hard page-size cap (default 100)
+//! ```
+//!
+//! The router prints exactly one ready line to stdout once it accepts
+//! connections:
+//!
+//! ```text
+//! extract-router listening on http://127.0.0.1:7979 (shards=2 workers=4 queue=64)
+//! ```
+//!
+//! and exits 0 after a `POST /shutdown` finished draining.
+
+use std::io::Write;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use extract_router::{HedgeConfig, RouterConfig};
+use extract_serve::ServeConfig;
+
+struct Options {
+    shards: Vec<SocketAddr>,
+    port: u16,
+    workers: usize,
+    queue_depth: usize,
+    per_client: Option<usize>,
+    deadline_ms: u64,
+    retry_budget: u32,
+    hedge: bool,
+    hedge_min_ms: u64,
+    hedge_max_ms: u64,
+    breaker_threshold: u32,
+    breaker_cooldown_ms: u64,
+    probe_interval_ms: u64,
+    default_k: usize,
+    max_k: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        let defaults = RouterConfig::default();
+        let hedge = HedgeConfig::default();
+        Options {
+            shards: Vec::new(),
+            port: 7979,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            queue_depth: 64,
+            per_client: None,
+            deadline_ms: defaults.request_deadline.as_millis() as u64,
+            retry_budget: defaults.retry_budget,
+            hedge: true,
+            hedge_min_ms: hedge.min_delay.as_millis() as u64,
+            hedge_max_ms: hedge.max_delay.as_millis() as u64,
+            breaker_threshold: defaults.breaker_threshold,
+            breaker_cooldown_ms: defaults.breaker_cooldown.as_millis() as u64,
+            probe_interval_ms: defaults.probe_interval.as_millis() as u64,
+            default_k: defaults.default_k,
+            max_k: defaults.max_k,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: router --shards ADDR,ADDR[,...] [--port P] [--workers N] \
+         [--queue-depth N] [--per-client N] [--deadline-ms N] [--retry-budget N] \
+         [--no-hedge] [--hedge-min-ms N] [--hedge-max-ms N] [--breaker-threshold N] \
+         [--breaker-cooldown-ms N] [--probe-interval-ms N] [--default-k N] [--max-k N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_shards(raw: &str) -> Result<Vec<SocketAddr>, ExitCode> {
+    let mut shards = Vec::new();
+    for part in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        match part.to_socket_addrs().ok().and_then(|mut addrs| addrs.next()) {
+            Some(addr) => shards.push(addr),
+            None => {
+                eprintln!("router: `{part}` is not a resolvable shard address");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(shards)
+}
+
+fn parse_options() -> Result<Options, ExitCode> {
+    let mut options = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Result<String, ExitCode> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(usage)
+        };
+        match args.get(i).map(String::as_str).unwrap_or("") {
+            "--shards" => options.shards = parse_shards(&value(&mut i)?)?,
+            "--port" => {
+                let raw = parse_num(&value(&mut i)?)?;
+                options.port = u16::try_from(raw).map_err(|_| {
+                    eprintln!("router: port {raw} is out of range (0-65535)");
+                    usage()
+                })?;
+            }
+            "--workers" => options.workers = parse_num(&value(&mut i)?)?,
+            "--queue-depth" => options.queue_depth = parse_num(&value(&mut i)?)?,
+            "--per-client" => options.per_client = Some(parse_num(&value(&mut i)?)?),
+            "--deadline-ms" => options.deadline_ms = parse_num(&value(&mut i)?)? as u64,
+            "--retry-budget" => {
+                options.retry_budget = parse_num(&value(&mut i)?)?.min(u32::MAX as usize) as u32;
+            }
+            "--no-hedge" => options.hedge = false,
+            "--hedge-min-ms" => options.hedge_min_ms = parse_num(&value(&mut i)?)? as u64,
+            "--hedge-max-ms" => options.hedge_max_ms = parse_num(&value(&mut i)?)? as u64,
+            "--breaker-threshold" => {
+                options.breaker_threshold =
+                    parse_num(&value(&mut i)?)?.min(u32::MAX as usize) as u32;
+            }
+            "--breaker-cooldown-ms" => {
+                options.breaker_cooldown_ms = parse_num(&value(&mut i)?)? as u64;
+            }
+            "--probe-interval-ms" => {
+                options.probe_interval_ms = parse_num(&value(&mut i)?)? as u64;
+            }
+            "--default-k" => options.default_k = parse_num(&value(&mut i)?)?,
+            "--max-k" => options.max_k = parse_num(&value(&mut i)?)?,
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                eprintln!("router: unknown argument `{other}`");
+                return Err(usage());
+            }
+        }
+        i += 1;
+    }
+    if options.shards.is_empty() {
+        eprintln!("router: at least one shard is required (--shards ADDR[,ADDR...])");
+        return Err(usage());
+    }
+    Ok(options)
+}
+
+fn parse_num(raw: &str) -> Result<usize, ExitCode> {
+    raw.parse().map_err(|_| {
+        eprintln!("router: `{raw}` is not a non-negative integer");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(code) => return code,
+    };
+
+    let serve_config = ServeConfig {
+        workers: options.workers.max(1),
+        queue_depth: options.queue_depth,
+        per_client_inflight: options
+            .per_client
+            .unwrap_or(options.workers.max(1) + options.queue_depth),
+        io_timeout: Duration::from_secs(10),
+        ..Default::default()
+    };
+    let router_config = RouterConfig {
+        shards: options.shards.clone(),
+        request_deadline: Duration::from_millis(options.deadline_ms.max(1)),
+        retry_budget: options.retry_budget,
+        hedge: options.hedge.then(|| HedgeConfig {
+            min_delay: Duration::from_millis(options.hedge_min_ms),
+            max_delay: Duration::from_millis(options.hedge_max_ms.max(options.hedge_min_ms)),
+            ..HedgeConfig::default()
+        }),
+        breaker_threshold: options.breaker_threshold,
+        breaker_cooldown: Duration::from_millis(options.breaker_cooldown_ms.max(1)),
+        probe_interval: Duration::from_millis(options.probe_interval_ms.max(1)),
+        default_k: options.default_k,
+        max_k: options.max_k,
+        ..RouterConfig::default()
+    };
+
+    let addr = format!("127.0.0.1:{}", options.port);
+    let shards = router_config.shards.len();
+    let (workers, queue) = (serve_config.workers, serve_config.queue_depth);
+    let served =
+        extract_router::serve_router(&addr, serve_config, router_config, |addr, _handle| {
+            println!(
+                "extract-router listening on http://{addr} \
+                 (shards={shards} workers={workers} queue={queue})"
+            );
+            let _ = std::io::stdout().flush();
+        });
+    if let Err(e) = served {
+        eprintln!("router: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("router: drained, bye");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,95 @@
+//! Router tuning knobs: deadlines, retry budgets, hedging, breaker
+//! thresholds and page-size policy in one place.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use extract_serve::ClientConfig;
+
+/// When (and whether) to hedge a shard request with a second attempt.
+#[derive(Debug, Clone)]
+pub struct HedgeConfig {
+    /// Latency percentile (0–1) of the shard's recent requests after
+    /// which the hedge fires — `0.9` hedges the slowest ~10%.
+    pub percentile: f64,
+    /// Floor on the hedge delay, so a cache-hot shard (microsecond
+    /// latencies) doesn't trigger a hedge on every scheduler hiccup.
+    pub min_delay: Duration,
+    /// Ceiling on the hedge delay — and the delay used before the shard
+    /// has [`HedgeConfig::min_samples`] observations.
+    pub max_delay: Duration,
+    /// Observations required before the percentile is trusted.
+    pub min_samples: usize,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> HedgeConfig {
+        HedgeConfig {
+            percentile: 0.9,
+            min_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(500),
+            min_samples: 8,
+        }
+    }
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// The shard daemons, in partition order — the order defines the
+    /// global doc-id remapping (shard 0's documents come first).
+    pub shards: Vec<SocketAddr>,
+    /// Absolute deadline for one client request end to end: every
+    /// scatter attempt, retry, backoff sleep and hedge races this one
+    /// clock.
+    pub request_deadline: Duration,
+    /// Deadline for background `/healthz` probes and `/stats` fan-outs.
+    pub probe_deadline: Duration,
+    /// Connection-level knobs (connect timeout, body cap, dial backoff)
+    /// for every shard connection.
+    pub client: ClientConfig,
+    /// Kept-alive connections retained per shard when idle.
+    pub max_idle_per_shard: usize,
+    /// Extra attempts per shard per request after the first failure.
+    pub retry_budget: u32,
+    /// First retry backoff; doubles per retry.
+    pub retry_backoff_base: Duration,
+    /// Retry backoff ceiling.
+    pub retry_backoff_max: Duration,
+    /// Hedged-request policy; `None` disables hedging.
+    pub hedge: Option<HedgeConfig>,
+    /// Consecutive shard failures that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker blocks traffic before a half-open
+    /// `/healthz` probe may close it again.
+    pub breaker_cooldown: Duration,
+    /// How often the background prober wakes.
+    pub probe_interval: Duration,
+    /// Page size when the request has no `k`.
+    pub default_k: usize,
+    /// Hard page-size cap; larger `k`s are clamped (visible in the
+    /// response's `k` field). Keep `max_k + offset` within the shards'
+    /// own `--max-k`, or deep windows degrade to partial results.
+    pub max_k: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            shards: Vec::new(),
+            request_deadline: Duration::from_secs(2),
+            probe_deadline: Duration::from_millis(250),
+            client: ClientConfig::default(),
+            max_idle_per_shard: 8,
+            retry_budget: 2,
+            retry_backoff_base: Duration::from_millis(20),
+            retry_backoff_max: Duration::from_millis(200),
+            hedge: Some(HedgeConfig::default()),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(1_000),
+            probe_interval: Duration::from_millis(200),
+            default_k: 10,
+            max_k: 100,
+        }
+    }
+}

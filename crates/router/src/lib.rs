@@ -1,0 +1,44 @@
+//! # extract-router — fault-tolerant scatter-gather front tier
+//!
+//! A single `extract-serve` daemon answers `/search` over one corpus.
+//! This crate puts a router in front of N such daemons ("shards"), each
+//! holding a partition of the corpus, and makes the ensemble look like
+//! one daemon over the union corpus — including under partial failure.
+//!
+//! - [`config`] — every tuning knob ([`RouterConfig`], [`HedgeConfig`]).
+//! - [`pool`] — per-shard pools of pooled keep-alive [`HttpClient`]
+//!   connections ([`ClientPool`]).
+//! - [`health`] — the per-shard circuit [`Breaker`] and the
+//!   [`LatencyRing`] the hedge delay is computed from.
+//! - [`merge`] — shard page parsing, doc-id remapping, the exact
+//!   (score desc, doc asc, root asc) merge, and response rendering.
+//! - [`router`] — [`RouterApp`] (routes, scatter-gather, retries,
+//!   hedging, probing, `/stats` aggregation) and [`serve_router`].
+//!
+//! The request path never panics: all fallible steps return `Result`s
+//! and every client outcome is an HTTP response. A shard that is down,
+//! slow, or lying produces `"partial": true` accounting, not a 5xx —
+//! only zero answering shards do.
+//!
+//! [`HttpClient`]: extract_serve::HttpClient
+
+pub mod config;
+pub mod health;
+pub mod merge;
+pub mod pool;
+pub mod router;
+
+pub use config::{HedgeConfig, RouterConfig};
+pub use health::{Breaker, BreakerState, LatencyRing};
+pub use merge::{MergedPage, ShardHit, ShardPage, ShardTally};
+pub use pool::ClientPool;
+pub use router::{serve_router, RouterApp, RouterCounters, Shard};
+
+/// Everything a router binary or test needs.
+pub mod prelude {
+    pub use crate::config::{HedgeConfig, RouterConfig};
+    pub use crate::health::{Breaker, BreakerState, LatencyRing};
+    pub use crate::merge::{MergedPage, ShardHit, ShardPage, ShardTally};
+    pub use crate::pool::ClientPool;
+    pub use crate::router::{serve_router, RouterApp, RouterCounters, Shard};
+}

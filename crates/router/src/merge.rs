@@ -1,0 +1,298 @@
+//! Parsing shard `/search` pages and merging them into one global page.
+//!
+//! The merge must reproduce — exactly — what a single daemon over the
+//! union corpus would have returned. Three rules make that hold:
+//!
+//! 1. **Doc-id remapping.** Each shard numbers its documents from zero.
+//!    The router assigns shard `i` the id range starting at
+//!    `doc_bases[i]` (prefix sums of shard corpus sizes in configured
+//!    shard order), so a hit's global id is `base + local id` — the same
+//!    id the document would carry in the concatenated corpus.
+//! 2. **Ordering.** Hits sort by the session tier's documented rule:
+//!    score descending, then global doc id ascending, then root node id
+//!    ascending. Ties across shards are broken by the remapped ids, so
+//!    the order is deterministic regardless of which shard answered
+//!    first.
+//! 3. **Windowing.** Each shard is over-fetched with `k' = k + offset`
+//!    (and offset 0) so the global window `[offset, offset + k)` of the
+//!    merged order is fully covered; the router then applies the offset
+//!    once, globally.
+//!
+//! A shard that returns fewer than `min(k', total)` hits (its own
+//! `--max-k` clamp, for instance) may be hiding rows that belong in the
+//! global window — the merged page reports that as *truncated* and the
+//! router surfaces `"partial": true`.
+
+use std::cmp::Ordering;
+
+use extract_serve::json::{self, JsonWriter, Value};
+
+/// One hit from a shard's `/search` page, ids still shard-local.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardHit {
+    /// Document name (`corpus.name`).
+    pub doc_name: String,
+    /// Shard-local document id.
+    pub doc_id: u64,
+    /// Result root node id (document-local, no remapping needed).
+    pub root: u64,
+    /// Relevance score.
+    pub score: f64,
+    /// Rendered snippet XML.
+    pub snippet: String,
+}
+
+/// One shard's parsed `/search` page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPage {
+    /// The shard's total match count for the query.
+    pub total: u64,
+    /// The hits, in the shard's (already correctly sorted) order.
+    pub hits: Vec<ShardHit>,
+}
+
+/// Parse a shard `/search` body into a [`ShardPage`].
+pub fn parse_page(body: &str) -> Result<ShardPage, String> {
+    let doc = json::parse(body).map_err(|e| format!("shard page: {e}"))?;
+    let total = doc
+        .get("total")
+        .and_then(Value::as_u64)
+        .ok_or("shard page: missing numeric 'total'")?;
+    let results = doc
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or("shard page: missing 'results' array")?;
+    let mut hits = Vec::with_capacity(results.len());
+    for result in results {
+        hits.push(ShardHit {
+            doc_name: result
+                .get("doc")
+                .and_then(Value::as_str)
+                .ok_or("shard hit: missing 'doc'")?
+                .to_string(),
+            doc_id: result
+                .get("doc_id")
+                .and_then(Value::as_u64)
+                .ok_or("shard hit: missing 'doc_id'")?,
+            root: result
+                .get("root")
+                .and_then(Value::as_u64)
+                .ok_or("shard hit: missing 'root'")?,
+            score: result
+                .get("score")
+                .and_then(Value::as_f64)
+                .ok_or("shard hit: missing 'score'")?,
+            snippet: result
+                .get("snippet")
+                .and_then(Value::as_str)
+                .ok_or("shard hit: missing 'snippet'")?
+                .to_string(),
+        });
+    }
+    Ok(ShardPage { total, hits })
+}
+
+/// The globally merged page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedPage {
+    /// Union total across the shards that answered.
+    pub total: u64,
+    /// The requested window of the merged order, ids remapped global.
+    pub hits: Vec<ShardHit>,
+    /// Whether some answering shard clamped its page below what the
+    /// window needed (the merged window may be missing rows).
+    pub truncated: bool,
+}
+
+/// The session tier's ordering rule over remapped hits: score
+/// descending, doc id ascending, root ascending. NaN scores compare
+/// equal (the daemon never emits them; `num_f64` renders them `null`
+/// and the parser would reject the page anyway).
+fn hit_order(a: &ShardHit, b: &ShardHit) -> Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.doc_id.cmp(&b.doc_id))
+        .then_with(|| a.root.cmp(&b.root))
+}
+
+/// Merge per-shard pages into the global `[offset, offset + k)` window.
+///
+/// `pages[i]` is `Some` when shard `i` answered; `doc_bases[i]` is the
+/// shard's global id base; `requested_k` is the `k' = k + offset`
+/// over-fetch each shard was asked for (used to detect truncation).
+pub fn merge_pages(
+    pages: &[Option<ShardPage>],
+    doc_bases: &[u64],
+    k: usize,
+    offset: usize,
+    requested_k: usize,
+) -> MergedPage {
+    let mut total: u64 = 0;
+    let mut truncated = false;
+    let mut merged: Vec<ShardHit> = Vec::new();
+    for (index, page) in pages.iter().enumerate() {
+        let Some(page) = page else { continue };
+        total = total.saturating_add(page.total);
+        let needed = (requested_k as u64).min(page.total);
+        if (page.hits.len() as u64) < needed {
+            truncated = true;
+        }
+        let base = doc_bases.get(index).copied().unwrap_or(0);
+        merged.extend(page.hits.iter().map(|hit| ShardHit {
+            doc_id: base.saturating_add(hit.doc_id),
+            ..hit.clone()
+        }));
+    }
+    merged.sort_by(hit_order);
+    let hits: Vec<ShardHit> = merged.into_iter().skip(offset).take(k).collect();
+    MergedPage { total, hits, truncated }
+}
+
+/// How many shards were asked and how many answered — rendered into the
+/// response's `shards` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTally {
+    /// Shards the scatter targeted (every configured shard).
+    pub queried: usize,
+    /// Shards that produced a usable page within the deadline.
+    pub answered: usize,
+}
+
+/// Render the router `/search` body. The prefix through `results` is
+/// byte-identical to a single daemon's body over the union corpus (same
+/// writer, same field order); the router appends its `partial` flag and
+/// the `shards` tally after it.
+pub fn render_search(
+    q: &str,
+    k: usize,
+    offset: usize,
+    page: &MergedPage,
+    partial: bool,
+    shards: ShardTally,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.obj_begin();
+    w.key("query");
+    w.str(q);
+    w.key("k");
+    w.num_u64(k as u64);
+    w.key("offset");
+    w.num_u64(offset as u64);
+    w.key("total");
+    w.num_u64(page.total);
+    w.key("count");
+    w.num_u64(page.hits.len() as u64);
+    w.key("results");
+    w.arr_begin();
+    for hit in page.hits.iter() {
+        w.obj_begin();
+        w.key("doc");
+        w.str(&hit.doc_name);
+        w.key("doc_id");
+        w.num_u64(hit.doc_id);
+        w.key("root");
+        w.num_u64(hit.root);
+        w.key("score");
+        w.num_f64(hit.score);
+        w.key("snippet");
+        w.str(&hit.snippet);
+        w.obj_end();
+    }
+    w.arr_end();
+    w.key("partial");
+    w.bool(partial);
+    w.key("shards");
+    w.obj_begin();
+    w.key("queried");
+    w.num_u64(shards.queried as u64);
+    w.key("answered");
+    w.num_u64(shards.answered as u64);
+    w.obj_end();
+    w.obj_end();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(doc_id: u64, root: u64, score: f64) -> ShardHit {
+        ShardHit {
+            doc_name: format!("doc-{doc_id}"),
+            doc_id,
+            root,
+            score,
+            snippet: "<r/>".to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_page_roundtrips_a_daemon_body() {
+        let body = "{\"query\":\"x\",\"k\":2,\"offset\":0,\"total\":3,\"count\":2,\
+                    \"results\":[{\"doc\":\"a.xml\",\"doc_id\":0,\"root\":4,\
+                    \"score\":1.5,\"snippet\":\"<a/>\"},{\"doc\":\"b.xml\",\
+                    \"doc_id\":1,\"root\":7,\"score\":0.25,\"snippet\":\"<b/>\"}]}";
+        let page = parse_page(body).expect("parses");
+        assert_eq!(page.total, 3);
+        assert_eq!(page.hits.len(), 2);
+        let first = page.hits.first().expect("hit");
+        assert_eq!((first.doc_id, first.root, first.score), (0, 4, 1.5));
+        assert_eq!(first.doc_name, "a.xml");
+        assert!(parse_page("{\"total\":1}").is_err(), "missing results must not parse");
+        assert!(parse_page("not json").is_err());
+    }
+
+    #[test]
+    fn merge_remaps_ids_sorts_and_windows() {
+        let shard0 = ShardPage { total: 2, hits: vec![hit(0, 1, 0.9), hit(1, 2, 0.4)] };
+        let shard1 = ShardPage { total: 2, hits: vec![hit(0, 3, 0.7), hit(1, 9, 0.4)] };
+        let pages = vec![Some(shard0), Some(shard1)];
+        let merged = merge_pages(&pages, &[0, 2], 10, 0, 10);
+        assert_eq!(merged.total, 4);
+        assert!(!merged.truncated);
+        let order: Vec<(u64, f64)> = merged.hits.iter().map(|h| (h.doc_id, h.score)).collect();
+        // Score desc; the 0.4 tie breaks by remapped global doc id (1 < 3).
+        assert_eq!(order, vec![(0, 0.9), (2, 0.7), (1, 0.4), (3, 0.4)]);
+        // Windowing applies globally after the merge.
+        let window = merge_pages(&pages, &[0, 2], 2, 1, 10);
+        let ids: Vec<u64> = window.hits.iter().map(|h| h.doc_id).collect();
+        assert_eq!(ids, vec![2, 1]);
+    }
+
+    #[test]
+    fn merge_flags_truncated_shard_pages() {
+        // The shard says total=5 but returned only 1 hit against a
+        // requested k' of 3: rows the window needs may be missing.
+        let short = ShardPage { total: 5, hits: vec![hit(0, 1, 0.9)] };
+        let merged = merge_pages(&[Some(short)], &[0], 3, 0, 3);
+        assert!(merged.truncated);
+        // A shard with fewer matches than k' is complete, not truncated.
+        let small = ShardPage { total: 1, hits: vec![hit(0, 1, 0.9)] };
+        let merged = merge_pages(&[Some(small)], &[0], 3, 0, 3);
+        assert!(!merged.truncated);
+    }
+
+    #[test]
+    fn absent_pages_are_skipped_not_counted() {
+        let page = ShardPage { total: 1, hits: vec![hit(0, 1, 0.5)] };
+        let merged = merge_pages(&[None, Some(page)], &[0, 10], 5, 0, 5);
+        assert_eq!(merged.total, 1);
+        let ids: Vec<u64> = merged.hits.iter().map(|h| h.doc_id).collect();
+        assert_eq!(ids, vec![10], "the answering shard's base still applies");
+    }
+
+    #[test]
+    fn render_matches_daemon_shape_with_router_suffix() {
+        let page = MergedPage { total: 1, hits: vec![hit(3, 4, 1.25)], truncated: false };
+        let body =
+            render_search("q", 5, 0, &page, false, ShardTally { queried: 2, answered: 2 });
+        assert_eq!(
+            body,
+            "{\"query\":\"q\",\"k\":5,\"offset\":0,\"total\":1,\"count\":1,\
+             \"results\":[{\"doc\":\"doc-3\",\"doc_id\":3,\"root\":4,\"score\":1.25,\
+             \"snippet\":\"<r/>\"}],\"partial\":false,\
+             \"shards\":{\"queried\":2,\"answered\":2}}"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! A pool of keep-alive connections to one shard daemon.
+//!
+//! [`HttpClient`](extract_serve::HttpClient) is deliberately
+//! single-threaded (one socket, one request at a time); the router
+//! serves many concurrent requests, each scattering to every shard, so
+//! each shard gets a pool: check a client out, run the exchange, put it
+//! back if its connection survived. A client whose request failed is
+//! *dropped*, not returned — its socket is in an unknown framing state
+//! and the next checkout simply dials fresh (with the client's own
+//! bounded, jittered backoff).
+
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use extract_serve::{ClientConfig, ClientError, HttpClient, WireResponse};
+
+/// See the serving tier's poisoning policy: the guarded `Vec` is valid
+/// at every statement boundary, so recover instead of cascading.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A bounded pool of [`HttpClient`]s for one shard address.
+#[derive(Debug)]
+pub struct ClientPool {
+    addr: SocketAddr,
+    config: ClientConfig,
+    max_idle: usize,
+    conns: Mutex<Vec<HttpClient>>,
+}
+
+impl ClientPool {
+    /// An empty pool for `addr`; connections are dialed on first use.
+    pub fn new(addr: SocketAddr, config: ClientConfig, max_idle: usize) -> ClientPool {
+        ClientPool { addr, config, max_idle: max_idle.max(1), conns: Mutex::new(Vec::new()) }
+    }
+
+    /// The shard address this pool dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Idle kept-alive clients right now.
+    pub fn idle(&self) -> usize {
+        lock_unpoisoned(&self.conns).len()
+    }
+
+    /// Drop every idle connection (the next request dials fresh).
+    pub fn clear(&self) {
+        lock_unpoisoned(&self.conns).clear();
+    }
+
+    /// One request/response exchange against the shard under an absolute
+    /// `deadline`, riding a pooled connection when one is idle. On
+    /// success the connection returns to the pool (up to `max_idle`); on
+    /// failure it is dropped.
+    pub fn request(
+        &self,
+        method: &str,
+        target: &str,
+        deadline: Instant,
+    ) -> Result<WireResponse, ClientError> {
+        let mut client = {
+            let mut conns = lock_unpoisoned(&self.conns);
+            conns.pop()
+        }
+        .unwrap_or_else(|| HttpClient::new(self.addr, self.config.clone()));
+        let result = client.request(method, target, deadline);
+        if result.is_ok() {
+            let mut conns = lock_unpoisoned(&self.conns);
+            if conns.len() < self.max_idle {
+                conns.push(client);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    /// A keep-alive server answering every request with `body` until the
+    /// listener drops.
+    fn keepalive_server(body: &'static str) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            while let Ok((mut stream, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    loop {
+                        let mut line = String::new();
+                        let mut saw_any = false;
+                        loop {
+                            line.clear();
+                            match reader.read_line(&mut line) {
+                                Ok(0) => return,
+                                Ok(_) if line == "\r\n" || line == "\n" => break,
+                                Ok(_) => saw_any = true,
+                                Err(_) => return,
+                            }
+                        }
+                        if !saw_any {
+                            return;
+                        }
+                        let response = format!(
+                            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                             Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+                            body.len()
+                        );
+                        if stream.write_all(response.as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    fn deadline() -> Instant {
+        Instant::now() + Duration::from_secs(5)
+    }
+
+    #[test]
+    fn pool_reuses_connections_and_bounds_idle() {
+        let addr = keepalive_server("{}");
+        let pool = ClientPool::new(addr, ClientConfig::default(), 2);
+        assert_eq!(pool.idle(), 0);
+        // Sequential requests ride one pooled connection.
+        for _ in 0..5 {
+            let response = pool.request("GET", "/x", deadline()).expect("response");
+            assert_eq!(response.status, 200);
+        }
+        assert_eq!(pool.idle(), 1, "one kept-alive client serves a sequential load");
+        // Concurrent checkouts grow the pool, but never past max_idle.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| pool.request("GET", "/y", deadline()).map(|r| r.status)))
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("join").expect("response"), 200);
+            }
+        });
+        assert!(pool.idle() <= 2, "idle pool respects max_idle, got {}", pool.idle());
+        pool.clear();
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn failed_requests_do_not_return_connections_to_the_pool() {
+        // Nothing listening: every request fails, the pool stays empty.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr")
+        };
+        let config = ClientConfig {
+            connect_attempts: 1,
+            connect_timeout: Duration::from_millis(100),
+            ..ClientConfig::default()
+        };
+        let pool = ClientPool::new(addr, config, 4);
+        assert!(pool.request("GET", "/x", deadline()).is_err());
+        assert_eq!(pool.idle(), 0, "a failed client must be dropped, not pooled");
+    }
+}

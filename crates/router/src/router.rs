@@ -1,0 +1,687 @@
+//! The router application: scatter `/search` to every shard, gather
+//! under one absolute deadline, merge, and degrade gracefully.
+//!
+//! Failure policy, end to end:
+//!
+//! - Every client request gets **one absolute deadline**
+//!   ([`RouterConfig::request_deadline`]). Scatter attempts, retries,
+//!   backoff sleeps and hedges all race that single clock — nothing can
+//!   extend it.
+//! - Each shard attempt may be **retried**
+//!   ([`RouterConfig::retry_budget`] extra attempts) with exponential
+//!   backoff, except after a deadline timeout — the absolute clock is
+//!   spent, retrying cannot help.
+//! - A slow-but-healthy shard gets a **hedged** second request once the
+//!   attempt outlives the shard's recent latency percentile; the first
+//!   usable response wins and the loser is abandoned to its deadline.
+//! - Repeated failures open the shard's **circuit breaker**: the
+//!   scatter path skips it instantly instead of burning the budget, and
+//!   a background prober's `/healthz` checks close it again when the
+//!   shard returns.
+//! - Whatever subset of shards answers, the client gets `200` with
+//!   honest accounting: `"partial": true` plus a
+//!   `shards: {queried, answered}` block whenever the merged page may
+//!   be missing rows. Only zero answering shards produce `503` (with
+//!   `Retry-After`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use extract_serve::http::percent_encode;
+use extract_serve::json::{self, JsonWriter, Value};
+use extract_serve::{ClientError, Request, Response, ServerHandle, WireResponse};
+
+use crate::config::RouterConfig;
+use crate::health::{Breaker, LatencyRing};
+use crate::merge::{self, MergedPage, ShardPage, ShardTally};
+use crate::pool::ClientPool;
+
+/// `doc_count` sentinel: not learned yet.
+const DOC_COUNT_UNKNOWN: u64 = u64::MAX;
+/// `Retry-After` seconds when every shard is unavailable.
+const UNAVAILABLE_RETRY_AFTER_SECS: u32 = 1;
+/// Grace past the request deadline when waiting on attempt threads —
+/// covers a dial that started just before the deadline expired.
+const GATHER_GRACE: Duration = Duration::from_millis(500);
+
+/// See the serving tier's poisoning policy: recover, don't cascade.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Router-level counters, all monotonic except none.
+#[derive(Debug, Default)]
+pub struct RouterCounters {
+    /// Shard attempts re-tried after a failure.
+    pub retries: AtomicU64,
+    /// Hedged second requests launched.
+    pub hedges_fired: AtomicU64,
+    /// Hedges whose response beat the primary.
+    pub hedge_wins: AtomicU64,
+    /// Distinct breaker open transitions.
+    pub breaker_opens: AtomicU64,
+    /// `200` responses flagged `"partial": true`.
+    pub partial_responses: AtomicU64,
+    /// Background health probes sent.
+    pub probes: AtomicU64,
+}
+
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One shard: its connection pool, breaker, latency window, and the
+/// document count the doc-id remapping is built from.
+#[derive(Debug)]
+pub struct Shard {
+    index: usize,
+    pool: ClientPool,
+    breaker: Breaker,
+    latency: Mutex<LatencyRing>,
+    doc_count: AtomicU64,
+}
+
+impl Shard {
+    fn new(index: usize, config: &RouterConfig, addr: std::net::SocketAddr) -> Shard {
+        Shard {
+            index,
+            pool: ClientPool::new(addr, config.client.clone(), config.max_idle_per_shard),
+            breaker: Breaker::new(config.breaker_threshold, config.breaker_cooldown),
+            latency: Mutex::new(LatencyRing::default()),
+            doc_count: AtomicU64::new(DOC_COUNT_UNKNOWN),
+        }
+    }
+
+    /// The shard's position in the configured order.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The shard's breaker (tests and `/stats` read its state).
+    pub fn breaker(&self) -> &Breaker {
+        &self.breaker
+    }
+
+    /// Documents this shard reported, once learned.
+    pub fn doc_count(&self) -> Option<u64> {
+        match self.doc_count.load(Ordering::SeqCst) {
+            DOC_COUNT_UNKNOWN => None,
+            n => Some(n),
+        }
+    }
+
+    fn record_latency(&self, sample: Duration) {
+        let mut latency = lock_unpoisoned(&self.latency);
+        latency.record(sample);
+    }
+
+    /// The hedge delay for the next attempt: the recent latency
+    /// percentile clamped to the configured band, or the ceiling until
+    /// enough samples exist.
+    fn hedge_delay(&self, hedge: &crate::config::HedgeConfig) -> Duration {
+        let latency = lock_unpoisoned(&self.latency);
+        if latency.len() < hedge.min_samples.max(1) {
+            return hedge.max_delay;
+        }
+        latency
+            .percentile(hedge.percentile)
+            .map(|p| p.clamp(hedge.min_delay, hedge.max_delay))
+            .unwrap_or(hedge.max_delay)
+    }
+}
+
+/// Why a shard produced no usable page for a request.
+#[derive(Debug)]
+enum ShardFailure {
+    /// Breaker open: the shard was never asked.
+    Skipped,
+    /// Every attempt failed (last error kept for the log line).
+    Failed(String),
+}
+
+/// The scatter-gather router application. `handle` is safe to call from
+/// many worker threads at once.
+pub struct RouterApp {
+    config: RouterConfig,
+    shards: Vec<Arc<Shard>>,
+    counters: RouterCounters,
+    server: Option<ServerHandle>,
+}
+
+impl RouterApp {
+    /// A router over `config.shards`, breakers closed, nothing dialed.
+    pub fn new(config: RouterConfig) -> RouterApp {
+        let shards = config
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, addr)| Arc::new(Shard::new(index, &config, *addr)))
+            .collect();
+        RouterApp { config, shards, counters: RouterCounters::default(), server: None }
+    }
+
+    /// Wire the running server in (enables `/shutdown` and drain-aware
+    /// `/healthz`).
+    pub fn attach_server(&mut self, handle: ServerHandle) {
+        self.server = Some(handle);
+    }
+
+    /// The configuration this router was built with.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// The shard states, in configured order.
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// The router counters.
+    pub fn counters(&self) -> &RouterCounters {
+        &self.counters
+    }
+
+    /// Route one request. Infallible: every outcome is a `Response`.
+    pub fn handle(&self, request: &Request) -> Response {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/search") => self.search(request),
+            ("GET", "/stats") => Response::json(200, self.render_stats()),
+            ("GET", "/healthz") => self.healthz(),
+            ("POST", "/shutdown") => match &self.server {
+                Some(handle) => {
+                    handle.shutdown();
+                    let mut w = JsonWriter::new();
+                    w.obj_begin();
+                    w.key("draining");
+                    w.bool(true);
+                    w.obj_end();
+                    Response::json(200, w.finish())
+                }
+                None => Response::error(503, "no server attached"),
+            },
+            (_, "/search" | "/stats" | "/healthz" | "/shutdown") => {
+                Response::error(405, "method not allowed")
+            }
+            _ => Response::error(404, "no such route"),
+        }
+    }
+
+    /// `/healthz`: `200` while serving with at least one available
+    /// shard; `503` when draining or when every breaker is open.
+    fn healthz(&self) -> Response {
+        let draining =
+            self.server.as_ref().map(ServerHandle::is_shutting_down).unwrap_or(false);
+        let available =
+            self.shards.iter().filter(|s| s.breaker.allows_requests()).count();
+        let ok = !draining && (available > 0 || self.shards.is_empty());
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.key("ok");
+        w.bool(ok);
+        if draining {
+            w.key("draining");
+            w.bool(true);
+        }
+        w.key("shards");
+        w.obj_begin();
+        w.key("total");
+        w.num_u64(self.shards.len() as u64);
+        w.key("available");
+        w.num_u64(available as u64);
+        w.obj_end();
+        w.obj_end();
+        Response::json(if ok { 200 } else { 503 }, w.finish())
+    }
+
+    /// `/search`: validate exactly like the shard daemon, then scatter.
+    fn search(&self, request: &Request) -> Response {
+        let Some(q) = request.param("q").filter(|q| !q.trim().is_empty()) else {
+            return Response::error(400, "missing query parameter q");
+        };
+        let k = match request.param("k") {
+            None => self.config.default_k,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(k) if k >= 1 => k.min(self.config.max_k),
+                _ => return Response::error(400, "k must be an integer >= 1"),
+            },
+        };
+        let offset = match request.param("offset") {
+            None => 0,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(offset) => offset,
+                Err(_) => return Response::error(400, "offset must be a non-negative integer"),
+            },
+        };
+        self.scatter_search(q, k, offset)
+    }
+
+    /// Scatter the over-fetch to every shard, gather, merge, render.
+    fn scatter_search(&self, q: &str, k: usize, offset: usize) -> Response {
+        let deadline = Instant::now() + self.config.request_deadline;
+        let requested_k = k.saturating_add(offset);
+        let target =
+            format!("/search?q={}&k={requested_k}&offset=0", percent_encode(q));
+        // Fan out with N-1 scoped threads: the last shard is fetched on
+        // the scattering thread itself, so the common small-N case pays
+        // one spawn fewer per request (for N=2, half of them).
+        let outcomes: Vec<Result<ShardPage, ShardFailure>> = std::thread::scope(|scope| {
+            let (spawned, inline) =
+                self.shards.split_at(self.shards.len().saturating_sub(1));
+            let handles: Vec<_> = spawned
+                .iter()
+                .map(|shard| {
+                    let target = target.as_str();
+                    scope.spawn(move || self.fetch_shard_page(shard, target, deadline))
+                })
+                .collect();
+            let mut tail: Vec<Result<ShardPage, ShardFailure>> = inline
+                .iter()
+                .map(|shard| self.fetch_shard_page(shard, target.as_str(), deadline))
+                .collect();
+            let mut outcomes: Vec<Result<ShardPage, ShardFailure>> = handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(ShardFailure::Failed("scatter thread panicked".to_string()))
+                    })
+                })
+                .collect();
+            outcomes.append(&mut tail);
+            outcomes
+        });
+        let queried = self.shards.len();
+        let answered = outcomes.iter().filter(|o| o.is_ok()).count();
+        for (index, outcome) in outcomes.iter().enumerate() {
+            if let Err(ShardFailure::Failed(reason)) = outcome {
+                eprintln!("router: shard {index} dropped from response: {reason}");
+            }
+        }
+        if answered == 0 {
+            return Response::error(503, "no shards available")
+                .with_retry_after(UNAVAILABLE_RETRY_AFTER_SECS);
+        }
+        let pages: Vec<Option<ShardPage>> =
+            outcomes.into_iter().map(Result::ok).collect();
+        let doc_bases = self.doc_bases();
+        let merged: MergedPage =
+            merge::merge_pages(&pages, &doc_bases, k, offset, requested_k);
+        let partial = answered < queried || merged.truncated;
+        if partial {
+            bump(&self.counters.partial_responses);
+        }
+        let body = merge::render_search(
+            q,
+            k,
+            offset,
+            &merged,
+            partial,
+            ShardTally { queried, answered },
+        );
+        Response::json(200, body)
+    }
+
+    /// Global doc-id bases: prefix sums of per-shard document counts in
+    /// configured order. An unlearned count contributes zero — its shard
+    /// cannot have answered (the fetch path learns the count first), and
+    /// the response is already marked partial.
+    fn doc_bases(&self) -> Vec<u64> {
+        let mut bases = Vec::with_capacity(self.shards.len());
+        let mut base: u64 = 0;
+        for shard in self.shards.iter() {
+            bases.push(base);
+            base = base.saturating_add(shard.doc_count().unwrap_or(0));
+        }
+        bases
+    }
+
+    /// One shard's page for this request: breaker gate, doc-count
+    /// bootstrap, then the retry loop.
+    fn fetch_shard_page(
+        &self,
+        shard: &Arc<Shard>,
+        target: &str,
+        deadline: Instant,
+    ) -> Result<ShardPage, ShardFailure> {
+        if !shard.breaker.allows_requests() {
+            return Err(ShardFailure::Skipped);
+        }
+        if shard.doc_count().is_none() && !self.learn_doc_count(shard, deadline) {
+            // A shard that can't even report its corpus size is failing:
+            // count it against the breaker like any other failed attempt.
+            if shard.breaker.on_failure() {
+                bump(&self.counters.breaker_opens);
+            }
+            return Err(ShardFailure::Failed("doc count unavailable".to_string()));
+        }
+        let response = self.fetch_with_retries(shard, target, deadline)?;
+        if response.status != 200 {
+            return Err(ShardFailure::Failed(format!(
+                "shard answered {}",
+                response.status
+            )));
+        }
+        merge::parse_page(&response.body).map_err(ShardFailure::Failed)
+    }
+
+    /// Learn a shard's document count from its `/stats`. Runs under the
+    /// caller's deadline; returns whether the count is now known.
+    fn learn_doc_count(&self, shard: &Shard, deadline: Instant) -> bool {
+        let Ok(response) = shard.pool.request("GET", "/stats", deadline) else {
+            return false;
+        };
+        if response.status != 200 {
+            return false;
+        }
+        let Some(documents) = json::parse(&response.body)
+            .ok()
+            .as_ref()
+            .and_then(|v| v.get("corpus"))
+            .and_then(|v| v.get("documents"))
+            .and_then(Value::as_u64)
+        else {
+            return false;
+        };
+        shard.doc_count.store(documents.min(DOC_COUNT_UNKNOWN - 1), Ordering::SeqCst);
+        true
+    }
+
+    /// The per-shard retry loop: hedged attempts with exponential
+    /// backoff against the one absolute deadline. Success means a
+    /// response arrived — any status; HTTP-level failures (5xx / 429)
+    /// still count against the breaker and the retry budget.
+    fn fetch_with_retries(
+        &self,
+        shard: &Arc<Shard>,
+        target: &str,
+        deadline: Instant,
+    ) -> Result<WireResponse, ShardFailure> {
+        let mut last_error = String::new();
+        for attempt in 0..=self.config.retry_budget {
+            if Instant::now() >= deadline {
+                last_error = "request deadline exhausted".to_string();
+                break;
+            }
+            if attempt > 0 {
+                bump(&self.counters.retries);
+                let exp = attempt.saturating_sub(1).min(16);
+                let backoff = self
+                    .config
+                    .retry_backoff_base
+                    .saturating_mul(1_u32 << exp)
+                    .min(self.config.retry_backoff_max)
+                    .min(deadline.saturating_duration_since(Instant::now()));
+                std::thread::sleep(backoff);
+            }
+            let started = Instant::now();
+            match self.exchange_hedged(shard, target, deadline) {
+                Ok(response) if Self::usable(&response) => {
+                    shard.breaker.on_success();
+                    shard.record_latency(started.elapsed());
+                    return Ok(response);
+                }
+                Ok(response) => {
+                    last_error = format!("status {}", response.status);
+                    if shard.breaker.on_failure() {
+                        bump(&self.counters.breaker_opens);
+                    }
+                }
+                Err(error) => {
+                    last_error = error.to_string();
+                    if shard.breaker.on_failure() {
+                        bump(&self.counters.breaker_opens);
+                    }
+                    // The deadline is absolute: once an attempt timed
+                    // out against it, further attempts cannot fit.
+                    if matches!(error, ClientError::TimedOut) {
+                        break;
+                    }
+                }
+            }
+        }
+        Err(ShardFailure::Failed(last_error))
+    }
+
+    /// A response the scatter path can use (transport succeeded and the
+    /// shard was not overloaded or erroring).
+    fn usable(response: &WireResponse) -> bool {
+        response.status < 500 && response.status != 429
+    }
+
+    /// One attempt, hedged: launch the primary, and if it outlives the
+    /// shard's hedge delay, race an identical second request. First
+    /// response (success or failure) from either wins; the loser runs
+    /// on to its own deadline and its connection pools or drops itself.
+    fn exchange_hedged(
+        &self,
+        shard: &Arc<Shard>,
+        target: &str,
+        deadline: Instant,
+    ) -> Result<WireResponse, ClientError> {
+        let Some(hedge) = self.config.hedge.as_ref() else {
+            return shard.pool.request("GET", target, deadline);
+        };
+        let delay = shard.hedge_delay(hedge);
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        // A hedge that could only start after the deadline is pointless.
+        if delay >= remaining {
+            return shard.pool.request("GET", target, deadline);
+        }
+        let (tx, rx) = mpsc::channel();
+        let launch = |is_hedge: bool| {
+            let shard = Arc::clone(shard);
+            let target = target.to_string();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let result = shard.pool.request("GET", &target, deadline);
+                let _ = tx.send((is_hedge, result));
+            });
+        };
+        launch(false);
+        let first = match rx.recv_timeout(delay) {
+            Ok(outcome) => Some(outcome),
+            Err(_) => {
+                bump(&self.counters.hedges_fired);
+                launch(true);
+                None
+            }
+        };
+        let mut outstanding = if first.is_some() { 0 } else { 2 };
+        let mut queue: Vec<(bool, Result<WireResponse, ClientError>)> =
+            first.into_iter().collect();
+        let mut last_error: Option<ClientError> = None;
+        loop {
+            let (is_hedge, result) = match queue.pop() {
+                Some(next) => next,
+                None if outstanding > 0 => {
+                    let wait = deadline
+                        .saturating_duration_since(Instant::now())
+                        .saturating_add(GATHER_GRACE);
+                    match rx.recv_timeout(wait) {
+                        Ok(next) => {
+                            outstanding -= 1;
+                            next
+                        }
+                        Err(_) => break,
+                    }
+                }
+                None => break,
+            };
+            match result {
+                Ok(response) => {
+                    if is_hedge {
+                        bump(&self.counters.hedge_wins);
+                    }
+                    return Ok(response);
+                }
+                Err(error) => last_error = Some(error),
+            }
+        }
+        Err(last_error.unwrap_or(ClientError::TimedOut))
+    }
+
+    /// One background probe round: re-check every shard whose breaker
+    /// wants a probe, and (re-)learn missing document counts.
+    pub fn probe_round(&self) {
+        let deadline = Instant::now() + self.config.probe_deadline;
+        std::thread::scope(|scope| {
+            for shard in self.shards.iter() {
+                scope.spawn(move || {
+                    if shard.breaker.probe_due() {
+                        bump(&self.counters.probes);
+                        match shard.pool.request("GET", "/healthz", deadline) {
+                            Ok(response) if response.status == 200 => {
+                                // The shard may have restarted with a
+                                // different corpus: relearn its size.
+                                shard.doc_count.store(DOC_COUNT_UNKNOWN, Ordering::SeqCst);
+                                shard.breaker.on_success();
+                            }
+                            _ => {
+                                shard.breaker.on_failure();
+                            }
+                        }
+                    }
+                    if shard.breaker.allows_requests() && shard.doc_count().is_none() {
+                        bump(&self.counters.probes);
+                        self.learn_doc_count(shard, deadline);
+                    }
+                });
+            }
+        });
+    }
+
+    /// The `/stats` body: router counters, per-shard health, and
+    /// aggregated upstream server counters from the shards' own
+    /// `/stats` (fetched live under the probe deadline).
+    pub fn render_stats(&self) -> String {
+        let deadline = Instant::now() + self.config.probe_deadline;
+        let upstream: Vec<Option<Value>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let response =
+                            shard.pool.request("GET", "/stats", deadline).ok()?;
+                        if response.status != 200 {
+                            return None;
+                        }
+                        json::parse(&response.body).ok()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap_or(None)).collect()
+        });
+        let sum_server = |key: &str| -> u64 {
+            upstream
+                .iter()
+                .flatten()
+                .filter_map(|v| v.get("server").and_then(|s| s.get(key)))
+                .filter_map(Value::as_u64)
+                .sum()
+        };
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.key("router");
+        w.obj_begin();
+        w.key("shards");
+        w.num_u64(self.shards.len() as u64);
+        w.key("retries");
+        w.num_u64(self.counters.retries.load(Ordering::Relaxed));
+        w.key("hedges_fired");
+        w.num_u64(self.counters.hedges_fired.load(Ordering::Relaxed));
+        w.key("hedge_wins");
+        w.num_u64(self.counters.hedge_wins.load(Ordering::Relaxed));
+        w.key("breaker_opens");
+        w.num_u64(self.counters.breaker_opens.load(Ordering::Relaxed));
+        w.key("partial_responses");
+        w.num_u64(self.counters.partial_responses.load(Ordering::Relaxed));
+        w.key("probes");
+        w.num_u64(self.counters.probes.load(Ordering::Relaxed));
+        w.obj_end();
+        w.key("shards");
+        w.arr_begin();
+        for (shard, stats) in self.shards.iter().zip(upstream.iter()) {
+            w.obj_begin();
+            w.key("addr");
+            w.str(&shard.pool.addr().to_string());
+            w.key("breaker");
+            w.str(shard.breaker.state().name());
+            w.key("documents");
+            match shard.doc_count() {
+                Some(n) => w.num_u64(n),
+                None => w.null(),
+            }
+            w.key("idle_connections");
+            w.num_u64(shard.pool.idle() as u64);
+            let latency = lock_unpoisoned(&shard.latency);
+            w.key("latency_p50_us");
+            match latency.percentile(0.5) {
+                Some(p) => w.num_u64(p.as_micros().min(u64::MAX as u128) as u64),
+                None => w.null(),
+            }
+            w.key("latency_p90_us");
+            match latency.percentile(0.9) {
+                Some(p) => w.num_u64(p.as_micros().min(u64::MAX as u128) as u64),
+                None => w.null(),
+            }
+            drop(latency);
+            w.key("reachable");
+            w.bool(stats.is_some());
+            w.obj_end();
+        }
+        w.arr_end();
+        w.key("upstream");
+        w.obj_begin();
+        w.key("answered");
+        w.num_u64(upstream.iter().flatten().count() as u64);
+        for key in ["accepted", "admitted", "served_ok", "served_error"] {
+            w.key(key);
+            w.num_u64(sum_server(key));
+        }
+        w.key("documents");
+        w.num_u64(
+            upstream
+                .iter()
+                .flatten()
+                .filter_map(|v| v.get("corpus").and_then(|c| c.get("documents")))
+                .filter_map(Value::as_u64)
+                .sum(),
+        );
+        w.obj_end();
+        w.obj_end();
+        w.finish()
+    }
+}
+
+/// Bind, serve and probe until shutdown: the moral twin of the umbrella
+/// crate's `serve_corpus`. Spawns the background prober (first round
+/// runs synchronously so doc counts are learned before the socket is
+/// announced), runs the server until drained, then joins the prober.
+pub fn serve_router(
+    addr: &str,
+    serve_config: extract_serve::ServeConfig,
+    router_config: RouterConfig,
+    on_ready: impl FnOnce(std::net::SocketAddr, ServerHandle),
+) -> std::io::Result<()> {
+    let server = extract_serve::Server::bind(addr, serve_config)?;
+    let handle = server.handle();
+    let mut app = RouterApp::new(router_config);
+    app.attach_server(handle.clone());
+    let app = Arc::new(app);
+    app.probe_round();
+    let prober = {
+        let app = Arc::clone(&app);
+        let handle = handle.clone();
+        std::thread::spawn(move || {
+            while !handle.is_shutting_down() {
+                std::thread::sleep(app.config().probe_interval);
+                app.probe_round();
+            }
+        })
+    };
+    on_ready(server.local_addr(), handle);
+    server.run(|request| app.handle(request));
+    let _ = prober.join();
+    Ok(())
+}

@@ -149,6 +149,37 @@ pub fn socket_ready(stream: &TcpStream) -> bool {
     }
 }
 
+/// Bind a listener with `SO_REUSEADDR` set (Linux; a plain
+/// [`TcpListener::bind`] elsewhere). Rust's `std` deliberately leaves
+/// the option off, which is right for long-lived daemons but wrong for
+/// a shard that must *restart on its old port*: connections left in
+/// `TIME_WAIT` by the previous incarnation would make the bind fail
+/// with `EADDRINUSE` for up to a minute — exactly the window the
+/// router's resurrection tests (and real operators) restart in.
+pub fn bind_reuseaddr(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    #[cfg(target_os = "linux")]
+    {
+        linux::bind_reuseaddr(addr)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        std::net::TcpListener::bind(addr)
+    }
+}
+
+/// Arrange for `stream`'s eventual close to be abrupt: on Linux,
+/// `SO_LINGER{on, 0}` turns the close into an immediate `RST` instead of
+/// an orderly `FIN`, which is what the `reset` fault action needs to
+/// look like a genuine peer crash. A no-op elsewhere — the close is then
+/// an ordinary `FIN`, still a hard, unannounced hangup from the client's
+/// perspective.
+pub fn arm_reset(stream: &TcpStream) {
+    #[cfg(target_os = "linux")]
+    linux::set_linger_zero(stream);
+    #[cfg(not(target_os = "linux"))]
+    let _ = stream;
+}
+
 #[cfg(target_os = "linux")]
 pub use linux::Epoll;
 
@@ -160,9 +191,10 @@ mod linux {
     //! symbols resolve against the platform C library `std` already
     //! links.
 
-    use std::ffi::c_int;
+    use std::ffi::{c_int, c_void};
     use std::io;
-    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::net::{SocketAddr, TcpListener, TcpStream};
+    use std::os::fd::{AsRawFd, FromRawFd, IntoRawFd, OwnedFd, RawFd};
     use std::time::Duration;
 
     // `epoll_event` is packed on x86-64 (a 12-byte struct); other Linux
@@ -185,6 +217,16 @@ mod linux {
             maxevents: c_int,
             timeout_ms: c_int,
         ) -> c_int;
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *const c_void,
+            len: u32,
+        ) -> c_int;
+        fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
     }
 
     const EPOLL_CLOEXEC: c_int = 0o2000000;
@@ -193,6 +235,41 @@ mod linux {
     const EPOLLIN: u32 = 0x001;
     const EPOLLRDHUP: u32 = 0x2000;
     const EPOLLONESHOT: u32 = 1 << 30;
+
+    const AF_INET: c_int = 2;
+    const AF_INET6: c_int = 10;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEADDR: c_int = 2;
+    const SO_LINGER: c_int = 13;
+    const LISTEN_BACKLOG: c_int = 128;
+
+    // `struct sockaddr_in` / `sockaddr_in6` as the kernel lays them out
+    // on every Linux target (no arch-dependent packing here, unlike
+    // `epoll_event`). Port and the v4 address are big-endian on the wire.
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    #[repr(C)]
+    struct SockaddrIn6 {
+        sin6_family: u16,
+        sin6_port: u16,
+        sin6_flowinfo: u32,
+        sin6_addr: [u8; 16],
+        sin6_scope_id: u32,
+    }
+
+    #[repr(C)]
+    struct Linger {
+        l_onoff: c_int,
+        l_linger: c_int,
+    }
 
     /// Most events drained per `epoll_wait` call; the rest are picked up
     /// on the next loop iteration (epoll round-robins ready fds, so
@@ -280,11 +357,115 @@ mod linux {
         }
     }
 
+    /// `SO_REUSEADDR` + bind + listen, by hand — see
+    /// [`bind_reuseaddr`](super::bind_reuseaddr) for why `std`'s bind is
+    /// not enough here.
+    pub fn bind_reuseaddr(addr: SocketAddr) -> io::Result<TcpListener> {
+        let family = match addr {
+            SocketAddr::V4(_) => AF_INET,
+            SocketAddr::V6(_) => AF_INET6,
+        };
+        // SAFETY: `socket` takes no pointers; a bad flag combination
+        // returns -1/EINVAL, handled below.
+        let raw = unsafe { socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+        if raw < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `raw` is a fresh fd the kernel just handed us; the
+        // OwnedFd takes sole ownership and closes it on any early return.
+        let fd = unsafe { OwnedFd::from_raw_fd(raw) };
+        let one: c_int = 1;
+        // SAFETY: `one` is a live c_int for the duration of the call and
+        // the passed length is exactly its size; the kernel copies the
+        // value out and keeps no pointer.
+        let rc = unsafe {
+            setsockopt(
+                fd.as_raw_fd(),
+                SOL_SOCKET,
+                SO_REUSEADDR,
+                std::ptr::addr_of!(one).cast::<c_void>(),
+                std::mem::size_of::<c_int>() as u32,
+            )
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let rc = match addr {
+            SocketAddr::V4(v4) => {
+                let sa = SockaddrIn {
+                    sin_family: AF_INET as u16,
+                    sin_port: v4.port().to_be(),
+                    sin_addr: u32::from(*v4.ip()).to_be(),
+                    sin_zero: [0; 8],
+                };
+                // SAFETY: `sa` is a live, `#[repr(C)]`-laid-out
+                // `sockaddr_in` for the duration of the call and the
+                // length passed is exactly its size; the kernel copies
+                // it out and keeps no pointer.
+                unsafe {
+                    bind(
+                        fd.as_raw_fd(),
+                        std::ptr::addr_of!(sa).cast::<c_void>(),
+                        std::mem::size_of::<SockaddrIn>() as u32,
+                    )
+                }
+            }
+            SocketAddr::V6(v6) => {
+                let sa = SockaddrIn6 {
+                    sin6_family: AF_INET6 as u16,
+                    sin6_port: v6.port().to_be(),
+                    sin6_flowinfo: v6.flowinfo(),
+                    sin6_addr: v6.ip().octets(),
+                    sin6_scope_id: v6.scope_id(),
+                };
+                // SAFETY: as for the v4 arm — live `sockaddr_in6`, exact
+                // length, copied out by the kernel.
+                unsafe {
+                    bind(
+                        fd.as_raw_fd(),
+                        std::ptr::addr_of!(sa).cast::<c_void>(),
+                        std::mem::size_of::<SockaddrIn6>() as u32,
+                    )
+                }
+            }
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `listen` takes no pointers; errors return -1.
+        let rc = unsafe { listen(fd.as_raw_fd(), LISTEN_BACKLOG) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: the fd is a freshly-bound listening socket we solely
+        // own; `into_raw_fd` forgoes the OwnedFd close and the
+        // TcpListener takes over ownership.
+        Ok(unsafe { TcpListener::from_raw_fd(fd.into_raw_fd()) })
+    }
+
+    /// Arm `SO_LINGER{on, 0}` so the next close sends `RST` — see
+    /// [`reset_close`](super::reset_close). Best-effort: a socket this
+    /// cannot be set on just closes normally.
+    pub fn set_linger_zero(stream: &TcpStream) {
+        let linger = Linger { l_onoff: 1, l_linger: 0 };
+        // SAFETY: `linger` is a live `#[repr(C)]` value for the duration
+        // of the call and the length passed is exactly its size; the
+        // kernel copies it out and keeps no pointer.
+        let _ = unsafe {
+            setsockopt(
+                stream.as_raw_fd(),
+                SOL_SOCKET,
+                SO_LINGER,
+                std::ptr::addr_of!(linger).cast::<c_void>(),
+                std::mem::size_of::<Linger>() as u32,
+            )
+        };
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
         use std::io::Write;
-        use std::net::{TcpListener, TcpStream};
 
         #[test]
         fn epoll_event_layout_matches_the_abi() {
@@ -327,6 +508,21 @@ mod linux {
 
             epoll.del(alice_srv.as_raw_fd());
             epoll.del(bob_srv.as_raw_fd());
+        }
+
+        #[test]
+        fn reuseaddr_listener_accepts_and_rebinds_immediately() {
+            let listener = bind_reuseaddr("127.0.0.1:0".parse().unwrap()).expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let mut client = TcpStream::connect(addr).expect("connect");
+            let (_server_side, _) = listener.accept().expect("accept");
+            client.write_all(b"hello").expect("write");
+            drop(client);
+            drop(listener);
+            // The point of SO_REUSEADDR: an immediate rebind on the same
+            // port must succeed even with the old connection winding down.
+            let again = bind_reuseaddr(addr).expect("rebind on the same port");
+            drop(again);
         }
 
         #[test]

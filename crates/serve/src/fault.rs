@@ -1,0 +1,252 @@
+//! Deterministic fault injection — the test harness's lever for making a
+//! healthy daemon misbehave *on cue*.
+//!
+//! The router's whole value is its failure behavior, and failure
+//! behavior that is only exercised by "kill -9 and hope the timing works
+//! out" stays unproven. A [`FaultPlan`] is a list of rules compiled from
+//! `--fault` specs; the server consults it after parsing each request
+//! (so the route is known) and before running the handler. Rules fire by
+//! *request count per rule*, which makes integration tests exactly
+//! reproducible: "stall the 3rd `/search` by 200 ms", "reset the first
+//! two connections", "exit after 50 requests".
+//!
+//! Spec grammar (one rule per `--fault` flag):
+//!
+//! ```text
+//! <action>:<path>[:key=value]*
+//!
+//! actions   stall   sleep ms= milliseconds, then serve normally
+//!           reset   close the connection abruptly, no response
+//!           status  answer code= (default 500) with an error body
+//!           exit    terminate the process with code= (default 1)
+//! path      exact decoded path, or * for every route
+//! keys      ms=N     stall duration        (stall only)
+//!           code=N   status / exit code    (status, exit)
+//!           after=N  skip the first N matching requests   (default 0)
+//!           count=N  fire at most N times, 0 = unlimited  (default 0)
+//! ```
+//!
+//! Examples: `stall:/search:ms=200:after=0:count=1`,
+//! `status:/search:code=500:count=2`, `reset:*`, `exit:*:after=50`.
+//!
+//! A plan is inert unless installed in
+//! [`ServeConfig::fault`](crate::server::ServeConfig) — production
+//! configs simply never set it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What an armed rule does to a matching request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Sleep this long before handling the request normally.
+    Stall(Duration),
+    /// Close the connection abruptly without writing a response.
+    Reset,
+    /// Answer with this status code (error body) instead of the handler.
+    Status(u16),
+    /// Terminate the whole process with this exit code.
+    Exit(i32),
+}
+
+/// One parsed `--fault` rule with its firing window and hit counter.
+#[derive(Debug)]
+pub struct FaultRule {
+    action: FaultAction,
+    /// Exact decoded request path, or `*` for every route.
+    path: String,
+    /// Matching requests skipped before the rule starts firing.
+    after: u64,
+    /// Most firings (`0` = unlimited).
+    count: u64,
+    /// Matching requests seen so far (including skipped ones).
+    hits: AtomicU64,
+}
+
+impl FaultRule {
+    /// Parse one spec (see the module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<FaultRule, String> {
+        let mut parts = spec.split(':');
+        let action_name = parts.next().unwrap_or_default();
+        let path = parts
+            .next()
+            .filter(|p| !p.is_empty())
+            .ok_or_else(|| format!("fault spec {spec:?}: missing path (use * for all)"))?
+            .to_string();
+        let mut ms = None;
+        let mut code = None;
+        let mut after = 0u64;
+        let mut count = 0u64;
+        for kv in parts {
+            let Some((key, value)) = kv.split_once('=') else {
+                return Err(format!("fault spec {spec:?}: expected key=value, got {kv:?}"));
+            };
+            let parsed: u64 = value
+                .parse()
+                .map_err(|_| format!("fault spec {spec:?}: {key}={value:?} is not a number"))?;
+            match key {
+                "ms" => ms = Some(parsed),
+                "code" => code = Some(parsed),
+                "after" => after = parsed,
+                "count" => count = parsed,
+                other => {
+                    return Err(format!("fault spec {spec:?}: unknown key {other:?}"));
+                }
+            }
+        }
+        let action = match action_name {
+            "stall" => {
+                let ms =
+                    ms.ok_or_else(|| format!("fault spec {spec:?}: stall needs ms=N"))?;
+                FaultAction::Stall(Duration::from_millis(ms))
+            }
+            "reset" => FaultAction::Reset,
+            "status" => {
+                let code = code.unwrap_or(500);
+                let code = u16::try_from(code)
+                    .ok()
+                    .filter(|c| (100..=599).contains(c))
+                    .ok_or_else(|| format!("fault spec {spec:?}: bad status code {code}"))?;
+                FaultAction::Status(code)
+            }
+            "exit" => {
+                let code = code.unwrap_or(1);
+                let code = i32::try_from(code)
+                    .map_err(|_| format!("fault spec {spec:?}: bad exit code {code}"))?;
+                FaultAction::Exit(code)
+            }
+            other => {
+                return Err(format!(
+                    "fault spec {spec:?}: unknown action {other:?} \
+                     (stall | reset | status | exit)"
+                ));
+            }
+        };
+        Ok(FaultRule { action, path, after, count, hits: AtomicU64::new(0) })
+    }
+
+    /// Whether this rule applies to `path` at all.
+    fn matches(&self, path: &str) -> bool {
+        self.path == "*" || self.path == path
+    }
+
+    /// Count one matching request and decide whether the rule fires.
+    fn fire(&self) -> Option<FaultAction> {
+        let n = self.hits.fetch_add(1, Ordering::SeqCst);
+        let armed = n >= self.after && (self.count == 0 || n < self.after + self.count);
+        armed.then_some(self.action)
+    }
+}
+
+/// A compiled set of fault rules, consulted once per parsed request.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// Compile a plan from `--fault` specs; an empty list is a valid
+    /// (inert) plan.
+    pub fn from_specs<S: AsRef<str>>(specs: &[S]) -> Result<FaultPlan, String> {
+        let rules = specs
+            .iter()
+            .map(|s| FaultRule::parse(s.as_ref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FaultPlan { rules })
+    }
+
+    /// Whether the plan holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Consult the plan for one request on `path`. Every matching rule's
+    /// hit counter advances (so rule windows are independent of each
+    /// other); the first rule whose window covers this hit supplies the
+    /// action.
+    pub fn decide(&self, path: &str) -> Option<FaultAction> {
+        let mut fired = None;
+        for rule in &self.rules {
+            if rule.matches(path) {
+                let action = rule.fire();
+                if fired.is_none() {
+                    fired = action;
+                }
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_to_the_documented_actions() {
+        let plan = FaultPlan::from_specs(&[
+            "stall:/search:ms=200:after=0:count=1",
+            "reset:*",
+            "status:/stats:code=503",
+            "exit:/die:code=7:after=3",
+        ])
+        .expect("valid specs");
+        assert_eq!(plan.rules.len(), 4);
+        assert_eq!(plan.rules[0].action, FaultAction::Stall(Duration::from_millis(200)));
+        assert_eq!(plan.rules[0].count, 1);
+        assert_eq!(plan.rules[1].action, FaultAction::Reset);
+        assert_eq!(plan.rules[1].path, "*");
+        assert_eq!(plan.rules[2].action, FaultAction::Status(503));
+        assert_eq!(plan.rules[3].action, FaultAction::Exit(7));
+        assert_eq!(plan.rules[3].after, 3);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_a_reason() {
+        for bad in [
+            "stall:/x",            // stall without ms
+            "stall",               // no path
+            "status:/x:code=9999", // not a status code
+            "warp:/x",             // unknown action
+            "reset:/x:ms",         // key without value
+            "reset:/x:ms=fast",    // non-numeric value
+            "reset:/x:speed=1",    // unknown key
+        ] {
+            assert!(FaultRule::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn after_and_count_define_an_exact_firing_window() {
+        let plan =
+            FaultPlan::from_specs(&["status:/search:code=500:after=2:count=2"]).expect("spec");
+        let fires: Vec<bool> =
+            (0..6).map(|_| plan.decide("/search").is_some()).collect();
+        assert_eq!(fires, [false, false, true, true, false, false]);
+        // Non-matching paths never advance the counter.
+        assert_eq!(plan.decide("/stats"), None);
+    }
+
+    #[test]
+    fn count_zero_fires_forever_and_star_matches_every_route() {
+        let plan = FaultPlan::from_specs(&["status:*:code=500"]).expect("spec");
+        for path in ["/a", "/b", "/c", "/a"] {
+            assert_eq!(plan.decide(path), Some(FaultAction::Status(500)));
+        }
+    }
+
+    #[test]
+    fn first_covering_rule_wins_but_all_matching_counters_advance() {
+        let plan = FaultPlan::from_specs(&[
+            "status:/x:code=501:count=1",
+            "status:/x:code=502:count=2",
+        ])
+        .expect("spec");
+        // Hit 0: both rules cover it; the first wins.
+        assert_eq!(plan.decide("/x"), Some(FaultAction::Status(501)));
+        // Hit 1: rule 1 is spent (count=1), rule 2 still covers it.
+        assert_eq!(plan.decide("/x"), Some(FaultAction::Status(502)));
+        // Hit 2: both spent.
+        assert_eq!(plan.decide("/x"), None);
+    }
+}

@@ -291,7 +291,33 @@ pub fn percent_decode(s: &str, plus_is_space: bool) -> Option<String> {
     String::from_utf8(out).ok()
 }
 
-/// A response ready to write: status, content type, body.
+/// Percent-encode `s` for use inside a query-string value: unreserved
+/// characters (RFC 3986 §2.3) pass through, everything else — including
+/// `+`, `&`, `=` and spaces — becomes `%XX`, so the result survives
+/// [`percent_decode`] byte-identically on any server. The router uses
+/// this to forward user queries to shard daemons.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char);
+            }
+            _ => {
+                let nibble = |n: u8| {
+                    char::from_digit(u32::from(n), 16).unwrap_or('0').to_ascii_uppercase()
+                };
+                out.push('%');
+                out.push(nibble(b >> 4));
+                out.push(nibble(b & 0xF));
+            }
+        }
+    }
+    out
+}
+
+/// A response ready to write: status, content type, body, and an
+/// optional `Retry-After` hint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
@@ -300,12 +326,22 @@ pub struct Response {
     pub content_type: &'static str,
     /// The body bytes.
     pub body: Vec<u8>,
+    /// When set, a `Retry-After: <seconds>` header is written — every
+    /// refusal the server expects the client to retry (`503` shed, `429`
+    /// per-client cap) carries one, so well-behaved clients back off for
+    /// a told amount instead of hot-looping.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: String) -> Response {
-        Response { status, content_type: "application/json", body: body.into_bytes() }
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
     }
 
     /// A JSON error response with an `{"error": …}` body.
@@ -316,6 +352,12 @@ impl Response {
         w.str(message);
         w.obj_end();
         Response::json(status, w.finish())
+    }
+
+    /// Attach a `Retry-After: <seconds>` header to this response.
+    pub fn with_retry_after(mut self, seconds: u32) -> Response {
+        self.retry_after = Some(seconds);
+        self
     }
 }
 
@@ -352,12 +394,17 @@ pub fn write_response<W: Write>(
     response: &Response,
     keep_alive: bool,
 ) -> io::Result<()> {
+    let retry_after = match response.retry_after {
+        Some(seconds) => format!("Retry-After: {seconds}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         response.status,
         reason_phrase(response.status),
         response.content_type,
         response.body.len(),
+        retry_after,
         if keep_alive { "keep-alive" } else { "close" },
     );
     let mut wire = Vec::with_capacity(head.len() + response.body.len());
@@ -503,6 +550,35 @@ mod tests {
         let err = parse("").unwrap_err();
         assert!(matches!(err, HttpError::ClosedEarly));
         assert_eq!(err.status(), None);
+    }
+
+    #[test]
+    fn percent_encode_round_trips_through_the_parser() {
+        for s in ["store texas", "a+b&c=d", "café", "100%", "~tilde-ok_", "q?#[]"] {
+            let encoded = percent_encode(s);
+            assert!(
+                encoded.bytes().all(|b| b.is_ascii_alphanumeric()
+                    || matches!(b, b'-' | b'_' | b'.' | b'~' | b'%')),
+                "{s} → {encoded} leaked a reserved byte"
+            );
+            assert_eq!(percent_decode(&encoded, true).as_deref(), Some(s), "{s}");
+            // And through a full request line, the way the router sends it.
+            let r = parse(&format!("GET /search?q={encoded} HTTP/1.1\r\n\r\n")).unwrap();
+            assert_eq!(r.param("q"), Some(s));
+        }
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_when_set() {
+        let mut out = Vec::new();
+        let refusal = Response::error(503, "over capacity").with_retry_after(2);
+        write_response(&mut out, &refusal, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nRetry-After: 2\r\n"), "{text}");
+        // Absent by default.
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".into()), false).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("Retry-After"), "spurious header");
     }
 
     #[test]

@@ -15,7 +15,13 @@
 //! * [`server`] — a blocking acceptor → bounded queue → worker pool with
 //!   per-request admission control (`503` load-shedding), per-client
 //!   fairness (`429`), HTTP/1.1 keep-alive with idle parking and
-//!   eviction, live counters, and graceful drain-and-shutdown.
+//!   eviction, live counters, and graceful drain-and-shutdown;
+//! * [`client`] — the inter-tier HTTP client (keep-alive connections
+//!   with absolute per-request deadlines, capped response bodies, and
+//!   redial-with-backoff), which the scatter-gather router pools;
+//! * [`fault`] — deterministic fault injection (per-route stalls,
+//!   resets, error statuses, hard exits) so failure behavior is proven
+//!   by exact tests instead of timing luck.
 //!
 //! The crate knows nothing about XML or snippets: [`Server::run`] takes
 //! any `Fn(&Request) -> Response` handler. The umbrella `extract` crate
@@ -44,20 +50,26 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod client;
 pub mod event;
+pub mod fault;
 pub mod http;
 pub mod json;
 pub mod server;
 pub mod testing;
 
+pub use client::{ClientConfig, ClientError, Connection, HttpClient, WireResponse};
 pub use event::PollerKind;
+pub use fault::{FaultAction, FaultPlan, FaultRule};
 pub use http::{Request, Response};
 pub use json::JsonWriter;
 pub use server::{ServeConfig, Server, ServerHandle, ServerStats};
 
 /// The common imports in one place.
 pub mod prelude {
+    pub use crate::client::{ClientConfig, ClientError, Connection, HttpClient, WireResponse};
     pub use crate::event::PollerKind;
+    pub use crate::fault::{FaultAction, FaultPlan, FaultRule};
     pub use crate::http::{Request, Response};
     pub use crate::json::JsonWriter;
     pub use crate::server::{ServeConfig, Server, ServerHandle, ServerStats};

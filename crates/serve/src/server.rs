@@ -77,7 +77,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::event::{socket_ready, PollerKind, Readiness};
+use crate::event::{arm_reset, bind_reuseaddr, socket_ready, PollerKind, Readiness};
+use crate::fault::{FaultAction, FaultPlan};
 use crate::http::{is_timeout, read_request, write_response, HttpError, Request, Response};
 
 /// Server tuning knobs.
@@ -107,6 +108,11 @@ pub struct ServeConfig {
     /// Readiness backend for parked connections (epoll on Linux by
     /// default; the scan fallback is always available).
     pub poller: PollerKind,
+    /// Deterministic fault injection (see [`crate::fault`]): consulted
+    /// once per parsed request, `None` (the default) is a no-op.
+    /// Production configs never set it; the `--fault` flag and the
+    /// router's integration tests do.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -120,9 +126,17 @@ impl Default for ServeConfig {
             max_requests_per_connection: 256,
             idle_timeout: Duration::from_secs(5),
             poller: PollerKind::Auto,
+            fault: None,
         }
     }
 }
+
+/// The `Retry-After` value (seconds) on every load-shedding refusal
+/// (`503` queue-full, `429` per-client cap). Shedding is a transient,
+/// fast-moving condition, so the hint is deliberately short: long enough
+/// to break a hot retry loop, short enough that a well-behaved client
+/// re-offers promptly once the burst passes.
+const SHED_RETRY_AFTER_SECS: u32 = 1;
 
 /// How long a worker that just answered a keep-alive request waits for
 /// that client's next request before parking the connection and moving
@@ -383,7 +397,31 @@ impl Server {
     /// workers, since hand-off always goes through the queue.
     pub fn bind<A: ToSocketAddrs>(addr: A, mut config: ServeConfig) -> std::io::Result<Server> {
         config.queue_depth = config.queue_depth.max(1);
-        let listener = TcpListener::bind(addr)?;
+        // SO_REUSEADDR (on Linux) so a restarted daemon can rebind its
+        // old port past the previous incarnation's TIME_WAIT sockets —
+        // shard resurrection must not wait out the kernel.
+        let mut listener = None;
+        let mut last_err = None;
+        for candidate in addr.to_socket_addrs()? {
+            match bind_reuseaddr(candidate) {
+                Ok(bound) => {
+                    listener = Some(bound);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let listener = match listener {
+            Some(listener) => listener,
+            None => {
+                return Err(last_err.unwrap_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "address resolved to nothing",
+                    )
+                }))
+            }
+        };
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::with_capacity(config.queue_depth)),
             available: Condvar::new(),
@@ -563,7 +601,9 @@ fn shed(shared: &Arc<Shared>, mut stream: TcpStream, status: u16, message: &'sta
         let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
         let mut scratch = [0u8; 4096];
         let _ = stream.read(&mut scratch);
-        if write_response(&mut stream, &Response::error(status, message), false).is_err() {
+        let refusal =
+            Response::error(status, message).with_retry_after(SHED_RETRY_AFTER_SECS);
+        if write_response(&mut stream, &refusal, false).is_err() {
             shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
         }
         linger_close(stream);
@@ -657,7 +697,8 @@ where
             After::Continue => {
                 if !acquire_ticket(shared, config, conn.peer) {
                     shared.counters.shed_per_client.fetch_add(1, Ordering::Relaxed);
-                    let refusal = Response::error(429, "per-client in-flight limit reached");
+                    let refusal = Response::error(429, "per-client in-flight limit reached")
+                        .with_retry_after(SHED_RETRY_AFTER_SECS);
                     let _ = write_response(&mut conn.stream(), &refusal, false);
                     linger_close(conn.into_stream());
                     return;
@@ -698,7 +739,31 @@ where
         && request.keep_alive
         && (config.max_requests_per_connection == 0
             || conn.served < config.max_requests_per_connection);
-    let response = handler(&request);
+    // Fault injection (tests and the smoke harness only; `fault` is
+    // `None` in production configs). The plan is consulted after parsing
+    // — so rules can target routes — and before the handler, so an
+    // injected failure is indistinguishable on the wire from a real one.
+    let mut injected = None;
+    if let Some(plan) = config.fault.as_deref() {
+        match plan.decide(&request.path) {
+            None => {}
+            Some(FaultAction::Stall(pause)) => std::thread::sleep(pause),
+            Some(FaultAction::Reset) => {
+                // An abrupt RST mid-exchange, as if the process died:
+                // arm linger-0 and let the normal close deliver it.
+                arm_reset(conn.stream());
+                return After::Close;
+            }
+            Some(FaultAction::Status(code)) => {
+                injected = Some(Response::error(code, "injected fault"));
+            }
+            Some(FaultAction::Exit(code)) => std::process::exit(code),
+        }
+    }
+    let response = match injected {
+        Some(response) => response,
+        None => handler(&request),
+    };
     // The shutdown check comes *after* the handler: a `/shutdown` route
     // sets the flag mid-request and its own response must already say
     // `Connection: close`.

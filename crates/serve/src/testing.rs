@@ -5,13 +5,24 @@
 //! suite, the `serve` binary's self-check and the `serve_throughput`
 //! bench so the wire-format knowledge lives in one place. Not part of the
 //! serving API.
+//!
+//! The wire machinery itself lives in [`client`](crate::client) — the
+//! production inter-tier client the router is built on. What this module
+//! adds is the *test temperament*: generous 20 s deadlines and loud
+//! panics instead of `Result`s.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::client::{ClientConfig, ClientError, Connection};
 use crate::server::ServerHandle;
+
+pub use crate::client::WireResponse;
+
+/// How long a test client waits before declaring the server hung.
+const TEST_DEADLINE: Duration = Duration::from_secs(20);
 
 /// Issue one `method target` request over a fresh connection (with
 /// `Connection: close`, so keep-alive servers hang up after answering),
@@ -22,7 +33,7 @@ use crate::server::ServerHandle;
 /// On connect/send/read failure or a malformed status line.
 pub fn fetch(addr: SocketAddr, method: &str, target: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
-    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    stream.set_read_timeout(Some(TEST_DEADLINE)).unwrap();
     write!(stream, "{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
         .expect("send");
     let mut raw = String::new();
@@ -39,41 +50,35 @@ pub fn fetch(addr: SocketAddr, method: &str, target: &str) -> (u16, String) {
     (status, body)
 }
 
-/// One response read off a persistent connection.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WireResponse {
-    /// HTTP status code.
-    pub status: u16,
-    /// The body, framed by `Content-Length`.
-    pub body: String,
-    /// Whether the server said `Connection: keep-alive` (it always sends
-    /// the header explicitly).
-    pub keep_alive: bool,
-}
-
 /// A persistent HTTP/1.1 client: many requests, one socket. Responses
 /// are framed by `Content-Length` (never by EOF), so the connection
-/// survives between exchanges. Panics on malformed responses — a test
-/// client wants loud failures.
+/// survives between exchanges. A panicking facade over
+/// [`client::Connection`](crate::client::Connection) — a test client
+/// wants loud failures, not error plumbing.
 #[derive(Debug)]
 pub struct KeepAliveClient {
-    reader: BufReader<TcpStream>,
+    conn: Connection,
 }
 
 impl KeepAliveClient {
+    fn deadline() -> Instant {
+        Instant::now() + TEST_DEADLINE
+    }
+
     /// Connect to `addr` with a generous read timeout.
     ///
     /// # Panics
     /// On connect failure.
     pub fn connect(addr: SocketAddr) -> KeepAliveClient {
-        let stream = TcpStream::connect(addr).expect("connect");
-        stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
-        KeepAliveClient { reader: BufReader::new(stream) }
+        let config = ClientConfig { connect_timeout: TEST_DEADLINE, ..ClientConfig::default() };
+        KeepAliveClient {
+            conn: Connection::connect(addr, &config).expect("connect"),
+        }
     }
 
     /// The underlying socket (for raw writes in pipelining tests).
     pub fn stream(&self) -> &TcpStream {
-        self.reader.get_ref()
+        self.conn.stream()
     }
 
     /// Send a request without reading its response (pipelining).
@@ -82,13 +87,9 @@ impl KeepAliveClient {
     /// # Panics
     /// On send failure.
     pub fn send(&mut self, method: &str, target: &str, extra_headers: &[&str]) {
-        let mut head = format!("{method} {target} HTTP/1.1\r\nHost: t\r\n");
-        for header in extra_headers {
-            head.push_str(header);
-            head.push_str("\r\n");
-        }
-        head.push_str("\r\n");
-        self.reader.get_ref().write_all(head.as_bytes()).expect("send");
+        self.conn
+            .send(method, target, extra_headers, Some(Self::deadline()))
+            .expect("send");
     }
 
     /// Read one `Content-Length`-framed response.
@@ -97,38 +98,12 @@ impl KeepAliveClient {
     /// On a malformed or missing response (including the server closing
     /// the connection before a response arrives).
     pub fn read_response(&mut self) -> WireResponse {
-        let mut line = String::new();
-        self.reader.read_line(&mut line).expect("status line");
-        assert!(!line.is_empty(), "connection closed before a response arrived");
-        let status = line
-            .strip_prefix("HTTP/1.1 ")
-            .and_then(|rest| rest.get(..3))
-            .unwrap_or_else(|| panic!("malformed status line {line:?}"))
-            .parse()
-            .expect("status code");
-        let mut content_length = 0usize;
-        let mut keep_alive = false;
-        loop {
-            let mut header = String::new();
-            self.reader.read_line(&mut header).expect("header line");
-            let header = header.trim_end();
-            if header.is_empty() {
-                break;
+        match self.conn.read_response(Some(Self::deadline())) {
+            Ok(response) => response,
+            Err(ClientError::Closed) => {
+                panic!("connection closed before a response arrived")
             }
-            if let Some((name, value)) = header.split_once(':') {
-                if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().expect("Content-Length");
-                } else if name.eq_ignore_ascii_case("connection") {
-                    keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
-                }
-            }
-        }
-        let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body).expect("body");
-        WireResponse {
-            status,
-            body: String::from_utf8(body).expect("UTF-8 body"),
-            keep_alive,
+            Err(e) => panic!("read response: {e}"),
         }
     }
 
@@ -146,7 +121,7 @@ impl KeepAliveClient {
     /// EOF. Blocks until EOF or data (use after the server should have
     /// hung up).
     pub fn at_eof(&mut self) -> bool {
-        matches!(self.reader.fill_buf(), Ok(buf) if buf.is_empty())
+        matches!(self.conn.at_eof(Some(Self::deadline())), Ok(true))
     }
 }
 

@@ -1,0 +1,88 @@
+//! The fault-injection layer observed from the wire: rules parsed from
+//! `--fault`-style specs make a healthy server stall, fail and reset
+//! exactly on cue — the mechanism the router's failure tests stand on.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use extract_serve::prelude::*;
+use extract_serve::testing::{fetch, DrainOnDrop};
+
+fn ok_handler(_req: &Request) -> Response {
+    Response::json(200, r#"{"ok":true}"#.to_string())
+}
+
+fn run_with_plan(
+    specs: &[&str],
+    body: impl FnOnce(std::net::SocketAddr, &ServerHandle),
+) {
+    let plan = FaultPlan::from_specs(specs).expect("valid specs");
+    let config = ServeConfig {
+        workers: 2,
+        queue_depth: 8,
+        fault: Some(Arc::new(plan)),
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let (addr, handle) = (server.local_addr(), server.handle());
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        scope.spawn(|| server.run(ok_handler));
+        body(addr, &handle);
+        handle.shutdown();
+    });
+}
+
+#[test]
+fn status_fault_fires_for_its_window_then_clears() {
+    run_with_plan(&["status:/search:code=500:count=2"], |addr, _| {
+        let (status, body) = fetch(addr, "GET", "/search?q=x");
+        assert_eq!(status, 500, "first /search is injected");
+        assert_eq!(body, r#"{"error":"injected fault"}"#);
+        assert_eq!(fetch(addr, "GET", "/search?q=x").0, 500, "second too");
+        assert_eq!(fetch(addr, "GET", "/search?q=x").0, 200, "window spent");
+        assert_eq!(fetch(addr, "GET", "/stats").0, 200, "other routes untouched");
+    });
+}
+
+#[test]
+fn stall_fault_delays_exactly_the_targeted_request() {
+    run_with_plan(&["stall:/slow:ms=150:count=1"], |addr, _| {
+        let start = Instant::now();
+        assert_eq!(fetch(addr, "GET", "/slow").0, 200);
+        assert!(
+            start.elapsed() >= Duration::from_millis(150),
+            "first request must be stalled, answered in {:?}",
+            start.elapsed()
+        );
+        let start = Instant::now();
+        assert_eq!(fetch(addr, "GET", "/slow").0, 200);
+        assert!(
+            start.elapsed() < Duration::from_millis(150),
+            "second request must be prompt, answered in {:?}",
+            start.elapsed()
+        );
+    });
+}
+
+#[test]
+fn reset_fault_kills_the_connection_without_a_response() {
+    run_with_plan(&["reset:/die:count=1"], |addr, _| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream
+            .write_all(b"GET /die HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .expect("send");
+        // Either a clean EOF (zero bytes) or ECONNRESET — never a
+        // response. An Err means the reset landed before/while reading,
+        // which is also a hard hangup.
+        let mut raw = Vec::new();
+        if let Ok(n) = stream.read_to_end(&mut raw) {
+            assert_eq!(n, 0, "no response bytes may arrive: {raw:?}");
+        }
+        // The server itself survives; the next request is served.
+        assert_eq!(fetch(addr, "GET", "/die").0, 200, "rule spent, server alive");
+    });
+}

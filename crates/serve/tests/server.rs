@@ -182,6 +182,75 @@ fn per_client_cap_sheds_with_429() {
 }
 
 #[test]
+fn queue_full_503_carries_retry_after_on_the_wire() {
+    use extract_serve::testing::KeepAliveClient;
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        per_client_inflight: 1024,
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let (addr, handle) = (server.local_addr(), server.handle());
+    let gate = Gate::default();
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        let _open = ReleaseOnDrop(&gate);
+        scope.spawn(|| server.run(echo_handler(&gate)));
+
+        // Occupy the worker first, then fill the 1-deep queue.
+        let mut blocked = vec![scope.spawn(move || get(addr, "/block"))];
+        gate.await_entered(1);
+        blocked.push(scope.spawn(move || get(addr, "/block")));
+        await_stats(&handle, "full queue", |s| s.queue_len == 1);
+
+        // The excess refusal must tell a well-behaved client (the
+        // router's backoff included) when to come back.
+        let mut client = KeepAliveClient::connect(addr);
+        let refusal = client.request("GET", "/block");
+        assert_eq!(refusal.status, 503);
+        assert_eq!(refusal.retry_after, Some(1), "503 shed must carry Retry-After");
+
+        gate.release();
+        for b in blocked {
+            assert_eq!(b.join().unwrap().0, 200);
+        }
+        handle.shutdown();
+    });
+}
+
+#[test]
+fn per_client_429_carries_retry_after_on_the_wire() {
+    use extract_serve::testing::KeepAliveClient;
+    let config = ServeConfig {
+        workers: 4,
+        queue_depth: 16,
+        per_client_inflight: 1,
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let (addr, handle) = (server.local_addr(), server.handle());
+    let gate = Gate::default();
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        let _open = ReleaseOnDrop(&gate);
+        scope.spawn(|| server.run(echo_handler(&gate)));
+
+        let first = scope.spawn(move || get(addr, "/block"));
+        gate.await_entered(1);
+
+        let mut client = KeepAliveClient::connect(addr);
+        let refusal = client.request("GET", "/anything");
+        assert_eq!(refusal.status, 429);
+        assert_eq!(refusal.retry_after, Some(1), "429 cap must carry Retry-After");
+
+        gate.release();
+        assert_eq!(first.join().unwrap().0, 200);
+        handle.shutdown();
+    });
+}
+
+#[test]
 fn per_client_cap_counts_ipv4_mapped_ipv6_peers() {
     // On a dual-stack listener a client that dials the IPv4 address
     // shows up as `::ffff:127.0.0.1`. The per-client key must collapse

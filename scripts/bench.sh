@@ -1,26 +1,30 @@
 #!/usr/bin/env bash
 # Benchmark runner: the PR-2 query-path workload, the PR-3 corpus-scale
-# workload and the serve-throughput workload (PR-4 fresh-connection and
-# PR-5 keep-alive client modes side by side).
+# workload, the serve-throughput workload (PR-4 fresh-connection and
+# PR-5 keep-alive client modes side by side) and the PR-7 router
+# scatter-gather workload.
 #
 # Usage:
-#   scripts/bench.sh [--check|--quick] [pr2|pr3|pr5|serve|all]
+#   scripts/bench.sh [--check|--quick] [pr2|pr3|pr5|serve|pr7|router|all]
 #
 #   scripts/bench.sh            — run every workload, writing
-#                                 BENCH_PR2.json, BENCH_PR3.json and
-#                                 BENCH_PR5.json
+#                                 BENCH_PR2.json, BENCH_PR3.json,
+#                                 BENCH_PR5.json and BENCH_PR7.json
 #   scripts/bench.sh pr3        — run only the corpus-scale workload
 #   scripts/bench.sh serve      — run only the daemon load generator
 #                                 (aliases: pr4, pr5; writes
 #                                 BENCH_PR5.json, which supersedes
 #                                 BENCH_PR4.json with keep-alive
 #                                 scenarios added)
-#   scripts/bench.sh --check    — CI gate: build both bench binaries and
+#   scripts/bench.sh router     — run only the router workload (alias:
+#                                 pr7; 2 shards vs a single daemon over
+#                                 the union corpus, plus a degraded-shard
+#                                 run; writes BENCH_PR7.json)
+#   scripts/bench.sh --check    — CI gate: build the bench binaries and
 #                                 the Criterion benches without running
 #                                 the workloads, then run the
 #                                 deterministic serve keep-alive probe
-#                                 (3 requests over 1 socket must reuse
-#                                 the connection)
+#                                 and the router scatter probe
 #   scripts/bench.sh --quick    — fast smoke run (fewer samples, smaller
 #                                 corpus), still writes the JSON files
 #
@@ -37,8 +41,9 @@ for arg in "$@"; do
         --quick) MODE="quick" ;;
         pr2|pr3|all) TARGET="$arg" ;;
         pr4|pr5|serve) TARGET="pr5" ;;
+        pr7|router) TARGET="pr7" ;;
         *)
-            echo "usage: scripts/bench.sh [--check|--quick] [pr2|pr3|pr5|serve|all]" >&2
+            echo "usage: scripts/bench.sh [--check|--quick] [pr2|pr3|pr5|serve|pr7|router|all]" >&2
             exit 2
             ;;
     esac
@@ -46,10 +51,13 @@ done
 
 if [[ "$MODE" == "check" ]]; then
     echo "==> bench.sh --check: compile the bench binaries and Criterion benches"
-    cargo build --release --offline -p extract-bench --bin query_throughput --bin corpus_scale --bin serve_throughput
+    cargo build --release --offline -p extract-bench \
+        --bin query_throughput --bin corpus_scale --bin serve_throughput --bin router_throughput
     cargo bench --no-run --offline -p extract-bench
     echo "==> bench.sh --check: serve keep-alive probe (connection reuse must work)"
     cargo run --release --offline -p extract-bench --bin serve_throughput -- --check-keepalive
+    echo "==> bench.sh --check: router scatter probe (2 shards, all 200, no degradation)"
+    cargo run --release --offline -p extract-bench --bin router_throughput -- --check-router
     echo "bench.sh: compile check green"
     exit 0
 fi
@@ -75,4 +83,10 @@ if [[ "$TARGET" == "pr5" || "$TARGET" == "all" ]]; then
     echo "==> bench.sh: running serve_throughput (results → BENCH_PR5.json)"
     cargo run --release --offline -p extract-bench --bin serve_throughput -- \
         --json BENCH_PR5.json "${ARGS[@]+"${ARGS[@]}"}"
+fi
+
+if [[ "$TARGET" == "pr7" || "$TARGET" == "all" ]]; then
+    echo "==> bench.sh: running router_throughput (results → BENCH_PR7.json)"
+    cargo run --release --offline -p extract-bench --bin router_throughput -- \
+        --json BENCH_PR7.json "${ARGS[@]+"${ARGS[@]}"}"
 fi

@@ -34,6 +34,12 @@
 //!   --default-k N    page size when the request has no k (default 10)
 //!   --max-k N        hard page-size cap (default 100)
 //!   --cache N        session cache capacity, 0 disables (default 4096)
+//!   --fault SPEC     inject a deterministic fault (repeatable); SPEC is
+//!                    `<action>:<path>[:key=value]*` with actions
+//!                    stall (ms=), reset, status (code=), exit (code=)
+//!                    and windows after=N / count=N — e.g.
+//!                    `status:/search:code=500:after=10:count=2`.
+//!                    Test/bench harness only; never in production.
 //!   --self-check     boot on an ephemeral port, run a loopback smoke
 //!                    round (/healthz, /search, /stats, /shutdown, plus
 //!                    two requests over one kept-alive socket), validate
@@ -80,6 +86,7 @@ struct Options {
     default_k: usize,
     max_k: usize,
     cache: usize,
+    fault: Vec<String>,
     self_check: bool,
 }
 
@@ -101,6 +108,7 @@ impl Default for Options {
             default_k: 10,
             max_k: 100,
             cache: 4096,
+            fault: Vec::new(),
             self_check: false,
         }
     }
@@ -111,7 +119,7 @@ fn usage() -> ExitCode {
         "usage: serve [--corpus DIR | --gen-docs N] [--port P] [--workers N] \
          [--queue-depth N] [--per-client N] [--no-keep-alive] [--max-requests N] \
          [--idle-timeout-ms N] [--gen-nodes N] [--seed S] [--bound N] \
-         [--default-k N] [--max-k N] [--cache N] [--self-check]"
+         [--default-k N] [--max-k N] [--cache N] [--fault SPEC]... [--self-check]"
     );
     ExitCode::from(2)
 }
@@ -149,6 +157,7 @@ fn parse_options() -> Result<Options, ExitCode> {
             "--default-k" => options.default_k = parse_num(&value(&mut i)?)?,
             "--max-k" => options.max_k = parse_num(&value(&mut i)?)?,
             "--cache" => options.cache = parse_num(&value(&mut i)?)?,
+            "--fault" => options.fault.push(value(&mut i)?),
             "--self-check" => options.self_check = true,
             "--help" | "-h" => return Err(usage()),
             other => {
@@ -224,6 +233,20 @@ fn main() -> ExitCode {
         Err(code) => return code,
     };
 
+    let fault = if options.fault.is_empty() {
+        None
+    } else {
+        match extract_serve::FaultPlan::from_specs(&options.fault) {
+            Ok(plan) => {
+                eprintln!("serve: FAULT INJECTION ACTIVE ({} rule(s))", options.fault.len());
+                Some(std::sync::Arc::new(plan))
+            }
+            Err(e) => {
+                eprintln!("serve: bad --fault spec: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
     let serve_config = ServeConfig {
         workers: options.workers.max(1),
         queue_depth: options.queue_depth,
@@ -234,6 +257,7 @@ fn main() -> ExitCode {
         keep_alive: options.keep_alive,
         max_requests_per_connection: options.max_requests,
         idle_timeout: Duration::from_millis(options.idle_timeout_ms),
+        fault,
         ..Default::default()
     };
     let app_config = SearchAppConfig {

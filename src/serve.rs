@@ -80,12 +80,21 @@ impl<'d> SearchApp<'d> {
             ("GET", "/search") => self.search(request),
             ("GET", "/stats") => Response::json(200, self.render_stats()),
             ("GET", "/healthz") => {
+                // Once shutdown begins the daemon still answers in-flight
+                // work, but load balancers must stop routing to it: say so
+                // with a 503 instead of lying "ok" until the socket dies.
+                let draining =
+                    self.server.as_ref().is_some_and(ServerHandle::is_shutting_down);
                 let mut w = JsonWriter::new();
                 w.obj_begin();
                 w.key("ok");
-                w.bool(true);
+                w.bool(!draining);
+                if draining {
+                    w.key("draining");
+                    w.bool(true);
+                }
                 w.obj_end();
-                Response::json(200, w.finish())
+                Response::json(if draining { 503 } else { 200 }, w.finish())
             }
             ("POST", "/shutdown") => match &self.server {
                 Some(handle) => {

@@ -1,0 +1,351 @@
+//! Router acceptance tests over real corpora.
+//!
+//! 1. **Equivalence** (property test): a router scattering over a
+//!    partitioned corpus answers `/search` byte-identical (through the
+//!    `results` array) to one daemon over the union corpus — every
+//!    window `(k, offset)`, including cross-shard score ties, which are
+//!    broken by the remapped global doc ids.
+//! 2. **Fault tolerance** (subprocess test): under concurrent load, one
+//!    of two shard daemons hard-exits via `--fault` injection; every
+//!    client keeps getting `200`, responses degrade to
+//!    `"partial": true` with the survivor's correct results, the dead
+//!    shard's breaker opens, and a shard restart on the same port heals
+//!    the router without restarting it.
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use extract::prelude::*;
+use extract::serve::{serve_corpus, SearchApp, SearchAppConfig};
+use extract_datagen::corpus::CorpusConfig;
+use extract_router::{RouterApp, RouterConfig};
+use extract_serve::json::{self, Value};
+use extract_serve::{ClientConfig, Request, Response, ServeConfig};
+use proptest::prelude::*;
+
+fn get(app: &RouterApp, path: &str, query: &[(&str, String)]) -> Response {
+    app.handle(&Request {
+        method: "GET".to_string(),
+        path: path.to_string(),
+        query: query.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        http11: true,
+        keep_alive: true,
+    })
+}
+
+fn body_text(response: &Response) -> &str {
+    std::str::from_utf8(&response.body).expect("utf-8 body")
+}
+
+/// The router body a single-daemon `reference` page implies: identical
+/// bytes through `results`, then the router's accounting suffix.
+fn with_router_suffix(reference: &str, partial: bool, queried: u64, answered: u64) -> String {
+    let prefix = reference.strip_suffix('}').expect("reference body is an object");
+    format!(
+        "{prefix},\"partial\":{partial},\"shards\":{{\"queried\":{queried},\"answered\":{answered}}}}}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Scatter-gather over a 2-way partition == one daemon over the
+    /// union, byte for byte, across a grid of (query, k, offset)
+    /// windows. `dups` duplicates documents across the partition
+    /// boundary, forcing identical scores whose order is only defined
+    /// by the global doc-id remapping.
+    #[test]
+    fn partitioned_router_pages_match_the_union_daemon(
+        seed in 0u64..1_000,
+        left_docs in 1usize..4,
+        right_docs in 1usize..4,
+        dups in 0usize..3,
+        nodes in prop_oneof![Just(200usize), Just(500usize)],
+    ) {
+        let left_config =
+            CorpusConfig { documents: left_docs, target_nodes_per_doc: nodes, seed };
+        let right_config = CorpusConfig {
+            documents: right_docs,
+            target_nodes_per_doc: nodes,
+            seed: seed.wrapping_add(0x9E37),
+        };
+        // Shard 0: the "left" docs. Shard 1: the "right" docs plus
+        // `dups` copies of left docs (same bytes, new names) — their
+        // scores tie with shard 0's originals in every query.
+        let mut left = CorpusBuilder::new();
+        let mut right = CorpusBuilder::new();
+        let mut union = CorpusBuilder::new();
+        for (name, doc) in left_config.documents() {
+            union.add_parsed(&format!("s0-{name}"), doc);
+        }
+        for (name, doc) in left_config.documents() {
+            left.add_parsed(&format!("s0-{name}"), doc);
+        }
+        for (name, doc) in right_config.documents() {
+            union.add_parsed(&format!("s1-{name}"), doc);
+        }
+        for (name, doc) in right_config.documents() {
+            right.add_parsed(&format!("s1-{name}"), doc);
+        }
+        for (name, doc) in left_config.documents().take(dups) {
+            union.add_parsed(&format!("dup-{name}"), doc);
+        }
+        for (name, doc) in left_config.documents().take(dups) {
+            right.add_parsed(&format!("dup-{name}"), doc);
+        }
+        let (left, right, union) = (left.finish(), right.finish(), union.finish());
+
+        let app_config = SearchAppConfig::default();
+        let reference = SearchApp::new(
+            QuerySession::from_corpus_with_options(&union, 1, 0),
+            app_config.clone(),
+        );
+
+        std::thread::scope(|scope| {
+            // Two real shard daemons over real sockets; the ready
+            // callback carries each shard's partition index so arrival
+            // order can't scramble the doc-id remapping.
+            let (tx, rx) = mpsc::channel();
+            for (index, corpus) in [&left, &right].into_iter().enumerate() {
+                let tx = tx.clone();
+                let app_config = app_config.clone();
+                scope.spawn(move || {
+                    serve_corpus(
+                        corpus,
+                        "127.0.0.1:0",
+                        ServeConfig { workers: 2, ..ServeConfig::default() },
+                        app_config,
+                        64,
+                        |addr, handle| {
+                            tx.send((index, addr, handle)).expect("report shard");
+                        },
+                    )
+                    .expect("shard serves");
+                });
+            }
+            let mut slots: [Option<(SocketAddr, extract_serve::ServerHandle)>; 2] =
+                [None, None];
+            for _ in 0..2 {
+                let (index, addr, handle) = rx.recv().expect("shard up");
+                slots[index] = Some((addr, handle));
+            }
+            let (first, handle_a) = slots[0].take().expect("shard 0");
+            let (second, handle_b) = slots[1].take().expect("shard 1");
+
+            let router = RouterApp::new(RouterConfig {
+                shards: vec![first, second],
+                request_deadline: Duration::from_secs(10),
+                hedge: None,
+                ..RouterConfig::default()
+            });
+
+            let windows: [(usize, usize); 6] =
+                [(1, 0), (3, 0), (5, 2), (2, 1), (50, 0), (4, 7)];
+            for q in CorpusConfig::query_mix().into_iter().take(4) {
+                for (k, offset) in windows {
+                    let response = get(
+                        &router,
+                        "/search",
+                        &[
+                            ("q", q.to_string()),
+                            ("k", k.to_string()),
+                            ("offset", offset.to_string()),
+                        ],
+                    );
+                    assert_eq!(response.status, 200, "q={q} k={k} offset={offset}");
+                    let want =
+                        with_router_suffix(&reference.render_search(q, k, offset), false, 2, 2);
+                    assert_eq!(
+                        body_text(&response),
+                        want,
+                        "router page must be byte-identical to the union daemon \
+                         (q={q} k={k} offset={offset} seed={seed} dups={dups})"
+                    );
+                }
+            }
+            handle_a.shutdown();
+            handle_b.shutdown();
+        });
+    }
+}
+
+/// A `serve` shard subprocess: spawned from the built binary, address
+/// parsed from its ready line, killed on drop.
+struct ShardProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ShardProc {
+    fn spawn(args: &[&str]) -> ShardProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn serve shard");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let ready = lines
+            .next()
+            .expect("a ready line")
+            .expect("readable ready line");
+        let addr = ready
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|addr| addr.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable ready line: {ready}"));
+        // Drain the rest of stdout in the background so the child never
+        // blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        ShardProc { child, addr }
+    }
+}
+
+impl Drop for ShardProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn router_survives_shard_death_and_heals_on_restart_under_load() {
+    // Shard A is healthy; shard B hard-exits (fault injection) on its
+    // 21st /search request — deterministically, mid-load.
+    let shard_a =
+        ShardProc::spawn(&["--gen-docs", "4", "--gen-nodes", "400", "--seed", "1", "--port", "0"]);
+    let shard_b = ShardProc::spawn(&[
+        "--gen-docs",
+        "3",
+        "--gen-nodes",
+        "400",
+        "--seed",
+        "2",
+        "--port",
+        "0",
+        "--fault",
+        "exit:/search:code=7:after=20:count=1",
+    ]);
+    let b_addr = shard_b.addr;
+
+    // The local reference for "correct results from the survivor":
+    // shard A's exact corpus (same generator, same parameters). Shard A
+    // is partition 0, so its global doc ids are its local ids.
+    let mut builder = CorpusBuilder::new();
+    let config = CorpusConfig { documents: 4, target_nodes_per_doc: 400, seed: 1 };
+    for (name, doc) in config.documents() {
+        builder.add_parsed(&name, doc);
+    }
+    let corpus_a = builder.finish();
+    let reference_a = SearchApp::new(
+        QuerySession::from_corpus_with_options(&corpus_a, 1, 0),
+        SearchAppConfig { snippet: extract_core::ExtractConfig::with_bound(10), ..Default::default() },
+    );
+
+    let app = RouterApp::new(RouterConfig {
+        shards: vec![shard_a.addr, shard_b.addr],
+        request_deadline: Duration::from_secs(3),
+        probe_deadline: Duration::from_secs(1),
+        client: ClientConfig {
+            connect_timeout: Duration::from_millis(250),
+            connect_attempts: 1,
+            ..ClientConfig::default()
+        },
+        retry_budget: 1,
+        retry_backoff_base: Duration::from_millis(5),
+        retry_backoff_max: Duration::from_millis(20),
+        hedge: None,
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_millis(300),
+        ..RouterConfig::default()
+    });
+
+    // Concurrent load: three clients hammer /search; every response must
+    // be 200 — before, during, and after shard B's death.
+    let stop = AtomicBool::new(false);
+    let non_200 = AtomicU64::new(0);
+    let served = AtomicU64::new(0);
+    let queries = CorpusConfig::query_mix();
+    std::thread::scope(|scope| {
+        for worker in 0..3usize {
+            let (app, stop, non_200, served, queries) =
+                (&app, &stop, &non_200, &served, &queries);
+            scope.spawn(move || {
+                let mut i = worker;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = queries[i % queries.len()];
+                    i += 1;
+                    let response = get(app, "/search", &[("q", q.to_string())]);
+                    served.fetch_add(1, Ordering::Relaxed);
+                    if response.status != 200 {
+                        non_200.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // Wait for the injected death to trip shard B's breaker.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let open = !app
+                .shards()
+                .get(1)
+                .expect("shard 1")
+                .breaker()
+                .allows_requests();
+            if open {
+                break;
+            }
+            assert!(Instant::now() < deadline, "shard B never died under load");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(non_200.load(Ordering::Relaxed), 0, "no client may ever see a non-200");
+    assert!(served.load(Ordering::Relaxed) > 0);
+    assert!(app.counters().breaker_opens.load(Ordering::Relaxed) >= 1);
+
+    // Steady state with B dead: 200, partial, survivor's exact bytes.
+    let q = "texas";
+    let response = get(&app, "/search", &[("q", q.to_string()), ("k", "5".to_string())]);
+    assert_eq!(response.status, 200);
+    let want = with_router_suffix(&reference_a.render_search(q, 5, 0), true, 2, 1);
+    assert_eq!(body_text(&response), want, "survivor page must be byte-exact");
+
+    // Restart shard B on the same port (same corpus): the prober must
+    // close the breaker and restore full answers with NO router restart.
+    let port = b_addr.port().to_string();
+    let shard_b2 = ShardProc::spawn(&[
+        "--gen-docs",
+        "3",
+        "--gen-nodes",
+        "400",
+        "--seed",
+        "2",
+        "--port",
+        &port,
+    ]);
+    assert_eq!(shard_b2.addr, b_addr, "restart must rebind the same address");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        app.probe_round();
+        if app.shards().get(1).expect("shard 1").breaker().allows_requests() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "breaker never closed after restart");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let response = get(&app, "/search", &[("q", q.to_string()), ("k", "5".to_string())]);
+    assert_eq!(response.status, 200);
+    let body = json::parse(body_text(&response)).expect("JSON body");
+    assert_eq!(body.get("partial"), Some(&Value::Bool(false)), "full answers are back");
+    assert_eq!(
+        body.get("shards").and_then(|s| s.get("answered")).and_then(Value::as_u64),
+        Some(2)
+    );
+}

@@ -278,6 +278,36 @@ fn overload_sheds_exactly_the_excess_and_drains_on_shutdown() {
 }
 
 #[test]
+fn healthz_reports_draining_with_503_once_shutdown_begins() {
+    let corpus = test_corpus();
+    // The handle alone drives the drain state; the server never runs.
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let handle = server.handle();
+    let mut app =
+        SearchApp::new(QuerySession::from_corpus_with_options(&corpus, 1, 0), app_config());
+    app.attach_server(handle.clone());
+    let healthz = extract_serve::Request {
+        method: "GET".to_string(),
+        path: "/healthz".to_string(),
+        query: Vec::new(),
+        http11: true,
+        keep_alive: true,
+    };
+
+    let before = app.handle(&healthz);
+    assert_eq!(before.status, 200);
+    assert_eq!(std::str::from_utf8(&before.body).unwrap(), r#"{"ok":true}"#);
+
+    handle.shutdown();
+    let after = app.handle(&healthz);
+    assert_eq!(after.status, 503, "a draining daemon must fail its health check");
+    assert_eq!(
+        std::str::from_utf8(&after.body).unwrap(),
+        r#"{"ok":false,"draining":true}"#
+    );
+}
+
+#[test]
 fn corpus_snippet_text_roundtrips_through_the_json_writer() {
     let corpus = test_corpus();
     let session = QuerySession::from_corpus_with_options(&corpus, 1, 0);
