@@ -223,6 +223,7 @@ fn main() -> ExitCode {
                 "extract-router listening on http://{addr} \
                  (shards={shards} workers={workers} queue={queue})"
             );
+            // xlint: allow(L7, "startup banner flush; a broken stdout must not kill the router")
             let _ = std::io::stdout().flush();
         });
     if let Err(e) = served {

@@ -51,27 +51,42 @@ impl ClientPool {
         lock_unpoisoned(&self.conns).clear();
     }
 
+    /// Take a client out of the pool — or build a fresh one — *without*
+    /// touching its socket. The `conns` guard lives exactly as long as
+    /// the `Vec::pop`: the caller receives an owned handle and performs
+    /// all I/O lock-free, so a slow shard can never convoy the other
+    /// checkouts behind a socket operation (L6 enforces this shape).
+    fn check_out(&self) -> HttpClient {
+        let pooled = lock_unpoisoned(&self.conns).pop();
+        pooled.unwrap_or_else(|| HttpClient::new(self.addr, self.config.clone()))
+    }
+
+    /// Return a client whose exchange succeeded. Re-locks `conns` only
+    /// after all I/O is done; beyond `max_idle` the client is dropped
+    /// (its socket closes) rather than pooled.
+    fn check_in(&self, client: HttpClient) {
+        let mut conns = lock_unpoisoned(&self.conns);
+        if conns.len() < self.max_idle {
+            conns.push(client);
+        }
+    }
+
     /// One request/response exchange against the shard under an absolute
     /// `deadline`, riding a pooled connection when one is idle. On
     /// success the connection returns to the pool (up to `max_idle`); on
-    /// failure it is dropped.
+    /// failure it is dropped. The exchange itself runs between
+    /// [`check_out`](Self::check_out) and [`check_in`](Self::check_in),
+    /// with no pool lock held.
     pub fn request(
         &self,
         method: &str,
         target: &str,
         deadline: Instant,
     ) -> Result<WireResponse, ClientError> {
-        let mut client = {
-            let mut conns = lock_unpoisoned(&self.conns);
-            conns.pop()
-        }
-        .unwrap_or_else(|| HttpClient::new(self.addr, self.config.clone()));
+        let mut client = self.check_out();
         let result = client.request(method, target, deadline);
         if result.is_ok() {
-            let mut conns = lock_unpoisoned(&self.conns);
-            if conns.len() < self.max_idle {
-                conns.push(client);
-            }
+            self.check_in(client);
         }
         result
     }

@@ -472,8 +472,10 @@ impl RouterApp {
             let shard = Arc::clone(shard);
             let target = target.to_string();
             let tx = tx.clone();
+            // xlint: allow(L8, "hedge racer: at most two per exchange, lifetime bounded by the request deadline plus GATHER_GRACE; the gather loop below accounts for both via `outstanding`")
             std::thread::spawn(move || {
                 let result = shard.pool.request("GET", &target, deadline);
+                // xlint: allow(L7, "the gather side hanging up early (first response won) is the expected benign race")
                 let _ = tx.send((is_hedge, result));
             });
         };
@@ -682,6 +684,10 @@ pub fn serve_router(
     };
     on_ready(server.local_addr(), handle);
     server.run(|request| app.handle(request));
-    let _ = prober.join();
+    if prober.join().is_err() {
+        // A panicked prober means health state stopped updating some time
+        // ago; surface that instead of exiting silently "clean".
+        eprintln!("router: health prober thread panicked");
+    }
     Ok(())
 }

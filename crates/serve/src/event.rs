@@ -100,6 +100,7 @@ impl Readiness {
                 epoll.del(stream.as_raw_fd());
             }
             Readiness::Scan => {
+                // xlint: allow(L7, "deregister is best-effort: a socket that rejects the mode flip errors on its next read and is reaped there")
                 let _ = stream.set_nonblocking(false);
             }
         }
@@ -319,6 +320,7 @@ mod linux {
             // SAFETY: as in `add` — `event` outlives the call (pre-2.6.9
             // kernels require a non-null pointer even for DEL, so one is
             // always passed); DEL on an unknown fd just returns ENOENT.
+            // xlint: allow(L7, "documented best-effort: closed fds leave the set on their own, so ENOENT here is routine")
             let _ = unsafe { epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_DEL, fd, &mut event) };
         }
 
@@ -451,6 +453,7 @@ mod linux {
         // SAFETY: `linger` is a live `#[repr(C)]` value for the duration
         // of the call and the length passed is exactly its size; the
         // kernel copies it out and keeps no pointer.
+        // xlint: allow(L7, "documented best-effort: a socket this cannot be set on just closes normally")
         let _ = unsafe {
             setsockopt(
                 stream.as_raw_fd(),

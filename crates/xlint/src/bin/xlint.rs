@@ -1,6 +1,9 @@
 //! `xlint` — run the workspace lint policy and report violations.
 //!
-//! Usage: `cargo run -p extract-xlint -- [--json] [--deny-warnings] [--root DIR]`
+//! Usage: `cargo run -p extract-xlint -- [--json] [--list] [--deny-warnings] [--root DIR]`
+//!
+//! `--list` prints the lint catalog (tab-separated: code, name,
+//! severity, summary) and exits without scanning anything.
 //!
 //! Exit status: 0 when clean, 1 on violations (warnings count only under
 //! `--deny-warnings`), 2 on usage or I/O errors.
@@ -10,71 +13,37 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use extract_xlint::{run, Diagnostic, Severity};
+use extract_xlint::report::{render_json, render_list};
+use extract_xlint::{run, Severity};
 
 struct Options {
     json: bool,
+    list: bool,
     deny_warnings: bool,
     root: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut opts = Options { json: false, deny_warnings: false, root: None };
+    let mut opts = Options { json: false, list: false, deny_warnings: false, root: None };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--list" => opts.list = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--root" => {
                 let dir = args.next().ok_or("--root requires a directory argument")?;
                 opts.root = Some(PathBuf::from(dir));
             }
             "--help" | "-h" => {
-                return Err("usage: xlint [--json] [--deny-warnings] [--root DIR]".to_string())
+                return Err(
+                    "usage: xlint [--json] [--list] [--deny-warnings] [--root DIR]".to_string()
+                )
             }
             other => return Err(format!("unknown argument `{other}` (see --help)")),
         }
     }
     Ok(opts)
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn render_json(diags: &[Diagnostic]) -> String {
-    let mut out = String::from("[");
-    for (i, d) in diags.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "\n  {{\"code\":\"{}\",\"lint\":\"{}\",\"severity\":\"{}\",\
-             \"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
-            d.code,
-            d.lint,
-            match d.severity {
-                Severity::Warning => "warning",
-                Severity::Error => "error",
-            },
-            json_escape(&d.path),
-            d.line,
-            json_escape(&d.message),
-        ));
-    }
-    out.push_str("\n]");
-    out
 }
 
 fn main() -> ExitCode {
@@ -85,6 +54,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.list {
+        println!("{}", render_list());
+        return ExitCode::SUCCESS;
+    }
     let start = opts.root.clone().unwrap_or_else(|| {
         std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."))
     });

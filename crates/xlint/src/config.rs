@@ -34,6 +34,23 @@ pub struct Config {
     /// Path prefixes where narrowing `as` casts on len/count expressions
     /// are flagged.
     pub cast_paths: Vec<String>,
+    /// Files the blocking-under-lock lint (L6) analyzes; guard liveness
+    /// is tracked over the `[lock-order]` domains.
+    pub blocking_files: Vec<String>,
+    /// Method/function names L6 treats as blocking (`read`, `write`,
+    /// `flush`, `connect`, `accept`, `sleep`, …).
+    pub blocking_methods: Vec<String>,
+    /// Files the swallowed-result lint (L7) analyzes.
+    pub swallowed_files: Vec<String>,
+    /// Path prefixes the detached-thread lint (L8) analyzes.
+    pub detached_paths: Vec<String>,
+    /// Function names allowed to detach threads without a waiver.
+    pub detached_allow: Vec<String>,
+    /// Path prefixes the wire-sized-allocation lint (L9) analyzes.
+    pub wire_paths: Vec<String>,
+    /// Identifiers treated as wire-parsed size fields by L9
+    /// (`content_length`, `k`, `offset`, …).
+    pub wire_fields: Vec<String>,
 }
 
 impl Config {
@@ -84,6 +101,13 @@ impl Config {
             ("condvar", "names") => &mut self.condvar_names,
             ("panic-path", "files") => &mut self.panic_path_files,
             ("cast-truncation", "paths") => &mut self.cast_paths,
+            ("blocking-under-lock", "files") => &mut self.blocking_files,
+            ("blocking-under-lock", "methods") => &mut self.blocking_methods,
+            ("swallowed-result", "files") => &mut self.swallowed_files,
+            ("detached-thread", "paths") => &mut self.detached_paths,
+            ("detached-thread", "allow") => &mut self.detached_allow,
+            ("wire-alloc", "paths") => &mut self.wire_paths,
+            ("wire-alloc", "fields") => &mut self.wire_fields,
             _ => return Err(format!("unknown key `{key}` in section `[{section}]`")),
         };
         *slot = values;
@@ -189,6 +213,17 @@ mod tests {
             files = ["a.rs", "b.rs"]
             [cast-truncation]
             paths = ["crates/xmlindex"]
+            [blocking-under-lock]
+            files = ["crates/serve/src/server.rs"]
+            methods = ["read", "flush", "sleep"]
+            [swallowed-result]
+            files = ["crates/serve/src/server.rs"]
+            [detached-thread]
+            paths = ["crates/serve/src"]
+            allow = ["shed"]
+            [wire-alloc]
+            paths = ["crates/serve"]
+            fields = ["content_length", "k"]
             "#,
         )
         .unwrap();
@@ -199,6 +234,13 @@ mod tests {
         assert_eq!(cfg.condvar_names, ["available"]);
         assert_eq!(cfg.panic_path_files, ["a.rs", "b.rs"]);
         assert_eq!(cfg.cast_paths, ["crates/xmlindex"]);
+        assert_eq!(cfg.blocking_files, ["crates/serve/src/server.rs"]);
+        assert_eq!(cfg.blocking_methods, ["read", "flush", "sleep"]);
+        assert_eq!(cfg.swallowed_files, ["crates/serve/src/server.rs"]);
+        assert_eq!(cfg.detached_paths, ["crates/serve/src"]);
+        assert_eq!(cfg.detached_allow, ["shed"]);
+        assert_eq!(cfg.wire_paths, ["crates/serve"]);
+        assert_eq!(cfg.wire_fields, ["content_length", "k"]);
     }
 
     #[test]

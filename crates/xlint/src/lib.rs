@@ -6,23 +6,27 @@
 //! in review; this crate machine-checks them on every CI run. It is
 //! deliberately dependency-free (no syn, no proc-macro2 — consistent
 //! with the offline vendor policy): a hand-rolled lexer in
-//! [`lexer`], a policy file parser in [`config`], and token-shaped
-//! analyses in [`lints`].
+//! [`lexer`], a policy file parser in [`config`], a brace-matched item
+//! tree and guard-liveness pass in [`syntax`], the analyses in
+//! [`lints`], and output rendering in [`report`].
 //!
-//! Run it as `cargo run -p extract-xlint -- --deny-warnings` from the
-//! workspace root, or see the README's "Static analysis" section.
+//! Run it as `cargo xlint` (an alias for `cargo run -p extract-xlint --
+//! --deny-warnings`) from the workspace root, or see the README's
+//! "Static analysis" section. `--list` prints the lint catalog.
 
 #![forbid(unsafe_code)]
 
 pub mod config;
 pub mod lexer;
 pub mod lints;
+pub mod report;
+pub mod syntax;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 pub use config::Config;
-pub use lints::{analyze_source, Diagnostic, Severity};
+pub use lints::{analyze_source, Diagnostic, LintInfo, Severity, CATALOG};
 
 /// One Rust source file scheduled for analysis.
 #[derive(Debug)]

@@ -1,5 +1,6 @@
-//! The lint registry: five domain-specific analyses over the token
-//! stream, each motivated by a real hazard in the serving tier.
+//! The lint registry: nine domain-specific analyses over the token
+//! stream (plus two waiver meta-lints), each motivated by a real hazard
+//! in the serving tier.
 //!
 //! | id | name | hazard |
 //! |----|------|--------|
@@ -8,19 +9,34 @@
 //! | L3 | `panic-path` | `unwrap`/`expect`/`panic!`/indexing on the request path → daemon death |
 //! | L4 | `unsafe-hygiene` | `unsafe` without a `SAFETY:` comment, or outside allowlisted crates |
 //! | L5 | `cast-truncation` | `as u8/u16/u32` narrowing of len/count expressions → silent corruption |
+//! | L6 | `blocking-under-lock` | socket/file I/O or sleeps while a lock guard is live → convoy |
+//! | L7 | `swallowed-result` | `let _ =` / trailing `.ok()` dropping a `Result` → lost failure |
+//! | L8 | `detached-thread` | a `JoinHandle` dropped on the spot → thread outlives shutdown |
+//! | L9 | `wire-sized-allocation` | allocation sized by a wire field, unclamped → hostile sizing |
+//! | X0 | `bad-waiver` | a waiver without a justification |
+//! | X1 | `stale-waiver` | a justified waiver that no longer suppresses anything |
+//!
+//! The canonical machine-readable form of this table is [`CATALOG`]
+//! (`xlint --list`); CI diffs the README's copy against it.
 //!
 //! All lints are waivable inline with
-//! `// xlint: allow(<lint>, "<reason>")` — the reason is mandatory; an
-//! empty one is itself an error (`bad-waiver`). The analyses are
-//! deliberately heuristic (token-shaped, not type-checked): they are
-//! tuned to have zero false positives on this workspace, and anything
-//! they cannot prove safe must be either rewritten or waived with a
-//! justification a reviewer can audit.
+//! `// xlint: allow(<lint>, "<reason>")` — `<lint>` is the name or the
+//! code, and the reason is mandatory; an empty one is itself an error
+//! (`bad-waiver`), and a justified waiver that stops matching anything
+//! is flagged as stale (`stale-waiver`) so dead waivers cannot
+//! accumulate. The analyses are deliberately heuristic (token-shaped,
+//! not type-checked): they are tuned to have zero false positives on
+//! this workspace, and anything they cannot prove safe must be either
+//! rewritten or waived with a justification a reviewer can audit.
+//!
+//! L1 and L6 share the [`GuardScan`] guard-liveness pass and all lints
+//! share the [`ItemTree`] function index; both live in [`crate::syntax`].
 
 use std::collections::HashSet;
 
 use crate::config::Config;
 use crate::lexer::{lex, Token, TokenKind};
+use crate::syntax::{code_indices, GuardScan, ItemTree, Step};
 
 /// How bad a finding is. Warnings only fail the run under
 /// `--deny-warnings` (which CI always passes).
@@ -32,10 +48,103 @@ pub enum Severity {
     Error,
 }
 
+/// One entry of the lint catalog (`xlint --list`).
+pub struct LintInfo {
+    /// Short lint id (`L1`…`L9`, `X0`/`X1`).
+    pub code: &'static str,
+    /// Lint name as used in waivers and `xlint.toml` sections.
+    pub name: &'static str,
+    /// Severity every finding of this lint carries.
+    pub severity: Severity,
+    /// One-line description (kept free of `|` and backticks so the
+    /// README table can carry the same text verbatim).
+    pub summary: &'static str,
+}
+
+/// Every lint xlint can emit, in catalog order. This is the single
+/// source of truth for `--list`; the README's catalog table is diffed
+/// against it in CI.
+pub const CATALOG: &[LintInfo] = &[
+    LintInfo {
+        code: "L1",
+        name: "lock-order",
+        severity: Severity::Error,
+        summary: "lock acquisitions must follow the canonical domain order; \
+                  inversion or self-nesting deadlocks",
+    },
+    LintInfo {
+        code: "L2",
+        name: "condvar-wait",
+        severity: Severity::Error,
+        summary: "Condvar::wait must sit inside a while/loop re-checking its \
+                  predicate, or wakeups are lost",
+    },
+    LintInfo {
+        code: "L3",
+        name: "panic-path",
+        severity: Severity::Error,
+        summary: "no unwrap/expect/panic!/indexing on the request path outside tests",
+    },
+    LintInfo {
+        code: "L4",
+        name: "unsafe-hygiene",
+        severity: Severity::Error,
+        summary: "unsafe only in allowlisted crates, and every site carries a \
+                  SAFETY: comment",
+    },
+    LintInfo {
+        code: "L5",
+        name: "cast-truncation",
+        severity: Severity::Warning,
+        summary: "as u8/u16/u32 narrowing of a len/count expression silently truncates",
+    },
+    LintInfo {
+        code: "L6",
+        name: "blocking-under-lock",
+        severity: Severity::Error,
+        summary: "blocking I/O or sleeps while a lock guard is live stall every \
+                  contender of that lock",
+    },
+    LintInfo {
+        code: "L7",
+        name: "swallowed-result",
+        severity: Severity::Warning,
+        summary: "let _ = or a trailing .ok() discards a Result on the serving path",
+    },
+    LintInfo {
+        code: "L8",
+        name: "detached-thread",
+        severity: Severity::Error,
+        summary: "a thread spawn whose JoinHandle is dropped on the spot, outside \
+                  the allowlist",
+    },
+    LintInfo {
+        code: "L9",
+        name: "wire-sized-allocation",
+        severity: Severity::Warning,
+        summary: "an allocation sized by a wire-parsed field without a \
+                  statement-local min/clamp bound",
+    },
+    LintInfo {
+        code: "X0",
+        name: "bad-waiver",
+        severity: Severity::Error,
+        summary: "a waiver without a justification suppresses nothing and is \
+                  itself an error",
+    },
+    LintInfo {
+        code: "X1",
+        name: "stale-waiver",
+        severity: Severity::Warning,
+        summary: "a justified waiver that no longer suppresses any finding must \
+                  be removed",
+    },
+];
+
 /// One finding, pointing at a workspace-relative file and 1-based line.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
-    /// Short lint id (`L1`…`L5`, `X0` for bad waivers).
+    /// Short lint id (`L1`…`L9`, `X0`/`X1` for waiver problems).
     pub code: &'static str,
     /// Lint name as used in waivers (`lock-order`, …).
     pub lint: &'static str,
@@ -68,6 +177,11 @@ struct FileCtx<'a> {
     path: &'a str,
     crate_name: &'a str,
     tokens: Vec<Token>,
+    /// Code-token indices into `tokens` (comments dropped) — the view
+    /// every lint walks.
+    code: Vec<usize>,
+    /// Brace-matched index of every `fn` item.
+    tree: ItemTree,
     /// Lines that contain at least one non-comment token.
     code_lines: HashSet<u32>,
     /// `(line, text)` for every comment line (block comments contribute
@@ -92,7 +206,9 @@ impl<'a> FileCtx<'a> {
             }
         }
         let test_ranges = find_test_ranges(&tokens);
-        FileCtx { path, crate_name, tokens, code_lines, comment_lines, test_ranges }
+        let code = code_indices(&tokens);
+        let tree = ItemTree::build(&tokens, &code);
+        FileCtx { path, crate_name, tokens, code, tree, code_lines, comment_lines, test_ranges }
     }
 
     fn in_tests(&self, idx: usize) -> bool {
@@ -103,6 +219,28 @@ impl<'a> FileCtx<'a> {
     /// via block comments; concatenation is fine for substring scans).
     fn comments_on(&self, line: u32) -> impl Iterator<Item = &str> {
         self.comment_lines.iter().filter(move |(l, _)| *l == line).map(|(_, t)| t.as_str())
+    }
+
+    /// The line numbers whose comments cover `line`: the same line
+    /// (trailing comment) plus the contiguous comment-only block
+    /// directly above — the zone a waiver for `line` may sit in.
+    fn comment_block_lines(&self, line: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        if self.comments_on(line).next().is_some() {
+            out.push(line);
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if self.code_lines.contains(&l) {
+                break;
+            }
+            if self.comments_on(l).next().is_none() {
+                break; // blank line: the comment block ended
+            }
+            out.push(l);
+        }
+        out
     }
 
     /// Walk upward from `line - 1` over contiguous comment-only lines,
@@ -205,6 +343,10 @@ pub fn analyze_source(
     panic_path(&ctx, cfg, &mut raw);
     unsafe_hygiene(&ctx, cfg, &mut raw);
     cast_truncation(&ctx, cfg, &mut raw);
+    blocking_under_lock(&ctx, cfg, &mut raw);
+    swallowed_result(&ctx, cfg, &mut raw);
+    detached_thread(&ctx, cfg, &mut raw);
+    wire_sized_alloc(&ctx, cfg, &mut raw);
     let mut out = apply_waivers(&ctx, raw);
     out.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
     out
@@ -219,6 +361,9 @@ struct Waiver {
     lint: String,
     reason: String,
     line: u32,
+    /// Set when the waiver suppressed at least one finding; a justified
+    /// waiver that stays unused is reported as stale (X1).
+    used: bool,
 }
 
 fn parse_waivers(text: &str, line: u32) -> Vec<Waiver> {
@@ -226,26 +371,52 @@ fn parse_waivers(text: &str, line: u32) -> Vec<Waiver> {
     let mut rest = text;
     while let Some(pos) = rest.find("xlint: allow(") {
         rest = &rest[pos + "xlint: allow(".len()..];
-        let Some(end) = rest.find(')') else { break };
+        // The closing paren is the first one *outside* the quoted
+        // reason — justifications are prose and may contain `(…)`.
+        let mut close = None;
+        let mut in_str = false;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '"' => in_str = !in_str,
+                ')' if !in_str => {
+                    close = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = close else { break };
         let inside = &rest[..end];
         rest = &rest[end + 1..];
         let (lint, reason_raw) = match inside.split_once(',') {
             Some((l, r)) => (l.trim(), r.trim()),
             None => (inside.trim(), ""),
         };
+        // Only name/code-shaped tokens are waivers; docs describing the
+        // syntax itself (`allow(<lint>, …)`) are not. A *misspelled*
+        // real name still lands here and is caught as stale (X1).
+        let name_shaped = !lint.is_empty()
+            && lint.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+        if !name_shaped {
+            continue;
+        }
         let reason = reason_raw
             .strip_prefix('"')
             .and_then(|r| r.strip_suffix('"'))
             .unwrap_or("")
             .trim()
             .to_string();
-        out.push(Waiver { lint: lint.to_string(), reason, line });
+        out.push(Waiver { lint: lint.to_string(), reason, line, used: false });
     }
     out
 }
 
-/// Suppress diagnostics covered by a justified waiver on the same line or
-/// in the contiguous comment block above; flag unjustified waivers.
+/// The waiver lifecycle: suppress diagnostics covered by a justified
+/// waiver (matched by lint name *or* code) on the same line or in the
+/// contiguous comment block above; flag unjustified waivers (X0, which
+/// also suppress nothing); and flag justified waivers that no longer
+/// suppress anything as stale (X1), so dead waivers cannot accumulate
+/// after the code they excused is removed.
 fn apply_waivers(ctx: &FileCtx, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
     let mut waivers: Vec<Waiver> = Vec::new();
     for (line, text) in &ctx.comment_lines {
@@ -269,14 +440,33 @@ fn apply_waivers(ctx: &FileCtx, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
         }
     }
     'diags: for d in raw {
-        for text in ctx.comment_block_for(d.line) {
-            for w in parse_waivers(text, d.line) {
-                if w.lint == d.lint && !w.reason.is_empty() {
-                    continue 'diags; // justified waiver: suppressed
-                }
+        let covered = ctx.comment_block_lines(d.line);
+        for w in waivers.iter_mut() {
+            if covered.contains(&w.line)
+                && !w.reason.is_empty()
+                && (w.lint == d.lint || w.lint == d.code)
+            {
+                w.used = true;
+                continue 'diags; // justified waiver: suppressed
             }
         }
         out.push(d);
+    }
+    for w in &waivers {
+        if !w.reason.is_empty() && !w.used {
+            out.push(Diagnostic {
+                code: "X1",
+                lint: "stale-waiver",
+                severity: Severity::Warning,
+                path: ctx.path.to_string(),
+                line: w.line,
+                message: format!(
+                    "stale waiver for `{}` — it no longer suppresses any \
+                     finding here; remove it (or fix the waived lint name)",
+                    w.lint
+                ),
+            });
+        }
     }
     out
 }
@@ -285,164 +475,46 @@ fn apply_waivers(ctx: &FileCtx, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
 // L1 lock-order
 // ---------------------------------------------------------------------------
 
-/// A live lock guard during the L1 scan.
-struct Guard {
-    domain: usize,
-    /// Binding name for `let g = …lock()…;` guards; `None` for
-    /// temporaries (dropped at end of statement).
-    name: Option<String>,
-    /// Brace depth the binding was declared at (temporaries: current).
-    depth: usize,
-    line: u32,
-}
-
 /// L1: build the per-function acquisition graph over the configured lock
 /// domains and reject self-nesting and canonical-order inversions.
 ///
-/// The model is lexical but faithful to the workspace's idiom:
-/// acquisitions are `<domain>.lock()` or `lock_fn(&path.to.domain)`;
-/// a guard is **named** (lives to `drop(name)` or end of its block) when
-/// the whole statement is `let [mut] name = <acquisition>[.expect(…)|
-/// .unwrap(…)|.unwrap_or_else(…)]*;`, and a **temporary** (lives to the
-/// end of the statement; conservatively cleared at `{`) otherwise.
+/// The guard model (named guards, temporaries, `drop()`) lives in
+/// [`GuardScan`]; L1 consumes the [`Step::Acquire`] events and checks
+/// the new domain against every guard already held.
 fn lock_order(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
     if !cfg.lock_order_files.iter().any(|f| f == ctx.path) || cfg.lock_order.is_empty() {
         return;
     }
     let order = &cfg.lock_order;
-    let domain_of = |t: &Token| -> Option<usize> {
-        if t.kind != TokenKind::Ident {
-            return None;
-        }
-        order.iter().position(|d| *d == t.text)
-    };
-    let toks = &ctx.tokens;
-    let code: Vec<usize> = (0..toks.len())
-        .filter(|&i| toks[i].kind != TokenKind::Comment)
-        .collect();
-    // Walk functions: every `fn name(…) { … }` body is analyzed with its
-    // own guard state.
-    let mut ci = 0;
-    while ci < code.len() {
-        let i = code[ci];
-        if !toks[i].is_ident("fn") || ctx.in_tests(i) {
-            ci += 1;
+    let scan = GuardScan { domains: order, lock_fns: &cfg.lock_fns };
+    for f in &ctx.tree.fns {
+        let Some((open, _)) = f.body else { continue };
+        if ctx.in_tests(ctx.code[f.fn_ci]) {
             continue;
         }
-        let fn_name = code
-            .get(ci + 1)
-            .map(|&j| toks[j].text.clone())
-            .unwrap_or_default();
-        // Find the body `{`, or give up at `;` (trait method decl).
-        let mut bi = ci + 1;
-        let mut body_start = None;
-        while bi < code.len() {
-            match toks[code[bi]].kind {
-                TokenKind::Punct('{') => {
-                    body_start = Some(bi);
-                    break;
+        let fn_name = &f.name;
+        scan.walk(&ctx.tokens, &ctx.code, open, &mut |step, guards| {
+            let Step::Acquire { domain, line } = step else { return };
+            for g in guards {
+                let held = &order[g.domain];
+                let acquired = &order[domain];
+                if g.domain == domain {
+                    push_l1(out, ctx, line, format!(
+                        "`{fn_name}` acquires `{acquired}` while already holding \
+                         it (guard taken on line {}) — self-deadlock",
+                        g.line
+                    ));
+                } else if g.domain > domain {
+                    push_l1(out, ctx, line, format!(
+                        "`{fn_name}` acquires `{acquired}` while holding `{held}` \
+                         (taken on line {}) — inverts the canonical lock order \
+                         `{}`",
+                        g.line,
+                        order.join(" → ")
+                    ));
                 }
-                TokenKind::Punct(';') => break,
-                _ => bi += 1,
             }
-        }
-        let Some(body_start) = body_start else {
-            ci = bi + 1;
-            continue;
-        };
-
-        let mut guards: Vec<Guard> = Vec::new();
-        let mut depth = 1usize;
-        let mut stmt_start = true;
-        let mut pending_let: Option<String> = None;
-        let mut k = body_start + 1;
-        while k < code.len() && depth > 0 {
-            let t = &toks[code[k]];
-            // Statement-shape tracking for named-guard detection.
-            if stmt_start {
-                pending_let = None;
-                if t.is_ident("let") {
-                    let mut p = k + 1;
-                    if code.get(p).is_some_and(|&j| toks[j].is_ident("mut")) {
-                        p += 1;
-                    }
-                    if let (Some(&nj), Some(&ej)) = (code.get(p), code.get(p + 1)) {
-                        if toks[nj].kind == TokenKind::Ident && toks[ej].is_punct('=') {
-                            pending_let = Some(toks[nj].text.clone());
-                        }
-                    }
-                }
-                stmt_start = false;
-            }
-            match t.kind {
-                TokenKind::Punct('{') => {
-                    depth += 1;
-                    // Conservative: temporaries in conditions are dropped
-                    // before the branch body runs.
-                    guards.retain(|g| g.name.is_some());
-                    stmt_start = true;
-                }
-                TokenKind::Punct('}') => {
-                    depth -= 1;
-                    guards.retain(|g| g.name.is_none() || g.depth <= depth);
-                    guards.retain(|g| g.name.is_some() || depth == 0);
-                    stmt_start = true;
-                }
-                TokenKind::Punct(';') => {
-                    guards.retain(|g| g.name.is_some());
-                    stmt_start = true;
-                }
-                TokenKind::Ident => {
-                    // `drop(name)` kills the named guard.
-                    if t.text == "drop"
-                        && code.get(k + 1).is_some_and(|&j| toks[j].is_punct('('))
-                    {
-                        if let Some(&nj) = code.get(k + 2) {
-                            if code.get(k + 3).is_some_and(|&j| toks[j].is_punct(')')) {
-                                let name = &toks[nj].text;
-                                guards.retain(|g| g.name.as_deref() != Some(name.as_str()));
-                            }
-                        }
-                    }
-                    if let Some((domain, after)) = acquisition_at(toks, &code, k, cfg, &domain_of)
-                    {
-                        let line = t.line;
-                        for g in &guards {
-                            let held = &order[g.domain];
-                            let acquired = &order[domain];
-                            if g.domain == domain {
-                                push_l1(out, ctx, line, format!(
-                                    "`{fn_name}` acquires `{acquired}` while already holding \
-                                     it (guard taken on line {}) — self-deadlock",
-                                    g.line
-                                ));
-                            } else if g.domain > domain {
-                                push_l1(out, ctx, line, format!(
-                                    "`{fn_name}` acquires `{acquired}` while holding `{held}` \
-                                     (taken on line {}) — inverts the canonical lock order \
-                                     `{}`",
-                                    g.line,
-                                    order.join(" → ")
-                                ));
-                            }
-                        }
-                        let named = pending_let.take().filter(|_| {
-                            statement_binds_guard(toks, &code, after)
-                        });
-                        let is_named = named.is_some();
-                        guards.push(Guard { domain, name: named, depth, line });
-                        if is_named {
-                            // The rest of the statement cannot bind again.
-                        }
-                        k = after;
-                        continue;
-                    }
-                }
-                _ => {}
-            }
-            k += 1;
-        }
-        ci += 1;
+        });
     }
 }
 
@@ -455,90 +527,6 @@ fn push_l1(out: &mut Vec<Diagnostic>, ctx: &FileCtx, line: u32, message: String)
         line,
         message,
     });
-}
-
-/// If an acquisition starts at code-index `k`, return its domain and the
-/// code-index just past the acquisition call's closing `)`.
-fn acquisition_at(
-    toks: &[Token],
-    code: &[usize],
-    k: usize,
-    cfg: &Config,
-    domain_of: &dyn Fn(&Token) -> Option<usize>,
-) -> Option<(usize, usize)> {
-    let t = &toks[code[k]];
-    // `<domain>.lock()`
-    if let Some(domain) = domain_of(t) {
-        if code.get(k + 1).is_some_and(|&j| toks[j].is_punct('.'))
-            && code.get(k + 2).is_some_and(|&j| toks[j].is_ident("lock"))
-            && code.get(k + 3).is_some_and(|&j| toks[j].is_punct('('))
-            && code.get(k + 4).is_some_and(|&j| toks[j].is_punct(')'))
-        {
-            return Some((domain, k + 5));
-        }
-    }
-    // `lock_fn(&path.to.domain)` — the domain is the last domain-named
-    // ident inside the call's parens.
-    if cfg.lock_fns.iter().any(|f| t.is_ident(f))
-        && code.get(k + 1).is_some_and(|&j| toks[j].is_punct('('))
-    {
-        let mut depth = 1usize;
-        let mut p = k + 2;
-        let mut domain = None;
-        while p < code.len() && depth > 0 {
-            match toks[code[p]].kind {
-                TokenKind::Punct('(') => depth += 1,
-                TokenKind::Punct(')') => depth -= 1,
-                _ => {
-                    if let Some(d) = domain_of(&toks[code[p]]) {
-                        domain = Some(d);
-                    }
-                }
-            }
-            p += 1;
-        }
-        if let Some(domain) = domain {
-            return Some((domain, p));
-        }
-    }
-    None
-}
-
-/// After an acquisition ending at code-index `after`, a guard is bound to
-/// the statement's `let` only if the remaining chain is
-/// `[.expect(…)|.unwrap(…)|.unwrap_or_else(…)]* ;`.
-fn statement_binds_guard(toks: &[Token], code: &[usize], mut after: usize) -> bool {
-    loop {
-        match code.get(after).map(|&j| &toks[j]) {
-            Some(t) if t.is_punct(';') => return true,
-            Some(t) if t.is_punct('.') => {
-                let adapter = code.get(after + 1).map(|&j| &toks[j]);
-                let ok = adapter.is_some_and(|a| {
-                    a.is_ident("expect") || a.is_ident("unwrap") || a.is_ident("unwrap_or_else")
-                });
-                if !ok {
-                    return false;
-                }
-                // Skip the adapter's argument list.
-                let mut p = after + 2;
-                if !code.get(p).is_some_and(|&j| toks[j].is_punct('(')) {
-                    return false;
-                }
-                let mut depth = 1usize;
-                p += 1;
-                while p < code.len() && depth > 0 {
-                    match toks[code[p]].kind {
-                        TokenKind::Punct('(') => depth += 1,
-                        TokenKind::Punct(')') => depth -= 1,
-                        _ => {}
-                    }
-                    p += 1;
-                }
-                after = p;
-            }
-            _ => return false,
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -556,9 +544,7 @@ fn condvar_wait(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
             || name.contains("cvar")
     };
     let toks = &ctx.tokens;
-    let code: Vec<usize> = (0..toks.len())
-        .filter(|&i| toks[i].kind != TokenKind::Comment)
-        .collect();
+    let code = &ctx.code;
     // Block-kind stack: what construct each `{` belongs to.
     #[derive(PartialEq, Clone, Copy)]
     enum Kind {
@@ -633,9 +619,7 @@ fn panic_path(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
         return;
     }
     let toks = &ctx.tokens;
-    let code: Vec<usize> = (0..toks.len())
-        .filter(|&i| toks[i].kind != TokenKind::Comment)
-        .collect();
+    let code = &ctx.code;
     let mut push = |line: u32, message: String| {
         out.push(Diagnostic {
             code: "L3",
@@ -776,9 +760,7 @@ fn cast_truncation(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
         return;
     }
     let toks = &ctx.tokens;
-    let code: Vec<usize> = (0..toks.len())
-        .filter(|&i| toks[i].kind != TokenKind::Comment)
-        .collect();
+    let code = &ctx.code;
     for (ci, &i) in code.iter().enumerate() {
         if ctx.in_tests(i) {
             continue;
@@ -792,7 +774,7 @@ fn cast_truncation(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
         if !(target.is_ident("u8") || target.is_ident("u16") || target.is_ident("u32")) {
             continue;
         }
-        if let Some(name) = suspicious_source(toks, &code, ci) {
+        if let Some(name) = suspicious_source(toks, code, ci) {
             out.push(Diagnostic {
                 code: "L5",
                 lint: "cast-truncation",
@@ -849,4 +831,380 @@ fn suspicious_source(toks: &[Token], code: &[usize], ci: usize) -> Option<String
         }
     }
     found
+}
+
+// ---------------------------------------------------------------------------
+// L6 blocking-under-lock
+// ---------------------------------------------------------------------------
+
+/// L6: a configured blocking call (socket/file I/O, `thread::sleep`,
+/// pooled request exchanges) while any lock-domain guard is live. One
+/// socket write under the queue mutex convoys every worker behind a
+/// slow peer; the fix is always the same — finish the lock-protected
+/// bookkeeping, drop the guard, *then* do the I/O.
+///
+/// Guard liveness comes from the same [`GuardScan`] pass as L1, so the
+/// two lints agree on what "holding a lock" means.
+fn blocking_under_lock(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.blocking_files.iter().any(|f| f == ctx.path)
+        || cfg.lock_order.is_empty()
+        || cfg.blocking_methods.is_empty()
+    {
+        return;
+    }
+    let scan = GuardScan { domains: &cfg.lock_order, lock_fns: &cfg.lock_fns };
+    let toks = &ctx.tokens;
+    let code = &ctx.code;
+    for f in &ctx.tree.fns {
+        let Some((open, _)) = f.body else { continue };
+        if ctx.in_tests(code[f.fn_ci]) {
+            continue;
+        }
+        scan.walk(toks, code, open, &mut |step, guards| {
+            let Step::Token { ci } = step else { return };
+            if guards.is_empty() {
+                return;
+            }
+            let t = &toks[code[ci]];
+            if t.kind != TokenKind::Ident || !cfg.blocking_methods.contains(&t.text) {
+                return;
+            }
+            // Only method/path calls: `stream.read(`, `thread::sleep(` —
+            // a bare local named `read` is not a blocking call.
+            let called = code.get(ci + 1).is_some_and(|&j| toks[j].is_punct('('));
+            let qualified = ci > 0
+                && matches!(
+                    toks[code[ci - 1]].kind,
+                    TokenKind::Punct('.') | TokenKind::Punct(':')
+                );
+            if !(called && qualified) {
+                return;
+            }
+            let g = &guards[0]; // oldest guard: the widest stall
+            out.push(Diagnostic {
+                code: "L6",
+                lint: "blocking-under-lock",
+                severity: Severity::Error,
+                path: ctx.path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` calls `{}()` while holding lock `{}` (taken on line {}) — \
+                     blocking under a guard stalls every thread contending for it; \
+                     drop the guard before the I/O",
+                    f.name, t.text, cfg.lock_order[g.domain], g.line
+                ),
+            });
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L7 swallowed-result
+// ---------------------------------------------------------------------------
+
+/// L7: a discarded `Result` in serving/router code — `let _ = call(…);`
+/// or a trailing `.ok();` whose value binds nothing. On the serving
+/// path a silently dropped `io::Result` is a lost failure signal (a
+/// refusal the client never saw, a timeout that silently never armed).
+/// Handle the failure, or waive with why best-effort is sound.
+///
+/// `let _ = x;` without a call is a plain unused-binding silencer and
+/// passes; so do `let r = …ok();` / `x = ….ok();` (the value is used).
+fn swallowed_result(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.swallowed_files.iter().any(|f| f == ctx.path) {
+        return;
+    }
+    let toks = &ctx.tokens;
+    let code = &ctx.code;
+    let mut push = |line: u32, message: &str| {
+        out.push(Diagnostic {
+            code: "L7",
+            lint: "swallowed-result",
+            severity: Severity::Warning,
+            path: ctx.path.to_string(),
+            line,
+            message: message.to_string(),
+        });
+    };
+    // Shape A: `let _ = …;` where the discarded expression contains a
+    // call.
+    for (ci, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if !t.is_ident("let") || ctx.in_tests(i) {
+            continue;
+        }
+        if !(code.get(ci + 1).is_some_and(|&j| toks[j].is_ident("_"))
+            && code.get(ci + 2).is_some_and(|&j| toks[j].is_punct('=')))
+        {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut k = ci + 3;
+        let mut has_call = false;
+        while k < code.len() {
+            match toks[code[k]].kind {
+                TokenKind::Punct('(') => {
+                    has_call = true;
+                    depth += 1;
+                }
+                TokenKind::Punct('{') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct('}') | TokenKind::Punct(']') => {
+                    depth -= 1
+                }
+                TokenKind::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if has_call {
+            push(
+                t.line,
+                "`let _ =` discards this call's `Result` — a dropped failure \
+                 signal on the serving path; handle it, or waive with why \
+                 best-effort is sound",
+            );
+        }
+    }
+    // Shape B: an expression statement ending `.ok();` that binds
+    // nothing (no `let`, no `return`, no assignment in the statement).
+    let mut stmt_head: Option<usize> = None;
+    let mut has_eq = false;
+    for (ci, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        match t.kind {
+            TokenKind::Punct(';') | TokenKind::Punct('{') | TokenKind::Punct('}') => {
+                stmt_head = None;
+                has_eq = false;
+                continue;
+            }
+            TokenKind::Punct('=') => has_eq = true,
+            _ => {}
+        }
+        if stmt_head.is_none() {
+            stmt_head = Some(ci);
+        }
+        if t.is_ident("ok")
+            && ci > 0
+            && toks[code[ci - 1]].is_punct('.')
+            && code.get(ci + 1).is_some_and(|&j| toks[j].is_punct('('))
+            && code.get(ci + 2).is_some_and(|&j| toks[j].is_punct(')'))
+            && code.get(ci + 3).is_some_and(|&j| toks[j].is_punct(';'))
+            && !has_eq
+            && stmt_head.is_some_and(|h| {
+                !toks[code[h]].is_ident("let") && !toks[code[h]].is_ident("return")
+            })
+            && !ctx.in_tests(i)
+        {
+            push(
+                t.line,
+                "trailing `.ok()` discards this `Result` — handle the failure, \
+                 or waive with why best-effort is sound",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L8 detached-thread
+// ---------------------------------------------------------------------------
+
+/// L8: a `std::thread::spawn` / `thread::Builder…spawn` whose
+/// `JoinHandle` is dropped on the spot. A detached thread outlives
+/// shutdown invisibly — it can touch freed listeners, keep ports bound,
+/// and hide panics. Keep the handle and join it, put the enclosing
+/// function on the allowlist (for deliberately detached designs with a
+/// documented population/lifetime bound), or waive with the bound.
+///
+/// `scope.spawn` (joined at scope end) and `Command::spawn` (a child
+/// process) do not qualify: the statement must mention `thread` or
+/// `Builder` before the `spawn`.
+fn detached_thread(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !path_matches(&cfg.detached_paths, ctx.path) {
+        return;
+    }
+    let toks = &ctx.tokens;
+    let code = &ctx.code;
+    for (ci, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if !t.is_ident("spawn")
+            || !code.get(ci + 1).is_some_and(|&j| toks[j].is_punct('('))
+            || ctx.in_tests(i)
+        {
+            continue;
+        }
+        // Back-scan to the statement boundary: thread spawns only.
+        let mut head = 0usize;
+        let mut from_thread = false;
+        let mut b = ci;
+        while b > 0 {
+            b -= 1;
+            match toks[code[b]].kind {
+                TokenKind::Punct(';') | TokenKind::Punct('{') | TokenKind::Punct('}') => {
+                    head = b + 1;
+                    break;
+                }
+                TokenKind::Ident
+                    if toks[code[b]].text == "thread" || toks[code[b]].text == "Builder" =>
+                {
+                    from_thread = true;
+                }
+                _ => {}
+            }
+        }
+        if !from_thread {
+            continue;
+        }
+        // `let name = …spawn(…)…;` keeps the handle.
+        let mut p = head;
+        if toks[code[p]].is_ident("let") {
+            p += 1;
+            if code.get(p).is_some_and(|&j| toks[j].is_ident("mut")) {
+                p += 1;
+            }
+            let named = code.get(p).is_some_and(|&j| {
+                toks[j].kind == TokenKind::Ident && toks[j].text != "_"
+            }) && code.get(p + 1).is_some_and(|&j| toks[j].is_punct('='));
+            if named {
+                continue;
+            }
+        }
+        // Walk past the call's matching `)` and see what receives the
+        // `JoinHandle`.
+        let mut depth = 1usize;
+        let mut k = ci + 2;
+        while k < code.len() && depth > 0 {
+            match toks[code[k]].kind {
+                TokenKind::Punct('(') => depth += 1,
+                TokenKind::Punct(')') => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let detached = match code.get(k).map(|&j| &toks[j]) {
+            // `…spawn(…);` — dropped on the spot.
+            Some(nt) if nt.is_punct(';') => true,
+            // `…spawn(…).is_err()` — the handle is consumed by the
+            // success check and dropped. `.join()`/`.expect()` keep it.
+            Some(nt) if nt.is_punct('.') => code.get(k + 1).is_some_and(|&j| {
+                toks[j].is_ident("is_err") || toks[j].is_ident("is_ok")
+            }),
+            // Anything else (`)`, `}`, `,`) flows the handle onward.
+            _ => false,
+        };
+        if !detached {
+            continue;
+        }
+        let enclosing = ctx.tree.enclosing_fn(ci);
+        if enclosing.is_some_and(|f| cfg.detached_allow.contains(&f.name)) {
+            continue;
+        }
+        let fn_name =
+            enclosing.map_or_else(|| "<file scope>".to_string(), |f| format!("`{}`", f.name));
+        out.push(Diagnostic {
+            code: "L8",
+            lint: "detached-thread",
+            severity: Severity::Error,
+            path: ctx.path.to_string(),
+            line: t.line,
+            message: format!(
+                "{fn_name} drops this thread's `JoinHandle` on the spot — a \
+                 detached thread outlives shutdown invisibly; keep and join the \
+                 handle, or waive with its population/lifetime bound",
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L9 wire-sized-allocation
+// ---------------------------------------------------------------------------
+
+/// L9: `with_capacity(…)`/`reserve(…)`/`vec![…; …]` whose size
+/// expression mentions a wire-parsed request field (`content_length`,
+/// `k`, …) with no statement-local `min`/`clamp`. A hostile peer picks
+/// the allocation size; even when an earlier guard bounds the value,
+/// the clamp belongs on the allocation itself so the bound survives
+/// refactors.
+fn wire_sized_alloc(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !path_matches(&cfg.wire_paths, ctx.path) || cfg.wire_fields.is_empty() {
+        return;
+    }
+    let toks = &ctx.tokens;
+    let code = &ctx.code;
+    let mut check_span = |lo: usize, hi: usize, line: u32| {
+        let mut field: Option<String> = None;
+        let mut clamped = false;
+        for &j in &code[lo..hi] {
+            let t = &toks[j];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            if field.is_none() && cfg.wire_fields.contains(&t.text) {
+                field = Some(t.text.clone());
+            }
+            if t.text == "min" || t.text == "clamp" {
+                clamped = true;
+            }
+        }
+        if let Some(field) = field {
+            if !clamped {
+                out.push(Diagnostic {
+                    code: "L9",
+                    lint: "wire-sized-allocation",
+                    severity: Severity::Warning,
+                    path: ctx.path.to_string(),
+                    line,
+                    message: format!(
+                        "allocation sized by wire field `{field}` with no \
+                         statement-local clamp — a hostile peer picks the size; \
+                         bound it with `.min(…)`/`.clamp(…)` right here",
+                    ),
+                });
+            }
+        }
+    };
+    for (ci, &i) in code.iter().enumerate() {
+        if ctx.in_tests(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `Vec::with_capacity(…)` / `buf.reserve(…)`
+        if (t.is_ident("with_capacity") || t.is_ident("reserve"))
+            && code.get(ci + 1).is_some_and(|&j| toks[j].is_punct('('))
+        {
+            let mut depth = 1usize;
+            let mut k = ci + 2;
+            while k < code.len() && depth > 0 {
+                match toks[code[k]].kind {
+                    TokenKind::Punct('(') => depth += 1,
+                    TokenKind::Punct(')') => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+            check_span(ci + 2, k - 1, t.line);
+        }
+        // `vec![elem; size]`
+        if t.is_ident("vec")
+            && code.get(ci + 1).is_some_and(|&j| toks[j].is_punct('!'))
+            && code.get(ci + 2).is_some_and(|&j| toks[j].is_punct('['))
+        {
+            let mut depth = 1usize;
+            let mut k = ci + 3;
+            while k < code.len() && depth > 0 {
+                match toks[code[k]].kind {
+                    TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(']') => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+            check_span(ci + 3, k - 1, t.line);
+        }
+    }
+}
+
+/// Prefix match for path-scoped lints (`p` matches itself and `p/…`).
+fn path_matches(prefixes: &[String], path: &str) -> bool {
+    prefixes.iter().any(|p| path == *p || path.starts_with(&format!("{p}/")))
 }

@@ -1,0 +1,311 @@
+//! A lightweight syntactic layer over the token stream, shared by every
+//! lint that needs more than a flat scan.
+//!
+//! Two pieces:
+//!
+//! - [`ItemTree`]: a brace-matched index of `fn` items (nested ones
+//!   included), so lints can iterate function bodies and map any token
+//!   back to its innermost enclosing function.
+//! - [`GuardScan`]: a per-function statement walk that tracks **lock
+//!   guard liveness** — which configured lock domains are held at each
+//!   token. This generalizes the model L1 (lock-order) pioneered into a
+//!   reusable pass: named guards (`let g = …lock()…;`) live until
+//!   `drop(g)` or the end of their block, temporaries die at the end of
+//!   their statement, and anything in a condition is conservatively
+//!   dropped before the branch body runs. L1 consumes the
+//!   [`Step::Acquire`] events (ordering), L6 the [`Step::Token`] events
+//!   (blocking calls under a live guard).
+//!
+//! The model is deliberately **single-function and alias-free**: a
+//! guard returned from a helper, stored in a struct, or sent across a
+//! channel is invisible to it. That keeps the pass O(tokens) with zero
+//! false positives on this workspace's idiom (guards are locals,
+//! dropped explicitly or by scope), at the cost of hazards it cannot
+//! see — the README's "Static analysis" section documents the limits.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Code-token indices (comments dropped): the view every lint walks.
+pub fn code_indices(toks: &[Token]) -> Vec<usize> {
+    (0..toks.len()).filter(|&i| toks[i].kind != TokenKind::Comment).collect()
+}
+
+/// One `fn` item in the [`ItemTree`].
+pub struct FnItem {
+    /// The identifier after `fn` (empty for degenerate shapes like
+    /// `fn`-pointer types, which never carry a body of their own).
+    pub name: String,
+    /// Code-index of the `fn` keyword itself.
+    pub fn_ci: usize,
+    /// Code-indices of the body's `{` and its matching `}`; `None` for
+    /// bodyless declarations (trait method signatures).
+    pub body: Option<(usize, usize)>,
+}
+
+/// A brace-matched index of every `fn` in one file.
+pub struct ItemTree {
+    /// All functions, in source order; nested `fn`s get their own entry.
+    pub fns: Vec<FnItem>,
+}
+
+impl ItemTree {
+    /// Scan `code` (code-token indices into `toks`) for `fn` items and
+    /// brace-match each body.
+    pub fn build(toks: &[Token], code: &[usize]) -> ItemTree {
+        let mut fns = Vec::new();
+        for (ci, &i) in code.iter().enumerate() {
+            if !toks[i].is_ident("fn") {
+                continue;
+            }
+            let name = code.get(ci + 1).map(|&j| toks[j].text.clone()).unwrap_or_default();
+            // The body `{` comes before any `;` (a `;` first means a
+            // bodyless declaration).
+            let mut bi = ci + 1;
+            let mut open = None;
+            while bi < code.len() {
+                match toks[code[bi]].kind {
+                    TokenKind::Punct('{') => {
+                        open = Some(bi);
+                        break;
+                    }
+                    TokenKind::Punct(';') => break,
+                    _ => bi += 1,
+                }
+            }
+            let body = open.map(|open| {
+                let mut depth = 0usize;
+                let mut k = open;
+                while k < code.len() {
+                    match toks[code[k]].kind {
+                        TokenKind::Punct('{') => depth += 1,
+                        TokenKind::Punct('}') => {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                (open, k.min(code.len().saturating_sub(1)))
+            });
+            fns.push(FnItem { name, fn_ci: ci, body });
+        }
+        ItemTree { fns }
+    }
+
+    /// The innermost function whose body contains code-index `ci`.
+    pub fn enclosing_fn(&self, ci: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(open, close)| ci > open && ci < close))
+            .min_by_key(|f| f.body.map_or(usize::MAX, |(open, close)| close - open))
+    }
+}
+
+/// A lock guard live at the current point of a [`GuardScan`] walk.
+pub struct LiveGuard {
+    /// Index into the configured domain order.
+    pub domain: usize,
+    /// Binding name for `let g = …;` guards; `None` for temporaries
+    /// (dropped at the end of their statement).
+    pub name: Option<String>,
+    /// Brace depth the guard was declared at.
+    pub depth: usize,
+    /// Line the lock was taken on.
+    pub line: u32,
+}
+
+/// One event during a [`GuardScan`] walk.
+#[derive(Clone, Copy)]
+pub enum Step {
+    /// A lock acquisition. The visitor sees the guards live *before*
+    /// this one is pushed — exactly the set an ordering lint must check
+    /// the new domain against.
+    Acquire { domain: usize, line: u32 },
+    /// An ordinary code token at code-index `ci`, with the guards
+    /// currently live.
+    Token { ci: usize },
+}
+
+/// The guard-liveness pass over one function body.
+///
+/// Acquisitions are `<domain>.lock()` or `lock_fn(&path.to.domain)`; a
+/// guard is **named** (lives to `drop(name)` or the end of its block)
+/// when the whole statement is `let [mut] name = <acquisition>
+/// [.expect(…)|.unwrap(…)|.unwrap_or_else(…)]*;`, and a **temporary**
+/// (lives to the end of the statement; conservatively cleared at `{`)
+/// otherwise.
+pub struct GuardScan<'a> {
+    /// The canonical domain order (`[lock-order] order`).
+    pub domains: &'a [String],
+    /// Helper functions that acquire a lock (`[lock-order] lock-fns`).
+    pub lock_fns: &'a [String],
+}
+
+impl GuardScan<'_> {
+    fn domain_of(&self, t: &Token) -> Option<usize> {
+        if t.kind != TokenKind::Ident {
+            return None;
+        }
+        self.domains.iter().position(|d| *d == t.text)
+    }
+
+    /// Walk the body whose `{` sits at code-index `open`, calling
+    /// `visit` for every acquisition and every other code token.
+    pub fn walk(
+        &self,
+        toks: &[Token],
+        code: &[usize],
+        open: usize,
+        visit: &mut dyn FnMut(Step, &[LiveGuard]),
+    ) {
+        let mut guards: Vec<LiveGuard> = Vec::new();
+        let mut depth = 1usize;
+        let mut stmt_start = true;
+        let mut pending_let: Option<String> = None;
+        let mut k = open + 1;
+        while k < code.len() && depth > 0 {
+            let t = &toks[code[k]];
+            // Statement-shape tracking for named-guard detection.
+            if stmt_start {
+                pending_let = None;
+                if t.is_ident("let") {
+                    let mut p = k + 1;
+                    if code.get(p).is_some_and(|&j| toks[j].is_ident("mut")) {
+                        p += 1;
+                    }
+                    if let (Some(&nj), Some(&ej)) = (code.get(p), code.get(p + 1)) {
+                        if toks[nj].kind == TokenKind::Ident && toks[ej].is_punct('=') {
+                            pending_let = Some(toks[nj].text.clone());
+                        }
+                    }
+                }
+                stmt_start = false;
+            }
+            match t.kind {
+                TokenKind::Punct('{') => {
+                    depth += 1;
+                    // Conservative: temporaries in conditions are dropped
+                    // before the branch body runs.
+                    guards.retain(|g| g.name.is_some());
+                    stmt_start = true;
+                }
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    guards.retain(|g| g.name.is_none() || g.depth <= depth);
+                    guards.retain(|g| g.name.is_some() || depth == 0);
+                    stmt_start = true;
+                }
+                TokenKind::Punct(';') => {
+                    guards.retain(|g| g.name.is_some());
+                    stmt_start = true;
+                }
+                TokenKind::Ident => {
+                    // `drop(name)` kills the named guard.
+                    if t.text == "drop"
+                        && code.get(k + 1).is_some_and(|&j| toks[j].is_punct('('))
+                    {
+                        if let Some(&nj) = code.get(k + 2) {
+                            if code.get(k + 3).is_some_and(|&j| toks[j].is_punct(')')) {
+                                let name = &toks[nj].text;
+                                guards.retain(|g| g.name.as_deref() != Some(name.as_str()));
+                            }
+                        }
+                    }
+                    if let Some((domain, after)) = self.acquisition_at(toks, code, k) {
+                        visit(Step::Acquire { domain, line: t.line }, &guards);
+                        let named = pending_let
+                            .take()
+                            .filter(|_| statement_binds_guard(toks, code, after));
+                        guards.push(LiveGuard { domain, name: named, depth, line: t.line });
+                        k = after;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            visit(Step::Token { ci: k }, &guards);
+            k += 1;
+        }
+    }
+
+    /// If an acquisition starts at code-index `k`, return its domain and
+    /// the code-index just past the acquisition call's closing `)`.
+    fn acquisition_at(&self, toks: &[Token], code: &[usize], k: usize) -> Option<(usize, usize)> {
+        let t = &toks[code[k]];
+        // `<domain>.lock()`
+        if let Some(domain) = self.domain_of(t) {
+            if code.get(k + 1).is_some_and(|&j| toks[j].is_punct('.'))
+                && code.get(k + 2).is_some_and(|&j| toks[j].is_ident("lock"))
+                && code.get(k + 3).is_some_and(|&j| toks[j].is_punct('('))
+                && code.get(k + 4).is_some_and(|&j| toks[j].is_punct(')'))
+            {
+                return Some((domain, k + 5));
+            }
+        }
+        // `lock_fn(&path.to.domain)` — the domain is the last
+        // domain-named ident inside the call's parens.
+        if self.lock_fns.iter().any(|f| t.is_ident(f))
+            && code.get(k + 1).is_some_and(|&j| toks[j].is_punct('('))
+        {
+            let mut depth = 1usize;
+            let mut p = k + 2;
+            let mut domain = None;
+            while p < code.len() && depth > 0 {
+                match toks[code[p]].kind {
+                    TokenKind::Punct('(') => depth += 1,
+                    TokenKind::Punct(')') => depth -= 1,
+                    _ => {
+                        if let Some(d) = self.domain_of(&toks[code[p]]) {
+                            domain = Some(d);
+                        }
+                    }
+                }
+                p += 1;
+            }
+            if let Some(domain) = domain {
+                return Some((domain, p));
+            }
+        }
+        None
+    }
+}
+
+/// After an acquisition ending at code-index `after`, a guard is bound
+/// to the statement's `let` only if the remaining chain is
+/// `[.expect(…)|.unwrap(…)|.unwrap_or_else(…)]* ;`.
+fn statement_binds_guard(toks: &[Token], code: &[usize], mut after: usize) -> bool {
+    loop {
+        match code.get(after).map(|&j| &toks[j]) {
+            Some(t) if t.is_punct(';') => return true,
+            Some(t) if t.is_punct('.') => {
+                let adapter = code.get(after + 1).map(|&j| &toks[j]);
+                let ok = adapter.is_some_and(|a| {
+                    a.is_ident("expect") || a.is_ident("unwrap") || a.is_ident("unwrap_or_else")
+                });
+                if !ok {
+                    return false;
+                }
+                // Skip the adapter's argument list.
+                let mut p = after + 2;
+                if !code.get(p).is_some_and(|&j| toks[j].is_punct('(')) {
+                    return false;
+                }
+                let mut depth = 1usize;
+                p += 1;
+                while p < code.len() && depth > 0 {
+                    match toks[code[p]].kind {
+                        TokenKind::Punct('(') => depth += 1,
+                        TokenKind::Punct(')') => depth -= 1,
+                        _ => {}
+                    }
+                    p += 1;
+                }
+                after = p;
+            }
+            _ => return false,
+        }
+    }
+}

@@ -1,0 +1,31 @@
+// Seeded L6 violations: blocking socket I/O and sleeps while a lock
+// guard is live. Never compiled — fixture data for the lint tests.
+use std::io::{Read, Write};
+
+fn reads_under_named_guard(queue: &Mutex<Vec<u8>>, s: &mut TcpStream) {
+    let mut buf = [0u8; 4];
+    let guard = lock_unpoisoned(queue);
+    let _n = s.read(&mut buf); // L6: `queue` is live
+    drop(guard);
+    let _n = s.read(&mut buf); // clean: guard dropped first
+}
+
+fn sleeps_under_lock_call(inflight: &Mutex<u64>) {
+    let g = inflight.lock();
+    std::thread::sleep(ONE_MILLI); // L6: sleeping on `inflight`
+    drop(g);
+}
+
+fn temporaries_die_at_statement_end(queue: &Mutex<Vec<u8>>, s: &mut TcpStream) {
+    let len = lock_unpoisoned(queue).len();
+    let mut buf = vec![0u8; len];
+    s.read_exact(&mut buf).unwrap_or_default(); // clean: temporary died at its `;`
+}
+
+fn flushes_in_guarded_branch(parked: &Mutex<Vec<u8>>, s: &mut TcpStream) {
+    let lot = lock_unpoisoned(parked);
+    if !lot.is_empty() {
+        s.flush().unwrap_or_default(); // L6: `parked` still live here
+    }
+    drop(lot);
+}

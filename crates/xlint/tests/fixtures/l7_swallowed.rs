@@ -1,0 +1,17 @@
+// Seeded L7 violations: Results discarded on the serving path.
+use std::io::Write;
+
+fn discards(stream: &mut std::net::TcpStream) {
+    let _ = stream.flush(); // L7: wildcard-discarded Result
+    stream.flush().ok(); // L7: trailing .ok() binds nothing
+    let code = "7".parse::<u32>().ok(); // clean: the Option is used
+    let _ = code; // clean: no call — a plain unused-binding silencer
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_discard() {
+        let _ = std::fs::remove_file("scratch"); // clean: test code
+    }
+}

@@ -1,0 +1,26 @@
+// Seeded L8 violations: threads detached by dropping their handles.
+
+fn fire_and_forget() {
+    std::thread::spawn(|| {}); // L8: handle dropped on the spot
+}
+
+fn checked_but_detached() {
+    if std::thread::Builder::new().name("x".into()).spawn(|| {}).is_err() { // L8
+        return;
+    }
+}
+
+fn keeps_the_handle() {
+    let worker = std::thread::spawn(|| {});
+    worker.join().expect("worker");
+}
+
+fn scoped_threads_join_at_scope_end() {
+    std::thread::scope(|scope| {
+        scope.spawn(|| {});
+    });
+}
+
+fn reaper() {
+    std::thread::spawn(|| {}); // clean: `reaper` is allowlisted
+}

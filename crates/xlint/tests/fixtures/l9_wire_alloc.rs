@@ -1,0 +1,19 @@
+// Seeded L9 violations: allocations sized straight from wire fields.
+
+fn body_buffer(content_length: usize) -> Vec<u8> {
+    let mut body = vec![0u8; content_length]; // L9: unclamped wire size
+    body.reserve(content_length); // L9: unclamped reserve
+    body
+}
+
+fn result_window(k: usize, offset: usize) -> Vec<u64> {
+    Vec::with_capacity(k + offset) // L9: request-chosen capacity
+}
+
+fn clamped(content_length: usize) -> Vec<u8> {
+    vec![0u8; content_length.min(1 << 20)] // clean: statement-local clamp
+}
+
+fn fixed() -> Vec<u8> {
+    Vec::with_capacity(4096) // clean: constant size
+}

@@ -1,0 +1,6 @@
+// A justified waiver with nothing left to suppress reports X1.
+
+// xlint: allow(cast-truncation, "the cast this excused was removed in a refactor")
+fn nothing_flagged() -> u64 {
+    7
+}

@@ -9,9 +9,11 @@
 #   3. cargo clippy ... -D warnings   — lint-clean across all targets
 #   4. xlint --deny-warnings          — workspace invariants (lock order,
 #                                       condvar loops, panic-free serving
-#                                       path, unsafe hygiene, casts)
-#   5. cargo bench --no-run           — every Criterion bench compiles
-#   6. scripts/bench.sh --check       — the bench binaries compile
+#                                       path, unsafe hygiene, casts, and
+#                                       the GuardFlow lints L6-L9)
+#   5. xlint_list_check.sh            — README lint catalog matches --list
+#   6. cargo bench --no-run           — every Criterion bench compiles
+#   7. scripts/bench.sh --check       — the bench binaries compile
 #
 # The serving daemon additionally has scripts/serve_smoke.sh (boot, probe,
 # drain), run as its own CI job.
@@ -30,6 +32,7 @@ run cargo build --release --offline
 run cargo test -q --offline
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo run --offline -q -p extract-xlint -- --deny-warnings
+run scripts/xlint_list_check.sh
 run cargo bench --no-run --offline
 run scripts/bench.sh --check
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Fail if the README's lint-catalog table has drifted from the analyzer's
+# own catalog (`xlint --list`). The table rows, stripped of markdown
+# backticks and cell padding, must byte-match the tab-separated --list
+# output — so adding a lint without documenting it (or documenting one
+# that does not exist) breaks CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+actual=$(cargo run --offline -q -p extract-xlint -- --list)
+
+# Catalog rows are the README table lines whose first cell is a lint id
+# (`L…`/`X…` in backticks). Strip backticks, split on `|`, trim cells,
+# re-join with tabs.
+documented=$(awk -F'|' '
+    /^\| `[LX][0-9]+` \|/ {
+        gsub(/`/, "")
+        out = ""
+        for (i = 2; i < NF; i++) {
+            cell = $i
+            gsub(/^[ \t]+|[ \t]+$/, "", cell)
+            out = out (i > 2 ? "\t" : "") cell
+        }
+        print out
+    }
+' README.md)
+
+if ! diff <(printf '%s\n' "$actual") <(printf '%s\n' "$documented") >/dev/null; then
+    echo "xlint_list_check: README catalog table drifted from \`xlint --list\`:" >&2
+    diff <(printf '%s\n' "$actual") <(printf '%s\n' "$documented") >&2 || true
+    echo "xlint_list_check: update the table in README.md (## Static analysis)" >&2
+    exit 1
+fi
+echo "xlint_list_check: ok ($(printf '%s\n' "$actual" | wc -l) lints documented)"
