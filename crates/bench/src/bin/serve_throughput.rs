@@ -4,18 +4,21 @@
 //! side by side.
 //!
 //! ```text
-//! serve_throughput [--json PATH] [--quick] [--check-keepalive]
+//! serve_throughput [--json PATH] [--quick] [--check-keepalive] [--check-obs-overhead]
 //! ```
 //!
 //! `--json PATH` writes the machine-readable payload committed as
 //! `BENCH_PR5.json`; `--quick` shrinks the corpus and request counts;
 //! `--check-keepalive` runs only the deterministic connection-reuse
-//! probe (a CI gate, exits non-zero on failure).
+//! probe; `--check-obs-overhead` runs only the cache-hot
+//! instrumentation-overhead A/B guard (both are CI gates, exiting
+//! non-zero on failure).
 
 use std::time::Duration;
 
 use extract_bench::serve_throughput::{
-    check_keepalive, derived, full_workload, quick_workload, run_all, to_json,
+    check_keepalive, check_obs_overhead, derived, full_workload, quick_workload, run_all,
+    to_json,
 };
 use extract_bench::{fmt_duration, Table};
 
@@ -34,9 +37,15 @@ fn main() {
             "--check-keepalive" => {
                 std::process::exit(if check_keepalive() { 0 } else { 1 });
             }
+            "--check-obs-overhead" => {
+                std::process::exit(if check_obs_overhead() { 0 } else { 1 });
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: serve_throughput [--json PATH] [--quick] [--check-keepalive]");
+                eprintln!(
+                    "usage: serve_throughput [--json PATH] [--quick] \
+                     [--check-keepalive] [--check-obs-overhead]"
+                );
                 std::process::exit(2);
             }
         }

@@ -367,6 +367,82 @@ pub fn check_keepalive() -> bool {
     ok
 }
 
+/// The cache-hot instrumentation overhead guard (`bench.sh --check`):
+/// A/B the same keep-alive request loop with stage timing + histogram
+/// recording globally off, then on, in one process. The per-request
+/// delta must stay under 5% of the larger of the measured off-cost and
+/// the committed `serve_hot_keepalive` baseline (24.6 µs/request,
+/// `BENCH_PR5.json`) — the baseline floor keeps a fast machine's noise
+/// from failing a genuinely cheap instrumentation path. Returns `false`
+/// (after printing the numbers) instead of panicking so the caller can
+/// exit non-zero.
+pub fn check_obs_overhead() -> bool {
+    /// `serve_hot_keepalive` median from the committed BENCH_PR5.json.
+    const BASELINE_NS_PER_REQUEST: f64 = 24_608.2;
+    const ROUNDS: usize = 5;
+    const REQUESTS_PER_ROUND: usize = 300;
+
+    let config = CorpusConfig { documents: 6, target_nodes_per_doc: 400, seed: 0xC0D };
+    let mut builder = CorpusBuilder::new();
+    for (name, doc) in config.documents() {
+        builder.add_parsed(&name, doc);
+    }
+    let corpus = builder.finish();
+    let server = Server::bind("127.0.0.1:0", throughput_config()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let session = QuerySession::from_corpus_with_options(&corpus, 1, 64);
+    let mut app = SearchApp::new(session, SearchAppConfig::default());
+    app.attach_server(handle.clone());
+
+    let mut ok = true;
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run(|request| app.handle(request)));
+        let mut client = KeepAliveClient::connect(addr);
+        let target = "/search?q=texas&k=3";
+        // Warm the page cache so both arms measure the same cached path.
+        for _ in 0..16 {
+            let response = client.request("GET", target);
+            assert_eq!(response.status, 200, "warmup must serve");
+        }
+        // Interleave off/on rounds and keep each arm's *minimum* — the
+        // noise-robust estimate of its true cost on this machine.
+        let mut measure = |enabled: bool| -> f64 {
+            extract_obs::set_enabled(enabled);
+            let mut best = f64::INFINITY;
+            for _ in 0..ROUNDS {
+                let start = Instant::now();
+                for _ in 0..REQUESTS_PER_ROUND {
+                    let response = client.request("GET", target);
+                    if response.status != 200 {
+                        eprintln!("check_obs_overhead: non-200: {response:?}");
+                    }
+                }
+                let per_request =
+                    start.elapsed().as_nanos() as f64 / REQUESTS_PER_ROUND as f64;
+                best = best.min(per_request);
+            }
+            best
+        };
+        let off = measure(false);
+        let on = measure(true);
+        extract_obs::set_enabled(true);
+        let overhead = on - off;
+        let budget = (0.05 * off).max(0.05 * BASELINE_NS_PER_REQUEST);
+        eprintln!(
+            "check_obs_overhead: off={off:.0} ns/req on={on:.0} ns/req \
+             overhead={overhead:.0} ns budget={budget:.0} ns \
+             (5% of max(off, {BASELINE_NS_PER_REQUEST:.0} baseline))"
+        );
+        if overhead > budget {
+            eprintln!("check_obs_overhead: instrumentation overhead exceeds the 5% budget");
+            ok = false;
+        }
+        handle.shutdown();
+    });
+    ok
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,206 @@
+//! Prometheus text exposition (format 0.0.4) rendered into a plain
+//! `String` — no client library, no registry: callers hold their own
+//! counters and histograms and push them through a [`PromWriter`] when
+//! `/metrics` is scraped.
+//!
+//! Histograms follow the Prometheus convention: cumulative `_bucket`
+//! samples with an inclusive `le` bound, a `+Inf` bucket equal to the
+//! count, then `_sum` and `_count`. Bucket bounds come from the log₂
+//! geometry of [`crate::hist`] and are scaled to seconds so dashboards
+//! get base units.
+
+use crate::hist::{bucket_upper_bound, Snapshot};
+
+/// The `Content-Type` for the exposition body.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Builds a text-exposition body. `# HELP`/`# TYPE` lines are emitted
+/// by [`help`](PromWriter::help) / [`type_`](PromWriter::type_); samples
+/// by the typed emitters below.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    buf: String,
+}
+
+/// Render a float with at most 9 fractional digits, trailing zeros
+/// trimmed. Nanosecond samples scaled to seconds have exactly nine
+/// decimal places, so this is exact for every value we emit and avoids
+/// shortest-round-trip artifacts like `3e-9` printing as
+/// `0.0000000030000000000000004`.
+fn fmt_f64(value: f64) -> String {
+    let mut s = format!("{value:.9}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.push('0');
+    }
+    s
+}
+
+/// Escape a label value per the exposition format.
+fn push_escaped(buf: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => buf.push_str("\\\\"),
+            '"' => buf.push_str("\\\""),
+            '\n' => buf.push_str("\\n"),
+            other => buf.push(other),
+        }
+    }
+}
+
+impl PromWriter {
+    /// An empty writer.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    /// Emit a `# HELP` line.
+    pub fn help(&mut self, name: &str, help: &str) {
+        self.buf.push_str("# HELP ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(help);
+        self.buf.push('\n');
+    }
+
+    /// Emit a `# TYPE` line (`kind` is `counter`, `gauge` or
+    /// `histogram`).
+    pub fn type_(&mut self, name: &str, kind: &str) {
+        self.buf.push_str("# TYPE ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(kind);
+        self.buf.push('\n');
+    }
+
+    /// `name{labels…}` — shared prefix for one sample line. `extra` is
+    /// an additional label rendered last (used for `le`).
+    fn sample_name(&mut self, name: &str, labels: &[(&str, &str)], extra: Option<(&str, &str)>) {
+        self.buf.push_str(name);
+        let total = labels.len() + usize::from(extra.is_some());
+        if total > 0 {
+            self.buf.push('{');
+            for (i, (k, v)) in labels.iter().chain(extra.iter()).enumerate() {
+                if i > 0 {
+                    self.buf.push(',');
+                }
+                self.buf.push_str(k);
+                self.buf.push_str("=\"");
+                push_escaped(&mut self.buf, v);
+                self.buf.push('"');
+            }
+            self.buf.push('}');
+        }
+        self.buf.push(' ');
+    }
+
+    /// Emit one integer-valued sample.
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample_name(name, labels, None);
+        use std::fmt::Write as _;
+        let _ = write!(self.buf, "{value}");
+        self.buf.push('\n');
+    }
+
+    /// Emit one float-valued sample (see [`fmt_f64`] for the rendering).
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.sample_name(name, labels, None);
+        self.buf.push_str(&fmt_f64(value));
+        self.buf.push('\n');
+    }
+
+    /// Emit a full histogram family from a [`Snapshot`]: cumulative
+    /// non-empty `_bucket` lines (inclusive `le`, sample values scaled
+    /// by `scale` — pass `1e-9` when samples are nanoseconds and the
+    /// metric is in seconds), the `+Inf` bucket, `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &Snapshot, scale: f64) {
+        use std::fmt::Write as _;
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (i, count) in snap.counts().iter().enumerate() {
+            if *count == 0 {
+                continue;
+            }
+            cumulative = cumulative.saturating_add(*count);
+            let le = fmt_f64(bucket_upper_bound(i) as f64 * scale);
+            self.sample_name(&bucket_name, labels, Some(("le", &le)));
+            let _ = write!(self.buf, "{cumulative}");
+            self.buf.push('\n');
+        }
+        self.sample_name(&bucket_name, labels, Some(("le", "+Inf")));
+        let _ = write!(self.buf, "{}", snap.count());
+        self.buf.push('\n');
+        self.sample_f64(&format!("{name}_sum"), labels, snap.sum() as f64 * scale);
+        self.sample_u64(&format!("{name}_count"), labels, snap.count());
+    }
+
+    /// The finished exposition body.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counters_and_gauges_render_one_line_each() {
+        let mut w = PromWriter::new();
+        w.help("extract_requests_total", "Requests accepted.");
+        w.type_("extract_requests_total", "counter");
+        w.sample_u64("extract_requests_total", &[], 42);
+        w.sample_f64("extract_quantile_seconds", &[("stage", "search"), ("q", "0.99")], 0.125);
+        let body = w.finish();
+        assert!(body.contains("# HELP extract_requests_total Requests accepted.\n"));
+        assert!(body.contains("# TYPE extract_requests_total counter\n"));
+        assert!(body.contains("\nextract_requests_total 42\n"));
+        assert!(body.contains("extract_quantile_seconds{stage=\"search\",q=\"0.99\"} 0.125\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = PromWriter::new();
+        w.sample_u64("m", &[("k", "a\"b\\c\nd")], 1);
+        assert_eq!(w.finish(), "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+
+    #[test]
+    fn histograms_are_cumulative_and_end_at_inf() {
+        let h = Histogram::new();
+        for v in [1u64, 3, 3, 1000] {
+            h.record(v);
+        }
+        let mut w = PromWriter::new();
+        w.histogram("lat_seconds", &[("stage", "parse")], &h.snapshot(), 1e-9);
+        let body = w.finish();
+        // Bucket 0 (le = 1ns), bucket 1 (le = 3ns), bucket 9 (le = 1023ns).
+        assert!(body.contains("lat_seconds_bucket{stage=\"parse\",le=\"0.000000001\"} 1\n"), "{body}");
+        assert!(body.contains("lat_seconds_bucket{stage=\"parse\",le=\"0.000000003\"} 3\n"), "{body}");
+        assert!(body.contains("lat_seconds_bucket{stage=\"parse\",le=\"0.000001023\"} 4\n"), "{body}");
+        assert!(body.contains("lat_seconds_bucket{stage=\"parse\",le=\"+Inf\"} 4\n"), "{body}");
+        assert!(body.contains("lat_seconds_count{stage=\"parse\"} 4\n"), "{body}");
+        assert!(body.contains("lat_seconds_sum{stage=\"parse\"} 0.000001007\n"), "{body}");
+        // Every line is exposition-shaped: comment or name{...} value.
+        for line in body.lines() {
+            assert!(
+                line.starts_with("# ") || line.split(' ').count() == 2,
+                "bad exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histograms_still_emit_inf_sum_and_count() {
+        let mut w = PromWriter::new();
+        w.histogram("lat_seconds", &[], &Histogram::new().snapshot(), 1e-9);
+        let body = w.finish();
+        assert_eq!(
+            body,
+            "lat_seconds_bucket{le=\"+Inf\"} 0\nlat_seconds_sum 0.0\nlat_seconds_count 0\n"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Trace identifiers: minted once per request at the front tier,
+//! propagated to shards via the `X-Trace-Id` header, and stamped on
+//! every trace, log line and `/debug/traces` entry so one slow query can
+//! be followed across the router → shard hop.
+//!
+//! The wire format is canonical: **1–16 hexadecimal digits** (rendered
+//! as exactly 16, lowercase, zero-padded). A request carrying a valid
+//! `X-Trace-Id` keeps it — across tiers and into the response echo; an
+//! absent or malformed header gets a freshly minted ID instead, so the
+//! recorder never stores attacker-shaped strings and every trace is a
+//! fixed-size `u64`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The propagation header. Requests carry it router → shard; responses
+/// echo it back when the request had one.
+pub const TRACE_HEADER: &str = "X-Trace-Id";
+
+/// A non-zero 64-bit trace identifier (see the module docs for the wire
+/// format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(u64);
+
+/// splitmix64 — tiny, well-distributed, dependency-free.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TraceId {
+    /// Mint a fresh process-unique ID: a per-process random seed (from
+    /// the std hasher keys — no time source, no dependency) mixed with a
+    /// monotonic counter, so IDs neither collide within a process nor
+    /// repeat across daemon restarts in practice.
+    pub fn mint() -> TraceId {
+        static SEED: OnceLock<u64> = OnceLock::new();
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let seed = *SEED.get_or_init(|| {
+            use std::hash::BuildHasher;
+            std::collections::hash_map::RandomState::new().hash_one(0u64)
+        });
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        TraceId(mix(seed ^ n).max(1))
+    }
+
+    /// Parse a header value: 1–16 ASCII hex digits, non-zero. Anything
+    /// else is `None` (the caller mints a replacement).
+    pub fn parse(s: &str) -> Option<TraceId> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        match u64::from_str_radix(s, 16) {
+            Ok(0) | Err(_) => None,
+            Ok(n) => Some(TraceId(n)),
+        }
+    }
+
+    /// The raw identifier.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_the_wire_format() {
+        let id = TraceId::mint();
+        let rendered = id.to_string();
+        assert_eq!(rendered.len(), 16, "{rendered}");
+        assert_eq!(TraceId::parse(&rendered), Some(id));
+        // Short and uppercase forms parse too.
+        assert_eq!(TraceId::parse("FF").map(TraceId::as_u64), Some(255));
+        assert_eq!(TraceId::parse(" 1f \t").map(TraceId::as_u64), Some(31));
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        for bad in ["", "0", "00000000", "xyz", "12345678901234567", "de ad", "-1"] {
+            assert_eq!(TraceId::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn minted_ids_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(TraceId::mint()), "collision");
+        }
+    }
+}

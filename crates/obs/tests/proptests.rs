@@ -1,0 +1,120 @@
+//! Property tests pinning the histogram contract (ISSUE 9 satellite):
+//! every recorded value lands in the bucket that reports it, merged
+//! snapshots are exactly the histogram of the combined sample sets, and
+//! quantile estimates obey the documented log₂ error bound
+//! `v ≤ estimate < 2·v` (with `v = 0 → estimate = 1`).
+
+use extract_obs::hist::{bucket_index, bucket_upper_bound, Histogram, Snapshot};
+use proptest::prelude::*;
+
+/// Mixed magnitudes: small counts, realistic nanosecond latencies, and
+/// values near the top buckets.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![0u64..16, 1_000u64..100_000_000, (u64::MAX / 4)..u64::MAX],
+        1..200,
+    )
+}
+
+/// The true empirical `q`-quantile: the sample of rank `ceil(q·n)`
+/// (1-based, clamped), matching `Snapshot::quantile`'s rank rule.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Recording is bucket-faithful: each value falls inside the range
+    /// of the bucket that counts it, and nothing is lost or duplicated.
+    #[test]
+    fn recorded_values_fall_in_their_reported_bucket(values in samples()) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        // Per-bucket counts match a by-hand classification…
+        let mut expected = [0u64; 64];
+        for &v in &values {
+            expected[bucket_index(v)] += 1;
+        }
+        prop_assert_eq!(snap.counts(), &expected);
+        // …and each bucket's range really contains its values.
+        for &v in &values {
+            let i = bucket_index(v);
+            prop_assert!(v <= bucket_upper_bound(i), "{} above bucket {}", v, i);
+            if i > 0 {
+                prop_assert!(v > bucket_upper_bound(i - 1), "{} below bucket {}", v, i);
+            }
+        }
+    }
+
+    /// Merge is exact: recording two sample sets separately and merging
+    /// the snapshots equals recording everything into one histogram —
+    /// counts, buckets and sum.
+    #[test]
+    fn merged_snapshots_equal_the_sum_of_parts(a in samples(), b in samples()) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hall = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(merged, hall.snapshot());
+        // Merging in the other order agrees (commutativity).
+        let mut other = hb.snapshot();
+        other.merge(&ha.snapshot());
+        prop_assert_eq!(other, merged);
+        // Merging an empty snapshot is the identity.
+        let mut id = hall.snapshot();
+        id.merge(&Snapshot::default());
+        prop_assert_eq!(id, hall.snapshot());
+    }
+
+    /// Quantile estimates respect the documented log₂ bound: for the
+    /// true empirical quantile `v`, the estimate `e` satisfies
+    /// `v ≤ e < 2·v` for `v ≥ 1`, and `e = 1` when `v = 0`.
+    #[test]
+    fn quantile_estimates_respect_the_log2_error_bound(
+        values in samples(),
+        // The vendored proptest shim has no f64 range strategy: draw
+        // permille and map, covering the named percentiles and more.
+        q in prop_oneof![
+            Just(0.5), Just(0.9), Just(0.99), Just(0.999),
+            (10u64..1000).prop_map(|permille| permille as f64 / 1000.0),
+        ],
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let v = true_quantile(&sorted, q);
+        let e = h.snapshot().quantile(q).expect("non-empty");
+        if v == 0 {
+            prop_assert_eq!(e, 1);
+        } else {
+            prop_assert!(v <= e, "estimate {} undershoots true quantile {}", e, v);
+            // e < 2v, phrased without overflow: e ≤ 2v − 1.
+            prop_assert!(
+                e <= v.saturating_mul(2).saturating_sub(1) || v > u64::MAX / 2,
+                "estimate {} ≥ twice the true quantile {}", e, v
+            );
+            // Equivalent structural statement: the estimate is the
+            // upper bound of the true quantile's own bucket.
+            prop_assert_eq!(e, bucket_upper_bound(bucket_index(v)));
+        }
+    }
+}

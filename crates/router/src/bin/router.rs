@@ -35,6 +35,11 @@
 //!                    background prober period (default 200)
 //!   --default-k N    page size when the request has no k (default 10)
 //!   --max-k N        hard page-size cap (default 100)
+//!   --trace-capacity N
+//!                    flight-recorder depth: most recent request traces
+//!                    kept for /debug/traces (min 1, default 128)
+//!   --slow-ms N      slow-request threshold; requests at or over it log
+//!                    one key=value stage-breakdown line (default 500)
 //! ```
 //!
 //! The router prints exactly one ready line to stdout once it accepts
@@ -70,12 +75,15 @@ struct Options {
     probe_interval_ms: u64,
     default_k: usize,
     max_k: usize,
+    trace_capacity: usize,
+    slow_ms: u64,
 }
 
 impl Default for Options {
     fn default() -> Options {
         let defaults = RouterConfig::default();
         let hedge = HedgeConfig::default();
+        let serve = ServeConfig::default();
         Options {
             shards: Vec::new(),
             port: 7979,
@@ -92,6 +100,8 @@ impl Default for Options {
             probe_interval_ms: defaults.probe_interval.as_millis() as u64,
             default_k: defaults.default_k,
             max_k: defaults.max_k,
+            trace_capacity: serve.trace_capacity,
+            slow_ms: serve.slow_request.as_millis() as u64,
         }
     }
 }
@@ -101,7 +111,8 @@ fn usage() -> ExitCode {
         "usage: router --shards ADDR,ADDR[,...] [--port P] [--workers N] \
          [--queue-depth N] [--per-client N] [--deadline-ms N] [--retry-budget N] \
          [--no-hedge] [--hedge-min-ms N] [--hedge-max-ms N] [--breaker-threshold N] \
-         [--breaker-cooldown-ms N] [--probe-interval-ms N] [--default-k N] [--max-k N]"
+         [--breaker-cooldown-ms N] [--probe-interval-ms N] [--default-k N] [--max-k N] \
+         [--trace-capacity N] [--slow-ms N]"
     );
     ExitCode::from(2)
 }
@@ -160,6 +171,8 @@ fn parse_options() -> Result<Options, ExitCode> {
             }
             "--default-k" => options.default_k = parse_num(&value(&mut i)?)?,
             "--max-k" => options.max_k = parse_num(&value(&mut i)?)?,
+            "--trace-capacity" => options.trace_capacity = parse_num(&value(&mut i)?)?,
+            "--slow-ms" => options.slow_ms = parse_num(&value(&mut i)?)? as u64,
             "--help" | "-h" => return Err(usage()),
             other => {
                 eprintln!("router: unknown argument `{other}`");
@@ -195,6 +208,8 @@ fn main() -> ExitCode {
             .per_client
             .unwrap_or(options.workers.max(1) + options.queue_depth),
         io_timeout: Duration::from_secs(10),
+        trace_capacity: options.trace_capacity,
+        slow_request: Duration::from_millis(options.slow_ms),
         ..Default::default()
     };
     let router_config = RouterConfig {

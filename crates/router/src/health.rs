@@ -1,6 +1,7 @@
 //! Per-shard health: a consecutive-failure circuit breaker with
-//! half-open probes, and a latency ring the hedging policy reads its
-//! percentile from.
+//! half-open probes. (Per-shard latency lives in the shard's
+//! `extract_obs::Histogram`, which the hedging policy reads its
+//! percentile from.)
 //!
 //! The breaker's job is to turn "this shard times out every request"
 //! from a per-request discovery (each one burning its retry budget
@@ -138,51 +139,6 @@ impl Breaker {
     }
 }
 
-/// How many recent request latencies each shard remembers.
-const LATENCY_WINDOW: usize = 64;
-
-/// A fixed-size ring of recent request latencies; the hedge policy asks
-/// it for a percentile.
-#[derive(Debug, Default)]
-pub struct LatencyRing {
-    samples: Vec<Duration>,
-    next: usize,
-}
-
-impl LatencyRing {
-    /// Record one successful request's latency.
-    pub fn record(&mut self, latency: Duration) {
-        if self.samples.len() < LATENCY_WINDOW {
-            self.samples.push(latency);
-        } else if let Some(slot) = self.samples.get_mut(self.next) {
-            *slot = latency;
-        }
-        self.next = (self.next + 1) % LATENCY_WINDOW;
-    }
-
-    /// Observations recorded so far (capped at the window size).
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// Whether nothing has been recorded yet.
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    /// The `p`-th percentile (0–1) of the recorded window, `None` when
-    /// empty.
-    pub fn percentile(&self, p: f64) -> Option<Duration> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = (p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
-        sorted.get(rank.min(sorted.len() - 1)).copied()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,20 +189,5 @@ mod tests {
         assert!(!b.on_failure(), "re-open is not a fresh open");
         assert_eq!(b.state(), BreakerState::Open);
         assert!(!b.probe_due(), "a fresh cooldown is running");
-    }
-
-    #[test]
-    fn latency_ring_reports_percentiles_over_a_sliding_window() {
-        let mut ring = LatencyRing::default();
-        assert_eq!(ring.percentile(0.9), None);
-        for ms in 1..=100u64 {
-            ring.record(Duration::from_millis(ms));
-        }
-        assert_eq!(ring.len(), LATENCY_WINDOW, "window is bounded");
-        // The window holds 37..=100; p0 is the smallest retained sample.
-        assert_eq!(ring.percentile(0.0), Some(Duration::from_millis(37)));
-        assert_eq!(ring.percentile(1.0), Some(Duration::from_millis(100)));
-        let p50 = ring.percentile(0.5).unwrap();
-        assert!((Duration::from_millis(60)..=Duration::from_millis(75)).contains(&p50));
     }
 }

@@ -8,8 +8,8 @@
 //! - [`config`] — every tuning knob ([`RouterConfig`], [`HedgeConfig`]).
 //! - [`pool`] — per-shard pools of pooled keep-alive [`HttpClient`]
 //!   connections ([`ClientPool`]).
-//! - [`health`] — the per-shard circuit [`Breaker`] and the
-//!   [`LatencyRing`] the hedge delay is computed from.
+//! - [`health`] — the per-shard circuit [`Breaker`]; the hedge delay is
+//!   computed from each shard's `extract_obs` latency histogram.
 //! - [`merge`] — shard page parsing, doc-id remapping, the exact
 //!   (score desc, doc asc, root asc) merge, and response rendering.
 //! - [`router`] — [`RouterApp`] (routes, scatter-gather, retries,
@@ -29,7 +29,7 @@ pub mod pool;
 pub mod router;
 
 pub use config::{HedgeConfig, RouterConfig};
-pub use health::{Breaker, BreakerState, LatencyRing};
+pub use health::{Breaker, BreakerState};
 pub use merge::{MergedPage, ShardHit, ShardPage, ShardTally};
 pub use pool::ClientPool;
 pub use router::{serve_router, RouterApp, RouterCounters, Shard};
@@ -37,7 +37,7 @@ pub use router::{serve_router, RouterApp, RouterCounters, Shard};
 /// Everything a router binary or test needs.
 pub mod prelude {
     pub use crate::config::{HedgeConfig, RouterConfig};
-    pub use crate::health::{Breaker, BreakerState, LatencyRing};
+    pub use crate::health::{Breaker, BreakerState};
     pub use crate::merge::{MergedPage, ShardHit, ShardPage, ShardTally};
     pub use crate::pool::ClientPool;
     pub use crate::router::{serve_router, RouterApp, RouterCounters, Shard};

@@ -83,8 +83,21 @@ impl ClientPool {
         target: &str,
         deadline: Instant,
     ) -> Result<WireResponse, ClientError> {
+        self.request_with(method, target, &[], deadline)
+    }
+
+    /// [`request`](Self::request) with extra raw header lines (no CRLF),
+    /// e.g. `X-Trace-Id: …` so a scattered shard request carries its
+    /// client request's trace ID.
+    pub fn request_with(
+        &self,
+        method: &str,
+        target: &str,
+        extra_headers: &[&str],
+        deadline: Instant,
+    ) -> Result<WireResponse, ClientError> {
         let mut client = self.check_out();
-        let result = client.request(method, target, deadline);
+        let result = client.request_with(method, target, extra_headers, deadline);
         if result.is_ok() {
             self.check_in(client);
         }

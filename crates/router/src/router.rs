@@ -25,15 +25,17 @@
 //!   `Retry-After`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
+use extract_obs::{Histogram, PromWriter, Stage, TraceId, TRACE_HEADER};
 use extract_serve::http::percent_encode;
 use extract_serve::json::{self, JsonWriter, Value};
+use extract_serve::obs_http;
 use extract_serve::{ClientError, Request, Response, ServerHandle, WireResponse};
 
 use crate::config::RouterConfig;
-use crate::health::{Breaker, LatencyRing};
+use crate::health::Breaker;
 use crate::merge::{self, MergedPage, ShardPage, ShardTally};
 use crate::pool::ClientPool;
 
@@ -44,11 +46,6 @@ const UNAVAILABLE_RETRY_AFTER_SECS: u32 = 1;
 /// Grace past the request deadline when waiting on attempt threads —
 /// covers a dial that started just before the deadline expired.
 const GATHER_GRACE: Duration = Duration::from_millis(500);
-
-/// See the serving tier's poisoning policy: recover, don't cascade.
-fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
 
 /// Router-level counters, all monotonic except none.
 #[derive(Debug, Default)]
@@ -71,14 +68,16 @@ fn bump(counter: &AtomicU64) {
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
-/// One shard: its connection pool, breaker, latency window, and the
+/// One shard: its connection pool, breaker, latency histogram, and the
 /// document count the doc-id remapping is built from.
 #[derive(Debug)]
 pub struct Shard {
     index: usize,
     pool: ClientPool,
     breaker: Breaker,
-    latency: Mutex<LatencyRing>,
+    /// Lock-free log₂-bucketed latency of successful exchanges; the
+    /// hedge delay and `/stats`/`/metrics` percentiles read snapshots.
+    latency: Histogram,
     doc_count: AtomicU64,
 }
 
@@ -88,7 +87,7 @@ impl Shard {
             index,
             pool: ClientPool::new(addr, config.client.clone(), config.max_idle_per_shard),
             breaker: Breaker::new(config.breaker_threshold, config.breaker_cooldown),
-            latency: Mutex::new(LatencyRing::default()),
+            latency: Histogram::new(),
             doc_count: AtomicU64::new(DOC_COUNT_UNKNOWN),
         }
     }
@@ -112,22 +111,28 @@ impl Shard {
     }
 
     fn record_latency(&self, sample: Duration) {
-        let mut latency = lock_unpoisoned(&self.latency);
-        latency.record(sample);
+        self.latency.record(u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX));
     }
 
     /// The hedge delay for the next attempt: the recent latency
     /// percentile clamped to the configured band, or the ceiling until
-    /// enough samples exist.
+    /// enough samples exist. The histogram's quantile is a log₂-bucket
+    /// upper bound (within 2× of the true sample), which errs toward
+    /// hedging *later* — the safe direction for a tail-latency cutoff.
     fn hedge_delay(&self, hedge: &crate::config::HedgeConfig) -> Duration {
-        let latency = lock_unpoisoned(&self.latency);
-        if latency.len() < hedge.min_samples.max(1) {
+        let snapshot = self.latency.snapshot();
+        if snapshot.count() < hedge.min_samples.max(1) as u64 {
             return hedge.max_delay;
         }
-        latency
-            .percentile(hedge.percentile)
-            .map(|p| p.clamp(hedge.min_delay, hedge.max_delay))
+        snapshot
+            .quantile(hedge.percentile)
+            .map(|ns| Duration::from_nanos(ns).clamp(hedge.min_delay, hedge.max_delay))
             .unwrap_or(hedge.max_delay)
+    }
+
+    /// A point-in-time snapshot of the shard's latency histogram.
+    pub fn latency_snapshot(&self) -> extract_obs::Snapshot {
+        self.latency.snapshot()
     }
 }
 
@@ -188,6 +193,11 @@ impl RouterApp {
             ("GET", "/search") => self.search(request),
             ("GET", "/stats") => Response::json(200, self.render_stats()),
             ("GET", "/healthz") => self.healthz(),
+            ("GET", "/metrics") => self.metrics(),
+            ("GET", "/debug/traces") => match &self.server {
+                Some(handle) => Response::json(200, obs_http::traces_json(handle.obs())),
+                None => Response::error(503, "no server attached"),
+            },
             ("POST", "/shutdown") => match &self.server {
                 Some(handle) => {
                     handle.shutdown();
@@ -200,11 +210,73 @@ impl RouterApp {
                 }
                 None => Response::error(503, "no server attached"),
             },
-            (_, "/search" | "/stats" | "/healthz" | "/shutdown") => {
-                Response::error(405, "method not allowed")
-            }
+            (_, "/search" | "/stats" | "/healthz" | "/metrics" | "/debug/traces"
+            | "/shutdown") => Response::error(405, "method not allowed"),
             _ => Response::error(404, "no such route"),
         }
+    }
+
+    /// `/metrics`: the Prometheus exposition — router counters, per-shard
+    /// latency histograms, and (when a server is attached) the shared
+    /// server + request-stage families.
+    fn metrics(&self) -> Response {
+        let Some(handle) = &self.server else {
+            return Response::error(503, "no server attached");
+        };
+        let mut w = PromWriter::new();
+        // Read wins before fired so the scrape can never show more wins
+        // than fired hedges (a hedge that wins between the two loads
+        // inflates `fired`, never `wins`).
+        let hedge_wins = self.counters.hedge_wins.load(Ordering::Relaxed);
+        let hedges_fired = self.counters.hedges_fired.load(Ordering::Relaxed);
+        for (name, help, value) in [
+            ("retries", "Shard attempts re-tried after a failure.", {
+                self.counters.retries.load(Ordering::Relaxed)
+            }),
+            ("hedges_fired", "Hedged second requests launched.", hedges_fired),
+            ("hedge_wins", "Hedged requests whose response was used.", hedge_wins),
+            ("breaker_opens", "Distinct breaker open transitions.", {
+                self.counters.breaker_opens.load(Ordering::Relaxed)
+            }),
+            ("partial_responses", "200 responses flagged partial.", {
+                self.counters.partial_responses.load(Ordering::Relaxed)
+            }),
+            ("probes", "Background health probes sent.", {
+                self.counters.probes.load(Ordering::Relaxed)
+            }),
+        ] {
+            let metric = format!("extract_router_{name}_total");
+            w.help(&metric, help);
+            w.type_(&metric, "counter");
+            w.sample_u64(&metric, &[], value);
+        }
+        w.help(
+            "extract_router_shard_breaker_closed",
+            "1 when the shard's breaker admits traffic, else 0.",
+        );
+        w.type_("extract_router_shard_breaker_closed", "gauge");
+        for shard in self.shards.iter() {
+            w.sample_u64(
+                "extract_router_shard_breaker_closed",
+                &[("shard", &shard.index.to_string())],
+                u64::from(shard.breaker.allows_requests()),
+            );
+        }
+        w.help(
+            "extract_router_shard_latency_seconds",
+            "Successful shard exchange latency, per shard.",
+        );
+        w.type_("extract_router_shard_latency_seconds", "histogram");
+        for shard in self.shards.iter() {
+            w.histogram(
+                "extract_router_shard_latency_seconds",
+                &[("shard", &shard.index.to_string())],
+                &shard.latency_snapshot(),
+                1e-9,
+            );
+        }
+        obs_http::write_server_metrics(&mut w, handle);
+        obs_http::metrics_response(w)
     }
 
     /// `/healthz`: `200` while serving with at least one available
@@ -253,72 +325,102 @@ impl RouterApp {
                 Err(_) => return Response::error(400, "offset must be a non-negative integer"),
             },
         };
-        self.scatter_search(q, k, offset)
+        // Adopt the client's trace ID (the serving layer parses and
+        // mints one per request); mint here only when called outside a
+        // server, e.g. directly from a test.
+        let trace = request.trace_id.unwrap_or_else(TraceId::mint);
+        self.scatter_search(q, k, offset, trace)
     }
 
     /// Scatter the over-fetch to every shard, gather, merge, render.
-    fn scatter_search(&self, q: &str, k: usize, offset: usize) -> Response {
+    /// The whole scatter-gather is the request's `search` span and the
+    /// merge + render its `serialize` span; `trace` is forwarded to
+    /// every shard as `X-Trace-Id`, so one ID follows the request across
+    /// both tiers' logs and flight recorders.
+    fn scatter_search(&self, q: &str, k: usize, offset: usize, trace: TraceId) -> Response {
         let deadline = Instant::now() + self.config.request_deadline;
         let requested_k = k.saturating_add(offset);
         let target =
             format!("/search?q={}&k={requested_k}&offset=0", percent_encode(q));
+        let trace_header = format!("{TRACE_HEADER}: {trace}");
         // Fan out with N-1 scoped threads: the last shard is fetched on
         // the scattering thread itself, so the common small-N case pays
-        // one spawn fewer per request (for N=2, half of them).
-        let outcomes: Vec<Result<ShardPage, ShardFailure>> = std::thread::scope(|scope| {
-            let (spawned, inline) =
-                self.shards.split_at(self.shards.len().saturating_sub(1));
-            let handles: Vec<_> = spawned
-                .iter()
-                .map(|shard| {
-                    let target = target.as_str();
-                    scope.spawn(move || self.fetch_shard_page(shard, target, deadline))
+        // one spawn fewer per request (for N=2, half of them). The span
+        // covers the whole scatter-gather because the attempt threads'
+        // work *is* this thread's wait.
+        let outcomes: Vec<Result<ShardPage, ShardFailure>> =
+            extract_obs::time_stage(Stage::Search, || {
+                std::thread::scope(|scope| {
+                    let (spawned, inline) =
+                        self.shards.split_at(self.shards.len().saturating_sub(1));
+                    let handles: Vec<_> = spawned
+                        .iter()
+                        .map(|shard| {
+                            let target = target.as_str();
+                            let trace_header = trace_header.as_str();
+                            scope.spawn(move || {
+                                self.fetch_shard_page(shard, target, trace_header, deadline)
+                            })
+                        })
+                        .collect();
+                    let mut tail: Vec<Result<ShardPage, ShardFailure>> = inline
+                        .iter()
+                        .map(|shard| {
+                            self.fetch_shard_page(
+                                shard,
+                                target.as_str(),
+                                trace_header.as_str(),
+                                deadline,
+                            )
+                        })
+                        .collect();
+                    let mut outcomes: Vec<Result<ShardPage, ShardFailure>> = handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|_| {
+                                Err(ShardFailure::Failed(
+                                    "scatter thread panicked".to_string(),
+                                ))
+                            })
+                        })
+                        .collect();
+                    outcomes.append(&mut tail);
+                    outcomes
                 })
-                .collect();
-            let mut tail: Vec<Result<ShardPage, ShardFailure>> = inline
-                .iter()
-                .map(|shard| self.fetch_shard_page(shard, target.as_str(), deadline))
-                .collect();
-            let mut outcomes: Vec<Result<ShardPage, ShardFailure>> = handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(ShardFailure::Failed("scatter thread panicked".to_string()))
-                    })
-                })
-                .collect();
-            outcomes.append(&mut tail);
-            outcomes
-        });
+            });
         let queried = self.shards.len();
         let answered = outcomes.iter().filter(|o| o.is_ok()).count();
         for (index, outcome) in outcomes.iter().enumerate() {
             if let Err(ShardFailure::Failed(reason)) = outcome {
-                eprintln!("router: shard {index} dropped from response: {reason}");
+                eprintln!(
+                    "router: trace={trace} shard {index} dropped from response: {reason}"
+                );
             }
         }
         if answered == 0 {
             return Response::error(503, "no shards available")
                 .with_retry_after(UNAVAILABLE_RETRY_AFTER_SECS);
         }
-        let pages: Vec<Option<ShardPage>> =
-            outcomes.into_iter().map(Result::ok).collect();
-        let doc_bases = self.doc_bases();
-        let merged: MergedPage =
-            merge::merge_pages(&pages, &doc_bases, k, offset, requested_k);
-        let partial = answered < queried || merged.truncated;
-        if partial {
-            bump(&self.counters.partial_responses);
-        }
-        let body = merge::render_search(
-            q,
-            k,
-            offset,
-            &merged,
-            partial,
-            ShardTally { queried, answered },
-        );
-        Response::json(200, body)
+        extract_obs::time_stage(Stage::Serialize, || {
+            let pages: Vec<Option<ShardPage>> =
+                outcomes.into_iter().map(Result::ok).collect();
+            let doc_bases = self.doc_bases();
+            let merged: MergedPage =
+                merge::merge_pages(&pages, &doc_bases, k, offset, requested_k);
+            let partial = answered < queried || merged.truncated;
+            if partial {
+                bump(&self.counters.partial_responses);
+            }
+            let body = merge::render_search(
+                q,
+                k,
+                offset,
+                &merged,
+                partial,
+                ShardTally { queried, answered },
+            );
+            Response::json(200, body)
+        })
     }
 
     /// Global doc-id bases: prefix sums of per-shard document counts in
@@ -341,6 +443,7 @@ impl RouterApp {
         &self,
         shard: &Arc<Shard>,
         target: &str,
+        trace_header: &str,
         deadline: Instant,
     ) -> Result<ShardPage, ShardFailure> {
         if !shard.breaker.allows_requests() {
@@ -354,7 +457,7 @@ impl RouterApp {
             }
             return Err(ShardFailure::Failed("doc count unavailable".to_string()));
         }
-        let response = self.fetch_with_retries(shard, target, deadline)?;
+        let response = self.fetch_with_retries(shard, target, trace_header, deadline)?;
         if response.status != 200 {
             return Err(ShardFailure::Failed(format!(
                 "shard answered {}",
@@ -394,6 +497,7 @@ impl RouterApp {
         &self,
         shard: &Arc<Shard>,
         target: &str,
+        trace_header: &str,
         deadline: Instant,
     ) -> Result<WireResponse, ShardFailure> {
         let mut last_error = String::new();
@@ -414,13 +518,19 @@ impl RouterApp {
                 std::thread::sleep(backoff);
             }
             let started = Instant::now();
-            match self.exchange_hedged(shard, target, deadline) {
-                Ok(response) if Self::usable(&response) => {
+            match self.exchange_hedged(shard, target, trace_header, deadline) {
+                Ok((response, from_hedge)) if Self::usable(&response) => {
+                    // A hedge "wins" only when its response is actually
+                    // used — a hedge that merely arrived first with a
+                    // 5xx/429 is not a win.
+                    if from_hedge {
+                        bump(&self.counters.hedge_wins);
+                    }
                     shard.breaker.on_success();
                     shard.record_latency(started.elapsed());
                     return Ok(response);
                 }
-                Ok(response) => {
+                Ok((response, _)) => {
                     last_error = format!("status {}", response.status);
                     if shard.breaker.on_failure() {
                         bump(&self.counters.breaker_opens);
@@ -452,29 +562,42 @@ impl RouterApp {
     /// shard's hedge delay, race an identical second request. First
     /// response (success or failure) from either wins; the loser runs
     /// on to its own deadline and its connection pools or drops itself.
+    /// The returned flag says whether the winning response came from the
+    /// hedge — the *caller* decides if that counts as a hedge win, since
+    /// only a usable response is one.
     fn exchange_hedged(
         &self,
         shard: &Arc<Shard>,
         target: &str,
+        trace_header: &str,
         deadline: Instant,
-    ) -> Result<WireResponse, ClientError> {
+    ) -> Result<(WireResponse, bool), ClientError> {
+        let headers = [trace_header];
         let Some(hedge) = self.config.hedge.as_ref() else {
-            return shard.pool.request("GET", target, deadline);
+            return shard
+                .pool
+                .request_with("GET", target, &headers, deadline)
+                .map(|r| (r, false));
         };
         let delay = shard.hedge_delay(hedge);
         let remaining = deadline.saturating_duration_since(Instant::now());
         // A hedge that could only start after the deadline is pointless.
         if delay >= remaining {
-            return shard.pool.request("GET", target, deadline);
+            return shard
+                .pool
+                .request_with("GET", target, &headers, deadline)
+                .map(|r| (r, false));
         }
         let (tx, rx) = mpsc::channel();
         let launch = |is_hedge: bool| {
             let shard = Arc::clone(shard);
             let target = target.to_string();
+            let trace_header = trace_header.to_string();
             let tx = tx.clone();
             // xlint: allow(L8, "hedge racer: at most two per exchange, lifetime bounded by the request deadline plus GATHER_GRACE; the gather loop below accounts for both via `outstanding`")
             std::thread::spawn(move || {
-                let result = shard.pool.request("GET", &target, deadline);
+                let result =
+                    shard.pool.request_with("GET", &target, &[&trace_header], deadline);
                 // xlint: allow(L7, "the gather side hanging up early (first response won) is the expected benign race")
                 let _ = tx.send((is_hedge, result));
             });
@@ -510,12 +633,7 @@ impl RouterApp {
                 None => break,
             };
             match result {
-                Ok(response) => {
-                    if is_hedge {
-                        bump(&self.counters.hedge_wins);
-                    }
-                    return Ok(response);
-                }
+                Ok(response) => return Ok((response, is_hedge)),
                 Err(error) => last_error = Some(error),
             }
         }
@@ -582,6 +700,11 @@ impl RouterApp {
                 .filter_map(Value::as_u64)
                 .sum()
         };
+        // Load wins before fired: the invariant is wins <= fired, and a
+        // hedge that fires-and-wins between the two loads must inflate
+        // `fired` (harmless), never `wins`.
+        let hedge_wins = self.counters.hedge_wins.load(Ordering::Relaxed);
+        let hedges_fired = self.counters.hedges_fired.load(Ordering::Relaxed);
         let mut w = JsonWriter::new();
         w.obj_begin();
         w.key("router");
@@ -591,9 +714,9 @@ impl RouterApp {
         w.key("retries");
         w.num_u64(self.counters.retries.load(Ordering::Relaxed));
         w.key("hedges_fired");
-        w.num_u64(self.counters.hedges_fired.load(Ordering::Relaxed));
+        w.num_u64(hedges_fired);
         w.key("hedge_wins");
-        w.num_u64(self.counters.hedge_wins.load(Ordering::Relaxed));
+        w.num_u64(hedge_wins);
         w.key("breaker_opens");
         w.num_u64(self.counters.breaker_opens.load(Ordering::Relaxed));
         w.key("partial_responses");
@@ -616,18 +739,17 @@ impl RouterApp {
             }
             w.key("idle_connections");
             w.num_u64(shard.pool.idle() as u64);
-            let latency = lock_unpoisoned(&shard.latency);
+            let latency = shard.latency_snapshot();
             w.key("latency_p50_us");
-            match latency.percentile(0.5) {
-                Some(p) => w.num_u64(p.as_micros().min(u64::MAX as u128) as u64),
+            match latency.p50() {
+                Some(ns) => w.num_u64(ns / 1_000),
                 None => w.null(),
             }
             w.key("latency_p90_us");
-            match latency.percentile(0.9) {
-                Some(p) => w.num_u64(p.as_micros().min(u64::MAX as u128) as u64),
+            match latency.p90() {
+                Some(ns) => w.num_u64(ns / 1_000),
                 None => w.null(),
             }
-            drop(latency);
             w.key("reachable");
             w.bool(stats.is_some());
             w.obj_end();

@@ -137,6 +137,7 @@ fn get(app: &RouterApp, path: &str, query: &[(&str, &str)]) -> Response {
         query: query.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
         http11: true,
         keep_alive: true,
+        trace_id: None,
     })
 }
 
@@ -305,6 +306,41 @@ fn hedge_fires_on_a_stalled_shard_and_the_hedge_wins() {
         elapsed < Duration::from_millis(400),
         "the hedge should beat the 400ms stall, took {elapsed:?}"
     );
+
+    ha.shutdown();
+    let _ = ta.join();
+}
+
+#[test]
+fn a_hedge_that_loses_on_status_is_not_counted_as_a_win() {
+    // The primary (request one) stalls 400ms and will eventually serve
+    // 200; the hedge (request two) answers *first* but with a 503. The
+    // hedge's response arrives first yet is unusable, so it must count
+    // as fired-but-not-won, and the retry serves the page.
+    let fault = FaultPlan::from_specs(&[
+        "stall:/search:ms=400:count=1",
+        "status:/search:code=503:after=1:count=1",
+    ])
+    .expect("plan");
+    let (a, ha, ta) = spawn_shard("127.0.0.1:0", vec![(0, 1, 0.9)], 1, Some(fault));
+    let mut config = router_config(vec![a]);
+    config.hedge = Some(HedgeConfig {
+        min_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(50),
+        min_samples: 1,
+        ..HedgeConfig::default()
+    });
+    let app = RouterApp::new(config);
+
+    let response = get(&app, "/search", &[("q", "x")]);
+    assert_eq!(response.status, 200);
+    assert!(app.counters().hedges_fired.load(Ordering::Relaxed) >= 1);
+    assert_eq!(
+        app.counters().hedge_wins.load(Ordering::Relaxed),
+        0,
+        "an unusable hedge response must not count as a hedge win"
+    );
+    assert!(app.counters().retries.load(Ordering::Relaxed) >= 1);
 
     ha.shutdown();
     let _ = ta.join();

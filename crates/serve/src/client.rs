@@ -332,7 +332,19 @@ impl Connection {
         target: &str,
         deadline: Option<Instant>,
     ) -> Result<WireResponse, ClientError> {
-        self.send(method, target, &[], deadline)?;
+        self.request_with(method, target, &[], deadline)
+    }
+
+    /// [`request`](Connection::request) with extra raw header lines
+    /// (e.g. `X-Trace-Id: …`), written verbatim after the standard ones.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        target: &str,
+        extra_headers: &[&str],
+        deadline: Option<Instant>,
+    ) -> Result<WireResponse, ClientError> {
+        self.send(method, target, extra_headers, deadline)?;
         self.read_response(deadline)
     }
 
@@ -426,13 +438,26 @@ impl HttpClient {
         target: &str,
         deadline: Instant,
     ) -> Result<WireResponse, ClientError> {
+        self.request_with(method, target, &[], deadline)
+    }
+
+    /// [`request`](HttpClient::request) with extra raw header lines
+    /// (e.g. `X-Trace-Id: …`) forwarded on every attempt, including
+    /// redials.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        target: &str,
+        extra_headers: &[&str],
+        deadline: Instant,
+    ) -> Result<WireResponse, ClientError> {
         // Fast path: ride the kept-alive connection. A failure before
         // the first response byte on a *reused* socket is a stale pool
         // entry (idle-evicted by the server), not a shard failure — fall
         // through to a free fresh dial.
         if let Some(mut conn) = self.conn.take() {
             let reused = conn.served() > 0;
-            match conn.request(method, target, Some(deadline)) {
+            match conn.request_with(method, target, extra_headers, Some(deadline)) {
                 Ok(response) => {
                     if response.keep_alive {
                         self.conn = Some(conn);
@@ -457,7 +482,8 @@ impl HttpClient {
             }
             match Connection::connect(self.addr, &self.config) {
                 Ok(mut conn) => {
-                    let response = conn.request(method, target, Some(deadline))?;
+                    let response =
+                        conn.request_with(method, target, extra_headers, Some(deadline))?;
                     if response.keep_alive {
                         self.conn = Some(conn);
                     }

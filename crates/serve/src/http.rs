@@ -21,6 +21,8 @@
 
 use std::io::{self, BufRead, Read, Write};
 
+use extract_obs::TraceId;
+
 /// Longest accepted request line, in bytes.
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
 /// Most accepted headers.
@@ -46,6 +48,10 @@ pub struct Request {
     /// response: the `Connection` header when present, else the version
     /// default (alive for 1.1, close for 1.0).
     pub keep_alive: bool,
+    /// The `X-Trace-Id` header, when present and well-formed (1–16 hex
+    /// digits, non-zero — see [`extract_obs::trace`]). A malformed
+    /// value is treated as absent; the server mints a replacement.
+    pub trace_id: Option<TraceId>,
 }
 
 impl Request {
@@ -190,6 +196,7 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Request, HttpError> {
     // interpretation of the framing starts exactly there.
     let mut content_length: Option<usize> = None;
     let mut keep_alive: Option<bool> = None;
+    let mut trace_id: Option<TraceId> = None;
     for n in 0.. {
         if n >= MAX_HEADERS {
             return Err(HttpError::TooLarge("too many headers", 431));
@@ -223,6 +230,13 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Request, HttpError> {
                 } else if token.eq_ignore_ascii_case("keep-alive") && keep_alive.is_none() {
                     keep_alive = Some(true);
                 }
+            }
+        } else if name.eq_ignore_ascii_case(extract_obs::TRACE_HEADER) {
+            // First well-formed value wins; malformed values stay None
+            // so the server mints a fresh ID instead of propagating
+            // attacker-shaped strings.
+            if trace_id.is_none() {
+                trace_id = TraceId::parse(value);
             }
         }
     }
@@ -261,6 +275,7 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Request, HttpError> {
         query,
         http11,
         keep_alive: keep_alive.unwrap_or(http11),
+        trace_id,
     })
 }
 
@@ -331,6 +346,11 @@ pub struct Response {
     /// per-client cap) carries one, so well-behaved clients back off for
     /// a told amount instead of hot-looping.
     pub retry_after: Option<u32>,
+    /// When set, an `X-Trace-Id: <id>` header is written. The server
+    /// sets it only when the *request* carried a trace ID — traced
+    /// callers (the router) get the echo; untraced clients see
+    /// byte-identical responses with or without instrumentation.
+    pub trace_id: Option<TraceId>,
 }
 
 impl Response {
@@ -341,6 +361,7 @@ impl Response {
             content_type: "application/json",
             body: body.into_bytes(),
             retry_after: None,
+            trace_id: None,
         }
     }
 
@@ -398,13 +419,18 @@ pub fn write_response<W: Write>(
         Some(seconds) => format!("Retry-After: {seconds}\r\n"),
         None => String::new(),
     };
+    let trace = match response.trace_id {
+        Some(id) => format!("{}: {id}\r\n", extract_obs::TRACE_HEADER),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}{}Connection: {}\r\n\r\n",
         response.status,
         reason_phrase(response.status),
         response.content_type,
         response.body.len(),
         retry_after,
+        trace,
         if keep_alive { "keep-alive" } else { "close" },
     );
     let mut wire = Vec::with_capacity(head.len() + response.body.len());
@@ -566,6 +592,37 @@ mod tests {
             let r = parse(&format!("GET /search?q={encoded} HTTP/1.1\r\n\r\n")).unwrap();
             assert_eq!(r.param("q"), Some(s));
         }
+    }
+
+    #[test]
+    fn trace_id_header_is_parsed_when_well_formed() {
+        let r = parse("GET /x HTTP/1.1\r\nX-Trace-Id: 00c0ffee\r\n\r\n").unwrap();
+        assert_eq!(r.trace_id.map(TraceId::as_u64), Some(0x00c0_ffee));
+        // Case-insensitive header name, whitespace-tolerant value.
+        let r = parse("GET /x HTTP/1.1\r\nx-trace-id:  AB12  \r\n\r\n").unwrap();
+        assert_eq!(r.trace_id.map(TraceId::as_u64), Some(0xab12));
+        // Malformed values are treated as absent, not an error.
+        for bad in ["", "0", "not-hex", "123456789012345678"] {
+            let r = parse(&format!("GET /x HTTP/1.1\r\nX-Trace-Id: {bad}\r\n\r\n")).unwrap();
+            assert_eq!(r.trace_id, None, "{bad:?}");
+        }
+        let r = parse("GET /x HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.trace_id, None);
+    }
+
+    #[test]
+    fn trace_id_header_is_echoed_only_when_set() {
+        let id = TraceId::parse("deadbeef").unwrap();
+        let mut traced = Response::json(200, "{}".into());
+        traced.trace_id = Some(id);
+        let mut out = Vec::new();
+        write_response(&mut out, &traced, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nX-Trace-Id: 00000000deadbeef\r\n"), "{text}");
+        // Responses never carry the header unless explicitly set.
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".into()), true).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("X-Trace-Id"));
     }
 
     #[test]

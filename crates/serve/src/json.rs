@@ -19,6 +19,12 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// The largest integer every standard JSON consumer preserves exactly:
+/// `2^53 − 1` (IEEE-754 double mantissa; JavaScript's
+/// `Number.MAX_SAFE_INTEGER`). [`JsonWriter::num_u64`] clamps here so a
+/// wire counter never silently loses precision downstream.
+pub const MAX_SAFE_JSON_INT: u64 = (1 << 53) - 1;
+
 /// Append the RFC 8259 escaping of `s` (without surrounding quotes) to
 /// `out`.
 pub fn escape_into(out: &mut String, s: &str) {
@@ -129,10 +135,16 @@ impl JsonWriter {
         self.buf.push('"');
     }
 
-    /// Write an unsigned integer value.
+    /// Write an unsigned integer value, clamped to `2^53 − 1`
+    /// ([`MAX_SAFE_JSON_INT`]). Standard JSON consumers (JavaScript,
+    /// anything parsing numbers as IEEE doubles) silently round larger
+    /// integers; a counter that has genuinely reached 2^53 nanoseconds
+    /// (~104 days of summed latency) saturates at the cap instead of
+    /// appearing to jump by hundreds. Clamping — not stringifying —
+    /// keeps the field a number for existing `/stats` aggregators.
     pub fn num_u64(&mut self, n: u64) {
         self.comma();
-        let _ = write!(self.buf, "{n}");
+        let _ = write!(self.buf, "{}", n.min(MAX_SAFE_JSON_INT));
     }
 
     /// Write a float value. Non-finite floats have no JSON representation
@@ -536,6 +548,27 @@ mod tests {
         w.num_f64(1.5);
         w.obj_end();
         assert_eq!(w.finish(), r#"{"a":[],"b":{"c":null},"d":1.5}"#);
+    }
+
+    #[test]
+    fn u64s_above_the_double_mantissa_are_clamped() {
+        // At the boundary: exact. One past it (and far past it): clamped
+        // to the largest integer a double-parsing consumer reads back
+        // unchanged — emitting 2^53 raw would round-trip as 2^53 but
+        // 2^53 + 1 would silently read back as 2^53, a wire lie.
+        let mut w = JsonWriter::new();
+        w.arr_begin();
+        w.num_u64(MAX_SAFE_JSON_INT);
+        w.num_u64(MAX_SAFE_JSON_INT + 1);
+        w.num_u64(u64::MAX);
+        w.num_u64(7);
+        w.arr_end();
+        assert_eq!(
+            w.finish(),
+            "[9007199254740991,9007199254740991,9007199254740991,7]"
+        );
+        // The clamp point itself survives an f64 round-trip exactly.
+        assert_eq!(MAX_SAFE_JSON_INT as f64 as u64, MAX_SAFE_JSON_INT);
     }
 
     #[test]

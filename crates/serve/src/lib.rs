@@ -21,7 +21,11 @@
 //!   redial-with-backoff), which the scatter-gather router pools;
 //! * [`fault`] — deterministic fault injection (per-route stalls,
 //!   resets, error statuses, hard exits) so failure behavior is proven
-//!   by exact tests instead of timing luck.
+//!   by exact tests instead of timing luck;
+//! * [`obs_http`] — the shared `/metrics` (Prometheus text exposition)
+//!   and `/debug/traces` (flight-recorder JSON) rendering both tiers'
+//!   daemons mount, backed by [`extract_obs`]'s histograms and stage
+//!   traces.
 //!
 //! The crate knows nothing about XML or snippets: [`Server::run`] takes
 //! any `Fn(&Request) -> Response` handler. The umbrella `extract` crate
@@ -55,6 +59,7 @@ pub mod event;
 pub mod fault;
 pub mod http;
 pub mod json;
+pub mod obs_http;
 pub mod server;
 pub mod testing;
 

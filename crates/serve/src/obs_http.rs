@@ -1,0 +1,161 @@
+//! HTTP-facing rendering of the observability state — shared by the
+//! shard daemon's and the router's `/debug/traces` and `/metrics`
+//! routes so the two tiers speak the same wire format.
+
+use extract_obs::{expo, PromWriter, RequestObs, Stage};
+
+use crate::http::Response;
+use crate::json::JsonWriter;
+use crate::server::ServerHandle;
+
+/// The flight recorder as JSON: `{"capacity": N, "traces": [...]}` with
+/// one object per trace (oldest first) carrying the zero-padded hex
+/// trace ID, recorder sequence number, route, status, end-to-end time
+/// and per-stage nanoseconds (stages that did not run are omitted).
+pub fn traces_json(obs: &RequestObs) -> String {
+    let mut w = JsonWriter::new();
+    w.obj_begin();
+    w.key("capacity");
+    w.num_u64(obs.trace_capacity() as u64);
+    w.key("traces");
+    w.arr_begin();
+    for trace in obs.traces() {
+        w.obj_begin();
+        w.key("trace");
+        w.str(&trace.id.to_string());
+        w.key("seq");
+        w.num_u64(trace.seq);
+        w.key("route");
+        w.str(trace.route);
+        w.key("status");
+        w.num_u64(u64::from(trace.status));
+        w.key("total_ns");
+        w.num_u64(trace.total_ns);
+        w.key("stages");
+        w.obj_begin();
+        for stage in Stage::ALL {
+            let ns = trace.stage(stage);
+            if ns > 0 {
+                w.key(stage.name());
+                w.num_u64(ns);
+            }
+        }
+        w.obj_end();
+        w.obj_end();
+    }
+    w.arr_end();
+    w.obj_end();
+    w.finish()
+}
+
+/// A `200` response with the Prometheus exposition content type.
+pub fn metrics_response(w: PromWriter) -> Response {
+    Response {
+        status: 200,
+        content_type: expo::CONTENT_TYPE,
+        body: w.finish().into_bytes(),
+        retry_after: None,
+        trace_id: None,
+    }
+}
+
+/// Emit the server-level counter/gauge families from
+/// [`ServerHandle::stats`] under the `extract_server_` prefix.
+pub fn write_server_metrics(w: &mut PromWriter, handle: &ServerHandle) {
+    let s = handle.stats();
+    for (name, help, value) in [
+        ("accepted", "Connections the acceptor saw.", s.accepted),
+        ("admitted", "Requests admitted to the queue.", s.admitted),
+        ("shed_queue_full", "Requests shed with 503 (queue full).", s.shed_queue_full),
+        ("shed_per_client", "Requests shed with 429 (per-client cap).", s.shed_per_client),
+        ("served_ok", "Requests answered 2xx.", s.served_ok),
+        ("served_error", "Requests answered 4xx/5xx.", s.served_error),
+        ("reused_requests", "Requests served on reused connections.", s.reused_requests),
+        ("request_timeouts", "Mid-request stalls answered 408.", s.request_timeouts),
+        ("idle_closed", "Connections closed for idling.", s.idle_closed),
+        ("io_errors", "Connections that died mid-read or mid-write.", s.io_errors),
+    ] {
+        let metric = format!("extract_server_{name}_total");
+        w.help(&metric, help);
+        w.type_(&metric, "counter");
+        w.sample_u64(&metric, &[], value);
+    }
+    for (name, help, value) in [
+        ("queue_len", "Requests waiting in the queue right now.", s.queue_len),
+        ("inflight", "Admitted-but-unanswered requests right now.", s.inflight),
+        ("parked", "Kept-alive connections parked right now.", s.parked),
+    ] {
+        let metric = format!("extract_server_{name}");
+        w.help(&metric, help);
+        w.type_(&metric, "gauge");
+        w.sample_u64(&metric, &[], value);
+    }
+    handle.obs().write_metrics(w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extract_obs::{TraceId, TraceRecord, STAGES};
+    use std::time::Duration;
+
+    #[test]
+    fn traces_render_as_valid_json_with_hex_ids_and_stages() {
+        let obs = RequestObs::new(8, Duration::from_secs(3600));
+        let mut stage_ns = [0u64; STAGES];
+        stage_ns[Stage::Search.index()] = 1234;
+        obs.observe(TraceRecord {
+            id: TraceId::parse("abc").expect("valid"),
+            seq: 0,
+            route: "/search",
+            status: 200,
+            stage_ns,
+            total_ns: 2000,
+        });
+        let body = traces_json(&obs);
+        let v = crate::json::parse(&body).expect("valid JSON");
+        assert_eq!(v.get("capacity").and_then(crate::json::Value::as_u64), Some(8));
+        let traces = v.get("traces").and_then(crate::json::Value::as_arr).expect("array");
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(
+            t.get("trace").and_then(crate::json::Value::as_str),
+            Some("0000000000000abc")
+        );
+        let stages = t.get("stages").expect("stages object");
+        assert_eq!(
+            stages.get("search").and_then(crate::json::Value::as_u64),
+            Some(1234)
+        );
+        assert!(stages.get("parse").is_none(), "zero stages omitted");
+    }
+
+    #[test]
+    fn request_metrics_expose_stage_histograms_and_quantiles() {
+        let obs = RequestObs::new(8, Duration::from_secs(3600));
+        let mut stage_ns = [0u64; STAGES];
+        stage_ns[Stage::Snippet.index()] = 900;
+        obs.observe(TraceRecord {
+            id: TraceId::mint(),
+            seq: 0,
+            route: "/search",
+            status: 200,
+            stage_ns,
+            total_ns: 1000,
+        });
+        let mut w = PromWriter::new();
+        obs.write_metrics(&mut w);
+        let body = w.finish();
+        assert!(
+            body.contains("extract_request_stage_duration_seconds_count{stage=\"snippet\"} 1"),
+            "{body}"
+        );
+        assert!(
+            body.contains(
+                "extract_request_stage_quantile_seconds{stage=\"snippet\",quantile=\"0.99\"}"
+            ),
+            "{body}"
+        );
+        assert!(body.contains("extract_request_duration_seconds_count 1"), "{body}");
+    }
+}

@@ -77,6 +77,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use extract_obs::{RequestObs, Stage, TraceId, TraceRecord};
+
 use crate::event::{arm_reset, bind_reuseaddr, socket_ready, PollerKind, Readiness};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::http::{is_timeout, read_request, write_response, HttpError, Request, Response};
@@ -113,6 +115,12 @@ pub struct ServeConfig {
     /// Production configs never set it; the `--fault` flag and the
     /// router's integration tests do.
     pub fault: Option<Arc<FaultPlan>>,
+    /// How many recent request traces the flight recorder keeps
+    /// (dumped by the `/debug/traces` route; see [`extract_obs`]).
+    pub trace_capacity: usize,
+    /// Requests slower than this end-to-end emit one structured
+    /// `key=value` line on stderr with their per-stage breakdown.
+    pub slow_request: Duration,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +135,8 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(5),
             poller: PollerKind::Auto,
             fault: None,
+            trace_capacity: 128,
+            slow_request: Duration::from_millis(500),
         }
     }
 }
@@ -241,6 +251,10 @@ struct Conn {
     peer: IpAddr,
     /// Requests already answered on this connection.
     served: u64,
+    /// When this connection last entered the admission queue; the
+    /// worker takes it to charge the wait to the request's `queue`
+    /// stage. `None` for inline keep-alive continuation (no wait).
+    enqueued_at: Option<Instant>,
 }
 
 impl Conn {
@@ -249,6 +263,7 @@ impl Conn {
             reader: BufReader::new(DeadlineStream { stream, deadline: None }),
             peer,
             served: 0,
+            enqueued_at: None,
         }
     }
 
@@ -296,6 +311,10 @@ struct Shared {
     /// [`SHED_THREADS_MAX`].
     shed_threads: AtomicU64,
     counters: Counters,
+    /// Request observability: stage/total histograms, flight recorder,
+    /// slow-request logging. Its internal mutex (`flight`) is terminal
+    /// in the lock order — nothing is acquired while it is held.
+    obs: RequestObs,
     addr: SocketAddr,
 }
 
@@ -358,6 +377,13 @@ impl ServerHandle {
     /// Whether shutdown was requested.
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The server's request observability: stage/total latency
+    /// histograms and the flight recorder, for `/metrics` and
+    /// `/debug/traces` handlers.
+    pub fn obs(&self) -> &RequestObs {
+        &self.shared.obs
     }
 
     /// A snapshot of the server counters.
@@ -435,6 +461,7 @@ impl Server {
             },
             shed_threads: AtomicU64::new(0),
             counters: Counters::default(),
+            obs: RequestObs::new(config.trace_capacity, config.slow_request),
             addr: listener.local_addr()?,
         });
         Ok(Server { listener, config, shared })
@@ -529,7 +556,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServeConfi
 /// source funnels through here: fresh connections from the acceptor,
 /// parked connections that turned readable, and kept-alive connections
 /// yielding the worker to queued peers.
-fn admit(shared: &Arc<Shared>, config: &ServeConfig, conn: Conn) -> bool {
+fn admit(shared: &Arc<Shared>, config: &ServeConfig, mut conn: Conn) -> bool {
     // Per-client fairness gate (on the canonical peer IP).
     {
         let inflight = lock_unpoisoned(&shared.inflight);
@@ -551,6 +578,7 @@ fn admit(shared: &Arc<Shared>, config: &ServeConfig, conn: Conn) -> bool {
             return false;
         }
         *lock_unpoisoned(&shared.inflight).entry(conn.peer).or_insert(0) += 1;
+        conn.enqueued_at = Some(Instant::now());
         queue.push_back(conn);
     }
     shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
@@ -741,14 +769,26 @@ fn serve_one<H>(shared: &Shared, config: &ServeConfig, conn: &mut Conn, handler:
 where
     H: Fn(&Request) -> Response + Sync,
 {
+    let started = Instant::now();
+    let queue_ns = match conn.enqueued_at.take() {
+        Some(enqueued) => extract_obs::elapsed_ns(enqueued),
+        None => 0,
+    };
     // The whole request must arrive within `io_timeout` of this worker
     // picking the connection up — an absolute deadline, so a client
     // dripping one byte per timeout window cannot pin the worker.
     conn.set_read_deadline(config.io_timeout);
-    let request = match read_request(&mut conn.reader) {
+    let mut request = match read_request(&mut conn.reader) {
         Ok(request) => request,
         Err(err) => return failed_request(shared, conn, err),
     };
+    let parse_ns = extract_obs::elapsed_ns(started);
+    // Adopt the client's trace ID or mint one; the response echoes the
+    // header only for traced callers (the router), so untraced clients
+    // see byte-identical responses.
+    let client_traced = request.trace_id.is_some();
+    let trace = request.trace_id.unwrap_or_else(TraceId::mint);
+    request.trace_id = Some(trace);
     conn.served += 1;
     if conn.served > 1 {
         shared.counters.reused.fetch_add(1, Ordering::Relaxed);
@@ -778,10 +818,20 @@ where
             Some(FaultAction::Exit(code)) => std::process::exit(code),
         }
     }
-    let response = match injected {
+    // Capture the enable gate once so begin/take stay paired even if it
+    // flips mid-request; the handler's `time_stage` calls land in this
+    // thread's accumulator.
+    let obs_enabled = extract_obs::is_enabled();
+    if obs_enabled {
+        extract_obs::trace_begin();
+    }
+    let mut response = match injected {
         Some(response) => response,
         None => handler(&request),
     };
+    if client_traced {
+        response.trace_id = Some(trace);
+    }
     // The shutdown check comes *after* the handler: a `/shutdown` route
     // sets the flag mid-request and its own response must already say
     // `Connection: close`.
@@ -791,7 +841,29 @@ where
     } else {
         &shared.counters.served_error
     };
-    if write_response(&mut conn.stream(), &response, keep_alive).is_err() {
+    let write_started = Instant::now();
+    let write_ok = write_response(&mut conn.stream(), &response, keep_alive).is_ok();
+    if obs_enabled {
+        let mut stage_ns = extract_obs::trace_take();
+        for (stage, ns) in [
+            (Stage::Parse, parse_ns),
+            (Stage::Queue, queue_ns),
+            (Stage::Write, extract_obs::elapsed_ns(write_started)),
+        ] {
+            if let Some(slot) = stage_ns.get_mut(stage.index()) {
+                *slot = ns;
+            }
+        }
+        shared.obs.observe(TraceRecord {
+            id: trace,
+            seq: 0, // assigned by the flight recorder
+            route: route_tag(&request.path),
+            status: response.status,
+            stage_ns,
+            total_ns: extract_obs::elapsed_ns(started),
+        });
+    }
+    if !write_ok {
         shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
         return After::Close;
     }
@@ -815,6 +887,21 @@ where
             shared.counters.io_errors.fetch_add(1, Ordering::Relaxed);
             After::Close
         }
+    }
+}
+
+/// The bounded route label a trace carries: known routes by name,
+/// everything else pooled as `other` so the label set (and the metric
+/// cardinality downstream) cannot be grown by request spam.
+fn route_tag(path: &str) -> &'static str {
+    match path {
+        "/search" => "/search",
+        "/stats" => "/stats",
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/debug/traces" => "/debug/traces",
+        "/shutdown" => "/shutdown",
+        _ => "other",
     }
 }
 

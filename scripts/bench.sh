@@ -56,6 +56,8 @@ if [[ "$MODE" == "check" ]]; then
     cargo bench --no-run --offline -p extract-bench
     echo "==> bench.sh --check: serve keep-alive probe (connection reuse must work)"
     cargo run --release --offline -p extract-bench --bin serve_throughput -- --check-keepalive
+    echo "==> bench.sh --check: instrumentation overhead probe (cache-hot A/B, <5% budget)"
+    cargo run --release --offline -p extract-bench --bin serve_throughput -- --check-obs-overhead
     echo "==> bench.sh --check: router scatter probe (2 shards, all 200, no degradation)"
     cargo run --release --offline -p extract-bench --bin router_throughput -- --check-router
     echo "bench.sh: compile check green"

@@ -28,6 +28,11 @@
 //!   --idle-timeout-ms N
 //!                    evict a kept-alive connection parked idle this long
 //!                    (default 5000)
+//!   --trace-capacity N
+//!                    flight-recorder depth: most recent request traces
+//!                    kept for /debug/traces (min 1, default 128)
+//!   --slow-ms N      slow-request threshold; requests at or over it log
+//!                    one key=value stage-breakdown line (default 500)
 //!   --gen-nodes N    target nodes per generated document (default 2000)
 //!   --seed S         generator seed (default 0xC0D)
 //!   --bound N        snippet size bound (default 10)
@@ -82,6 +87,8 @@ struct Options {
     keep_alive: bool,
     max_requests: u64,
     idle_timeout_ms: u64,
+    trace_capacity: usize,
+    slow_ms: u64,
     bound: usize,
     default_k: usize,
     max_k: usize,
@@ -104,6 +111,8 @@ impl Default for Options {
             keep_alive: true,
             max_requests: 256,
             idle_timeout_ms: 5_000,
+            trace_capacity: 128,
+            slow_ms: 500,
             bound: 10,
             default_k: 10,
             max_k: 100,
@@ -118,7 +127,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: serve [--corpus DIR | --gen-docs N] [--port P] [--workers N] \
          [--queue-depth N] [--per-client N] [--no-keep-alive] [--max-requests N] \
-         [--idle-timeout-ms N] [--gen-nodes N] [--seed S] [--bound N] \
+         [--idle-timeout-ms N] [--trace-capacity N] [--slow-ms N] \
+         [--gen-nodes N] [--seed S] [--bound N] \
          [--default-k N] [--max-k N] [--cache N] [--fault SPEC]... [--self-check]"
     );
     ExitCode::from(2)
@@ -153,6 +163,8 @@ fn parse_options() -> Result<Options, ExitCode> {
             "--idle-timeout-ms" => {
                 options.idle_timeout_ms = parse_num(&value(&mut i)?)? as u64;
             }
+            "--trace-capacity" => options.trace_capacity = parse_num(&value(&mut i)?)?,
+            "--slow-ms" => options.slow_ms = parse_num(&value(&mut i)?)? as u64,
             "--bound" => options.bound = parse_num(&value(&mut i)?)?,
             "--default-k" => options.default_k = parse_num(&value(&mut i)?)?,
             "--max-k" => options.max_k = parse_num(&value(&mut i)?)?,
@@ -257,6 +269,8 @@ fn main() -> ExitCode {
         keep_alive: options.keep_alive,
         max_requests_per_connection: options.max_requests,
         idle_timeout: Duration::from_millis(options.idle_timeout_ms),
+        trace_capacity: options.trace_capacity,
+        slow_request: Duration::from_millis(options.slow_ms),
         fault,
         ..Default::default()
     };

@@ -9,6 +9,8 @@
 //! |-------|--------|--------|
 //! | `/search?q=…&k=…&offset=…` | `GET` | one ranked, snippeted result page |
 //! | `/stats` | `GET` | server + session + corpus counters |
+//! | `/metrics` | `GET` | Prometheus text exposition (counters + stage histograms) |
+//! | `/debug/traces` | `GET` | the flight recorder (recent request traces) as JSON |
 //! | `/healthz` | `GET` | liveness probe |
 //! | `/shutdown` | `POST` | begin graceful drain |
 //!
@@ -22,6 +24,8 @@
 
 use extract_corpus::Corpus;
 use extract_core::{CacheStats, ExtractConfig};
+use extract_obs::{PromWriter, Stage};
+use extract_serve::obs_http;
 use extract_serve::{JsonWriter, Request, Response, ServerHandle};
 
 use crate::session::QuerySession;
@@ -96,6 +100,11 @@ impl<'d> SearchApp<'d> {
                 w.obj_end();
                 Response::json(if draining { 503 } else { 200 }, w.finish())
             }
+            ("GET", "/metrics") => self.metrics(),
+            ("GET", "/debug/traces") => match &self.server {
+                Some(handle) => Response::json(200, obs_http::traces_json(handle.obs())),
+                None => Response::error(503, "no server attached"),
+            },
             ("POST", "/shutdown") => match &self.server {
                 Some(handle) => {
                     handle.shutdown();
@@ -108,9 +117,8 @@ impl<'d> SearchApp<'d> {
                 }
                 None => Response::error(503, "no server attached"),
             },
-            (_, "/search" | "/stats" | "/healthz" | "/shutdown") => {
-                Response::error(405, "method not allowed")
-            }
+            (_, "/search" | "/stats" | "/healthz" | "/shutdown" | "/metrics"
+            | "/debug/traces") => Response::error(405, "method not allowed"),
             _ => Response::error(404, "no such route"),
         }
     }
@@ -136,45 +144,85 @@ impl<'d> SearchApp<'d> {
         Response::json(200, self.render_search(q, k, offset))
     }
 
+    /// The `/metrics` body: server counters and request-stage latency
+    /// histograms (via [`obs_http`]) plus the session's cache and corpus
+    /// gauges, in Prometheus text exposition format.
+    fn metrics(&self) -> Response {
+        let Some(handle) = &self.server else {
+            return Response::error(503, "no server attached");
+        };
+        let mut w = PromWriter::new();
+        obs_http::write_server_metrics(&mut w, handle);
+        w.help("extract_cache_events_total", "Session cache hits/misses/evictions.");
+        w.type_("extract_cache_events_total", "counter");
+        for (cache, stats) in [
+            ("page_cache", self.session.page_stats()),
+            ("corpus_page_cache", self.session.corpus_page_stats()),
+            ("snippet_cache", self.session.snippet_stats()),
+        ] {
+            for (event, value) in [
+                ("hit", stats.hits),
+                ("miss", stats.misses),
+                ("eviction", stats.evictions),
+            ] {
+                w.sample_u64(
+                    "extract_cache_events_total",
+                    &[("cache", cache), ("event", event)],
+                    value,
+                );
+            }
+        }
+        if let Some(corpus) = self.session.corpus() {
+            w.help("extract_corpus_documents", "Documents in the served corpus.");
+            w.type_("extract_corpus_documents", "gauge");
+            w.sample_u64("extract_corpus_documents", &[], corpus.len() as u64);
+        }
+        obs_http::metrics_response(w)
+    }
+
     /// The `/search` body for `(q, k, offset)` — public so tests and the
     /// load generator can compute the expected bytes without a socket.
     pub fn render_search(&self, q: &str, k: usize, offset: usize) -> String {
+        // `answer_corpus_topk` times its own `search` and `snippet`
+        // stages; JSON rendering is this request's `serialize` span.
         let page = self.session.answer_corpus_topk(q, &self.config.snippet, k, offset);
         let corpus = self.session.corpus();
-        let mut w = JsonWriter::new();
-        w.obj_begin();
-        w.key("query");
-        w.str(q);
-        w.key("k");
-        w.num_u64(page.k as u64);
-        w.key("offset");
-        w.num_u64(page.offset as u64);
-        w.key("total");
-        w.num_u64(page.total as u64);
-        w.key("count");
-        w.num_u64(page.results.len() as u64);
-        w.key("results");
-        w.arr_begin();
-        for answer in page.results.iter() {
+        extract_obs::time_stage(Stage::Serialize, || {
+            let mut w = JsonWriter::new();
             w.obj_begin();
-            w.key("doc");
-            match corpus {
-                Some(corpus) => w.str(corpus.name(answer.doc)),
-                None => w.str("document"),
+            w.key("query");
+            w.str(q);
+            w.key("k");
+            w.num_u64(page.k as u64);
+            w.key("offset");
+            w.num_u64(page.offset as u64);
+            w.key("total");
+            w.num_u64(page.total as u64);
+            w.key("count");
+            w.num_u64(page.results.len() as u64);
+            w.key("results");
+            w.arr_begin();
+            for answer in page.results.iter() {
+                w.obj_begin();
+                w.key("doc");
+                match corpus {
+                    Some(corpus) => w.str(corpus.name(answer.doc)),
+                    None => w.str("document"),
+                }
+                w.key("doc_id");
+                w.num_u64(answer.doc.index() as u64);
+                w.key("root");
+                w.num_u64(answer.result.result.root.index() as u64);
+                w.key("score");
+                w.num_f64(answer.score);
+                w.key("snippet");
+                w.str(&answer.result.snippet.to_xml());
+                w.obj_end();
             }
-            w.key("doc_id");
-            w.num_u64(answer.doc.index() as u64);
-            w.key("root");
-            w.num_u64(answer.result.result.root.index() as u64);
-            w.key("score");
-            w.num_f64(answer.score);
-            w.key("snippet");
-            w.str(&answer.result.snippet.to_xml());
+            w.arr_end();
             w.obj_end();
-        }
-        w.arr_end();
-        w.obj_end();
-        w.finish()
+            w.finish()
+        })
     }
 
     /// The `/stats` body: server counters (when attached), session cache
@@ -314,6 +362,7 @@ mod tests {
             query: query.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
             http11: true,
             keep_alive: true,
+            trace_id: None,
         }
     }
 
@@ -425,6 +474,17 @@ mod tests {
         // Snippets containing XML quotes survive the JSON layer.
         let page = app.render_search("levis quoted", 5, 0);
         json::parse(&page).expect("quoted snippet stays valid JSON");
+    }
+
+    #[test]
+    fn metrics_and_traces_require_an_attached_server() {
+        let corpus = tiny_corpus();
+        let app =
+            SearchApp::new(QuerySession::from_corpus(&corpus), SearchAppConfig::default());
+        assert_eq!(app.handle(&request("GET", "/metrics", &[])).status, 503);
+        assert_eq!(app.handle(&request("GET", "/debug/traces", &[])).status, 503);
+        assert_eq!(app.handle(&request("POST", "/metrics", &[])).status, 405);
+        assert_eq!(app.handle(&request("POST", "/debug/traces", &[])).status, 405);
     }
 
     #[test]

@@ -395,46 +395,57 @@ impl<'d> QuerySession<'d> {
                 return CorpusTopK { results, total, k, offset };
             }
         }
-        let candidates: Vec<DocId> = match (&self.engines, query.is_empty()) {
-            (_, true) => Vec::new(),
-            (Engines::Single(_), false) => vec![DocId::from_index(0)],
-            (Engines::Corpus { corpus, .. }, false) => {
-                let keywords: Vec<&str> =
-                    query.keywords().iter().map(String::as_str).collect();
-                let (docs, fanin) = corpus.candidate_docs_str(&keywords);
-                self.fanin_postings.fetch_add(fanin.postings_touched, Ordering::Relaxed);
-                self.fanin_directory.fetch_add(fanin.directory_touched, Ordering::Relaxed);
-                docs
+        // Stage 1 — search + rank only: no snippet work yet. Timed as
+        // the request's `search` span (the cache-hit return above
+        // records no stage at all — a hit does no search work).
+        let ranked = extract_obs::time_stage(extract_obs::Stage::Search, || {
+            let candidates: Vec<DocId> = match (&self.engines, query.is_empty()) {
+                (_, true) => Vec::new(),
+                (Engines::Single(_), false) => vec![DocId::from_index(0)],
+                (Engines::Corpus { corpus, .. }, false) => {
+                    let keywords: Vec<&str> =
+                        query.keywords().iter().map(String::as_str).collect();
+                    let (docs, fanin) = corpus.candidate_docs_str(&keywords);
+                    self.fanin_postings
+                        .fetch_add(fanin.postings_touched, Ordering::Relaxed);
+                    self.fanin_directory
+                        .fetch_add(fanin.directory_touched, Ordering::Relaxed);
+                    docs
+                }
+            };
+            let mut ranked: Vec<(DocId, f64, extract_search::QueryResult)> = Vec::new();
+            for doc in candidates {
+                let extract = self.engine(doc);
+                for r in extract.ranked_results(&query) {
+                    ranked.push((doc, r.score, r.result));
+                }
             }
-        };
-        // Stage 1 — search + rank only: no snippet work yet.
-        let mut ranked: Vec<(DocId, f64, extract_search::QueryResult)> = Vec::new();
-        for doc in candidates {
-            let extract = self.engine(doc);
-            for r in extract.ranked_results(&query) {
-                ranked.push((doc, r.score, r.result));
-            }
-        }
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-                .then_with(|| a.2.root.cmp(&b.2.root))
+            ranked.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+                    .then_with(|| a.2.root.cmp(&b.2.root))
+            });
+            ranked
         });
-        // Stage 2 — snippets for the served window only.
+        // Stage 2 — snippets for the served window only (the `snippet`
+        // span).
         let total = ranked.len();
         let start = offset.min(total);
         let end = offset.saturating_add(k).min(total);
-        let mut scratch = IListScratch::default();
-        let window: Vec<CorpusAnswer> = ranked[start..end]
-            .iter()
-            .map(|(doc, score, result)| {
-                let extract = self.engine(*doc);
-                let result =
-                    self.snippet_for(extract, *doc, &query, result, config, &mut scratch);
-                CorpusAnswer { doc: *doc, score: *score, result }
-            })
-            .collect();
+        let window: Vec<CorpusAnswer> =
+            extract_obs::time_stage(extract_obs::Stage::Snippet, || {
+                let mut scratch = IListScratch::default();
+                ranked[start..end]
+                    .iter()
+                    .map(|(doc, score, result)| {
+                        let extract = self.engine(*doc);
+                        let result = self
+                            .snippet_for(extract, *doc, &query, result, config, &mut scratch);
+                        CorpusAnswer { doc: *doc, score: *score, result }
+                    })
+                    .collect()
+            });
         let results: CorpusPage = window.into();
         if let Some(pkey) = pkey {
             self.corpus_pages

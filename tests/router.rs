@@ -11,6 +11,11 @@
 //!    `"partial": true` with the survivor's correct results, the dead
 //!    shard's breaker opens, and a shard restart on the same port heals
 //!    the router without restarting it.
+//! 3. **Observability** (subprocess test): a client-supplied
+//!    `X-Trace-Id` is echoed by the router and shows up — with per-stage
+//!    timings — in *both* tiers' `/debug/traces`, and both tiers serve a
+//!    Prometheus `/metrics` exposition with the shared request-stage
+//!    families.
 
 use std::io::BufRead;
 use std::net::SocketAddr;
@@ -34,6 +39,7 @@ fn get(app: &RouterApp, path: &str, query: &[(&str, String)]) -> Response {
         query: query.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
         http11: true,
         keep_alive: true,
+        trace_id: None,
     })
 }
 
@@ -348,4 +354,120 @@ fn router_survives_shard_death_and_heals_on_restart_under_load() {
         body.get("shards").and_then(|s| s.get("answered")).and_then(Value::as_u64),
         Some(2)
     );
+}
+
+/// One raw HTTP/1.1 exchange over a fresh socket: returns the status
+/// line's code, the (lowercased) header lines, and the body.
+fn raw_get(addr: SocketAddr, target: &str, headers: &[&str]) -> (u16, Vec<String>, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut head = format!("GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n");
+    for header in headers {
+        head.push_str(header);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|c| c.parse().ok())
+        .expect("status line");
+    (status, lines.map(|l| l.to_ascii_lowercase()).collect(), body.to_string())
+}
+
+#[test]
+fn a_trace_id_follows_one_request_across_both_tiers() {
+    let shard =
+        ShardProc::spawn(&["--gen-docs", "2", "--gen-nodes", "300", "--seed", "3", "--port", "0"]);
+    let (tx, rx) = mpsc::channel();
+    let shard_addr = shard.addr;
+    let router_thread = std::thread::spawn(move || {
+        extract_router::serve_router(
+            "127.0.0.1:0",
+            ServeConfig { workers: 2, ..ServeConfig::default() },
+            RouterConfig {
+                shards: vec![shard_addr],
+                hedge: None,
+                request_deadline: Duration::from_secs(5),
+                ..RouterConfig::default()
+            },
+            |addr, handle| tx.send((addr, handle)).expect("report router"),
+        )
+        .expect("router serves");
+    });
+    let (router_addr, router_handle) = rx.recv().expect("router up");
+
+    // The trace ID rides the request in and is echoed on the way out.
+    let (status, headers, _body) =
+        raw_get(router_addr, "/search?q=texas", &["X-Trace-Id: deadbeef"]);
+    assert_eq!(status, 200);
+    assert!(
+        headers.iter().any(|h| h == "x-trace-id: 00000000deadbeef"),
+        "router must echo the client's trace ID, got {headers:?}"
+    );
+
+    // Both tiers' flight recorders hold the same trace, with stage
+    // timings recorded where the work happened.
+    let find_trace = |body: &str| -> Option<Value> {
+        json::parse(body)
+            .expect("valid traces JSON")
+            .get("traces")
+            .and_then(Value::as_arr)
+            .and_then(|traces| {
+                traces
+                    .iter()
+                    .find(|t| {
+                        t.get("trace").and_then(Value::as_str) == Some("00000000deadbeef")
+                    })
+                    .cloned()
+            })
+    };
+    let (status, _, router_traces) = raw_get(router_addr, "/debug/traces", &[]);
+    assert_eq!(status, 200);
+    let router_trace = find_trace(&router_traces).expect("trace in the router's recorder");
+    let router_stages = router_trace.get("stages").expect("stages");
+    assert!(
+        router_stages.get("search").and_then(Value::as_u64).unwrap_or(0) > 0,
+        "the router's search span is the scatter-gather: {router_traces}"
+    );
+    let (status, _, shard_traces) = raw_get(shard.addr, "/debug/traces", &[]);
+    assert_eq!(status, 200);
+    let shard_trace = find_trace(&shard_traces).expect("trace in the shard's recorder");
+    assert!(
+        shard_trace
+            .get("stages")
+            .and_then(|s| s.get("search"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "the shard's search span is the index walk: {shard_traces}"
+    );
+
+    // Both daemons expose the shared request-stage metric families.
+    for (addr, who) in [(router_addr, "router"), (shard.addr, "shard")] {
+        let (status, headers, body) = raw_get(addr, "/metrics", &[]);
+        assert_eq!(status, 200, "{who} /metrics");
+        assert!(
+            headers.iter().any(|h| h.starts_with("content-type: text/plain; version=0.0.4")),
+            "{who} must use the Prometheus exposition content type, got {headers:?}"
+        );
+        assert!(
+            body.contains("extract_request_stage_duration_seconds_bucket{stage=\"search\""),
+            "{who} /metrics must carry the search stage histogram:\n{body}"
+        );
+        assert!(body.contains("extract_server_accepted_total"), "{who} server counters");
+    }
+    let (_, _, router_metrics) = raw_get(router_addr, "/metrics", &[]);
+    assert!(
+        router_metrics.contains("extract_router_shard_latency_seconds_bucket{shard=\"0\""),
+        "per-shard latency histograms:\n{router_metrics}"
+    );
+
+    router_handle.shutdown();
+    router_thread.join().expect("router thread");
 }

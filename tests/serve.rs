@@ -292,6 +292,7 @@ fn healthz_reports_draining_with_503_once_shutdown_begins() {
         query: Vec::new(),
         http11: true,
         keep_alive: true,
+        trace_id: None,
     };
 
     let before = app.handle(&healthz);
