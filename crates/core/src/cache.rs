@@ -9,7 +9,10 @@
 //! is `DocId` 0 for single-document sessions; corpus sessions key entries
 //! by the result's real [`extract_index::DocId`] so one shared cache can
 //! serve every document of a corpus. Document *content* is still not part
-//! of the key: a cache belongs to one immutable document set.
+//! of the key — but the [`DocId`] generation is, so in a live corpus a
+//! re-ingested document occupies a fresh key and stale entries for the old
+//! generation can never be served (they are also purged eagerly via
+//! [`LruCache::retain`] when a document is mutated).
 //!
 //! Eviction is least-recently-used with a configurable capacity, built on
 //! the generic [`LruCache`] (which the serving layer also reuses for whole
@@ -80,6 +83,12 @@ impl CacheKey {
             selector: config.selector,
         }
     }
+
+    /// The document this entry's snippet was generated from — what a live
+    /// corpus matches on when it invalidates one mutated document.
+    pub fn doc(&self) -> DocId {
+        self.doc
+    }
 }
 
 /// Page-cache key: everything that determines a whole result *page* —
@@ -105,6 +114,12 @@ pub struct PageKey {
     k: usize,
     /// Rank of the first materialized result.
     offset: usize,
+    /// Corpus epoch the page was computed against (`0` for static
+    /// sessions). A page aggregates candidates from *every* document, so
+    /// per-document invalidation cannot save it — any mutation changes
+    /// the candidate set and the epoch in the key retires the whole page
+    /// generation at once.
+    epoch: u64,
 }
 
 impl PageKey {
@@ -128,7 +143,20 @@ impl PageKey {
             selector: config.selector,
             k,
             offset,
+            epoch: 0,
         }
+    }
+
+    /// The same window pinned to corpus epoch `epoch` — the live-corpus
+    /// page key (epoch `0` is exactly the static [`PageKey::bounded`]).
+    pub fn at_epoch(mut self, epoch: u64) -> PageKey {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The corpus epoch this page belongs to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
@@ -275,6 +303,17 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     /// [`LruCache::clear`]).
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Drop every entry whose key fails `keep`, preserving recency of the
+    /// survivors — the targeted-invalidation primitive for live corpora
+    /// (e.g. "drop all snippets of the document that was just deleted").
+    /// Removals are invalidations, not capacity pressure, so they do not
+    /// count as evictions.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
+        self.map.retain(|k, _| keep(k));
+        let map = &self.map;
+        self.recency.retain(|_, k| map.contains_key(k));
     }
 
     /// Drop all entries and reset the counters.
@@ -500,5 +539,49 @@ mod tests {
         cache.insert("b", 2);
         assert_eq!(cache.get(&"b"), Some(2));
         assert!(cache.stats().hit_ratio() > 0.99);
+    }
+
+    #[test]
+    fn retain_drops_matching_keys_only() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(8);
+        for i in 0..6u32 {
+            cache.insert(i, i * 10);
+        }
+        cache.retain(|k| k % 2 == 0);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(&2), Some(20));
+        assert_eq!(cache.get(&3), None);
+        assert_eq!(cache.stats().evictions, 0, "invalidations are not evictions");
+        // Recency index stays consistent: filling past capacity after a
+        // retain still evicts cleanly.
+        for i in 10..20u32 {
+            cache.insert(i, i);
+        }
+        assert_eq!(cache.len(), 8);
+    }
+
+    #[test]
+    fn epoch_partitions_page_keys() {
+        let config = ExtractConfig::default();
+        let q = KeywordQuery::parse("store texas");
+        let old = PageKey::bounded(&q, &config, 10, 0);
+        let new = PageKey::bounded(&q, &config, 10, 0).at_epoch(3);
+        assert_ne!(old, new, "different corpus epochs never alias");
+        assert_eq!(old.epoch(), 0);
+        assert_eq!(new.epoch(), 3);
+        assert_eq!(old, old.clone().at_epoch(0), "epoch 0 is the static key");
+    }
+
+    #[test]
+    fn generations_partition_cache_keys() {
+        let config = ExtractConfig::default();
+        let doc = setup();
+        let q = KeywordQuery::parse("store texas");
+        let slot0 = extract_index::DocId::from_parts(4, 0);
+        let slot1 = extract_index::DocId::from_parts(4, 1);
+        let a = CacheKey::for_doc(&q, slot0, doc.root(), &config);
+        let b = CacheKey::for_doc(&q, slot1, doc.root(), &config);
+        assert_ne!(a, b, "slot reuse must not alias cache entries");
+        assert_eq!(a.doc(), slot0);
     }
 }

@@ -75,6 +75,6 @@ pub mod snippet;
 pub use cache::{CacheKey, CacheStats, LruCache, PageKey, SnippetCache};
 pub use dominance::{dominant_features, DominantFeature};
 pub use ilist::{IList, IListItem, RankedItem};
-pub use pipeline::{Extract, ExtractConfig, SelectorKind, SnippetedResult};
+pub use pipeline::{EngineParts, Extract, ExtractConfig, SelectorKind, SnippetedResult};
 pub use selector::{exact_select, greedy_select, SelectionOutcome};
 pub use snippet::Snippet;

@@ -5,6 +5,8 @@
 //! through Return Entity Identifier → Query Result Key Identifier →
 //! Dominant Feature Identifier → IList → Instance Selector.
 
+use std::sync::Arc;
+
 use extract_analyzer::{EntityModel, KeyCatalog, ResultStats};
 use extract_index::XmlIndex;
 use extract_search::ranking::RankedResult;
@@ -64,22 +66,41 @@ pub struct SnippetedResult {
     pub snippet: Snippet,
 }
 
-/// The eXtract system bound to one document.
-#[derive(Debug)]
+/// The offline artifacts of one document — index, entity model, mined
+/// keys — behind `Arc`s so many [`Extract`] engines (e.g. one per query
+/// snapshot of a live corpus) can share one build. Cloning is three
+/// refcount bumps.
+#[derive(Debug, Clone)]
+pub struct EngineParts {
+    index: Arc<XmlIndex>,
+    model: Arc<EntityModel>,
+    keys: Arc<KeyCatalog>,
+}
+
+impl EngineParts {
+    /// Run the offline stages for `doc`.
+    pub fn build(doc: &Document) -> EngineParts {
+        let index = XmlIndex::build(doc);
+        let model = EntityModel::analyze(doc);
+        let keys = KeyCatalog::mine(doc, &model);
+        EngineParts { index: Arc::new(index), model: Arc::new(model), keys: Arc::new(keys) }
+    }
+}
+
+/// The eXtract system bound to one document. The offline artifacts are
+/// `Arc`-shared ([`EngineParts`]), so cloning an engine — or building one
+/// from cached parts via [`Extract::with_parts`] — is cheap; only the
+/// `Document` itself is borrowed.
+#[derive(Debug, Clone)]
 pub struct Extract<'d> {
     doc: &'d Document,
-    index: XmlIndex,
-    model: EntityModel,
-    keys: KeyCatalog,
+    parts: EngineParts,
 }
 
 impl<'d> Extract<'d> {
     /// Run the offline stages for `doc`.
     pub fn new(doc: &'d Document) -> Extract<'d> {
-        let index = XmlIndex::build(doc);
-        let model = EntityModel::analyze(doc);
-        let keys = KeyCatalog::mine(doc, &model);
-        Extract { doc, index, model, keys }
+        Extract { doc, parts: EngineParts::build(doc) }
     }
 
     /// Assemble from pre-built components.
@@ -89,7 +110,25 @@ impl<'d> Extract<'d> {
         model: EntityModel,
         keys: KeyCatalog,
     ) -> Extract<'d> {
-        Extract { doc, index, model, keys }
+        Extract {
+            doc,
+            parts: EngineParts {
+                index: Arc::new(index),
+                model: Arc::new(model),
+                keys: Arc::new(keys),
+            },
+        }
+    }
+
+    /// Bind shared offline artifacts (from [`EngineParts::build`] on the
+    /// same document) to a borrow of that document.
+    pub fn with_parts(doc: &'d Document, parts: EngineParts) -> Extract<'d> {
+        Extract { doc, parts }
+    }
+
+    /// The shared offline artifacts (an `Arc` clone per component).
+    pub fn parts(&self) -> EngineParts {
+        self.parts.clone()
     }
 
     /// The document.
@@ -99,25 +138,25 @@ impl<'d> Extract<'d> {
 
     /// The index.
     pub fn index(&self) -> &XmlIndex {
-        &self.index
+        &self.parts.index
     }
 
     /// The entity model.
     pub fn model(&self) -> &EntityModel {
-        &self.model
+        &self.parts.model
     }
 
     /// The mined key catalog.
     pub fn keys(&self) -> &KeyCatalog {
-        &self.keys
+        &self.parts.keys
     }
 
     /// Build the IList of one query result (§2.1–§2.3).
     pub fn ilist(&self, query: &KeywordQuery, result: &QueryResult, config: &ExtractConfig) -> IList {
         build_ilist(
             self.doc,
-            &self.model,
-            &self.keys,
+            &self.parts.model,
+            &self.parts.keys,
             query,
             result,
             &IListOptions { max_dominant_features: config.max_dominant_features },
@@ -143,11 +182,11 @@ impl<'d> Extract<'d> {
         config: &ExtractConfig,
         scratch: &mut IListScratch,
     ) -> SnippetedResult {
-        let stats = ResultStats::compute(self.doc, &self.model, result.root);
+        let stats = ResultStats::compute(self.doc, &self.parts.model, result.root);
         let ilist = build_ilist_with_scratch(
             self.doc,
-            &self.model,
-            &self.keys,
+            &self.parts.model,
+            &self.parts.keys,
             query,
             result,
             &stats,
@@ -173,7 +212,7 @@ impl<'d> Extract<'d> {
     /// (the shared front half of every end-to-end entry point).
     pub fn ranked_results(&self, query: &KeywordQuery) -> Vec<RankedResult> {
         let results =
-            xseek::search(self.doc, &self.index, &self.model, query, RootPolicy::Entity);
+            xseek::search(self.doc, &self.parts.index, &self.parts.model, query, RootPolicy::Entity);
         extract_search::rank(self.doc, results)
     }
 

@@ -23,6 +23,14 @@
 //! merged across documents) lives in the umbrella crate's `QuerySession`,
 //! which wraps a [`Corpus`] with lazily-built per-document engines.
 //!
+//! A corpus is **slotted**: each document occupies a dense slot and its
+//! [`DocId`] carries the slot's reuse *generation*. A corpus built once
+//! ([`CorpusBuilder`]) is dense and all-generation-`0`; the [`live`]
+//! module wraps corpora in a [`live::LiveCorpus`] writer that applies
+//! add/update/delete mutations by rebuilding and atomically republishing
+//! an [`std::sync::Arc`]`<Corpus>` snapshot under a bumped epoch, while
+//! in-flight readers finish on the snapshot they hold.
+//!
 //! ```
 //! use extract_corpus::CorpusBuilder;
 //!
@@ -42,11 +50,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::sync::Arc;
+
 use extract_index::sharded::{ShardedPostings, ShardedPostingsBuilder};
 use extract_xml::{Document, ParseOptions};
 
+pub mod live;
+
 pub use extract_index::sharded::{DocId, FanIn, Posting, MAX_LABEL_SHARDS};
 pub use extract_index::TokenId;
+pub use live::{LiveCorpus, Mutation};
 
 /// Why a document was rejected during ingestion.
 #[derive(Debug)]
@@ -69,6 +82,10 @@ impl std::error::Error for RejectedDocument {
     }
 }
 
+/// Default cap on retained rejection-log entries
+/// ([`CorpusOptions::max_rejected`]).
+pub const DEFAULT_MAX_REJECTED: usize = 64;
+
 /// Ingestion options.
 #[derive(Debug, Clone)]
 pub struct CorpusOptions {
@@ -78,17 +95,29 @@ pub struct CorpusOptions {
     pub max_label_shards: usize,
     /// Parser options for [`CorpusBuilder::add_document`].
     pub parse: ParseOptions,
+    /// Cap on retained rejection-log names. A hostile ingest stream can
+    /// push unbounded malformed documents at a live daemon; beyond this
+    /// many retained names the log stops growing and further rejections
+    /// are only *counted* ([`Corpus::rejected_dropped`]).
+    pub max_rejected: usize,
 }
 
 impl Default for CorpusOptions {
     fn default() -> Self {
-        CorpusOptions { max_label_shards: MAX_LABEL_SHARDS, parse: ParseOptions::default() }
+        CorpusOptions {
+            max_label_shards: MAX_LABEL_SHARDS,
+            parse: ParseOptions::default(),
+            max_rejected: DEFAULT_MAX_REJECTED,
+        }
     }
 }
 
-/// One retained document with its caller-supplied name.
+/// One retained document with its caller-supplied name and its full
+/// `(slot, generation)` identity. `Arc`-shared between a live writer and
+/// every published corpus snapshot that still contains the document.
 #[derive(Debug)]
 struct DocEntry {
+    id: DocId,
     name: String,
     doc: Document,
 }
@@ -99,9 +128,10 @@ struct DocEntry {
 pub struct CorpusBuilder {
     options: CorpusOptions,
     postings: ShardedPostingsBuilder,
-    docs: Vec<DocEntry>,
+    docs: Vec<Arc<DocEntry>>,
     total_nodes: usize,
     rejected: Vec<String>,
+    rejected_dropped: u64,
 }
 
 impl Default for CorpusBuilder {
@@ -119,7 +149,14 @@ impl CorpusBuilder {
     /// A builder with explicit options.
     pub fn with_options(options: CorpusOptions) -> CorpusBuilder {
         let postings = ShardedPostingsBuilder::with_label_shards(options.max_label_shards);
-        CorpusBuilder { options, postings, docs: Vec::new(), total_nodes: 0, rejected: Vec::new() }
+        CorpusBuilder {
+            options,
+            postings,
+            docs: Vec::new(),
+            total_nodes: 0,
+            rejected: Vec::new(),
+            rejected_dropped: 0,
+        }
     }
 
     /// Parse `xml` and fold it in. A malformed document is rejected
@@ -130,7 +167,12 @@ impl CorpusBuilder {
         match Document::parse_with(xml, &self.options.parse) {
             Ok(doc) => Ok(self.add_parsed(name, doc)),
             Err(error) => {
-                self.rejected.push(name.to_string());
+                record_rejection(
+                    &mut self.rejected,
+                    &mut self.rejected_dropped,
+                    self.options.max_rejected,
+                    name,
+                );
                 Err(RejectedDocument { name: name.to_string(), error })
             }
         }
@@ -142,7 +184,7 @@ impl CorpusBuilder {
         let id = self.postings.add_document(&doc);
         debug_assert_eq!(id.index(), self.docs.len());
         self.total_nodes += doc.len();
-        self.docs.push(DocEntry { name: name.to_string(), doc });
+        self.docs.push(Arc::new(DocEntry { id, name: name.to_string(), doc }));
         id
     }
 
@@ -161,46 +203,106 @@ impl CorpusBuilder {
         self.total_nodes
     }
 
-    /// Names of the documents rejected so far (in rejection order).
+    /// Names of the documents rejected so far (in rejection order, capped
+    /// at [`CorpusOptions::max_rejected`] retained names).
     pub fn rejected(&self) -> &[String] {
         &self.rejected
     }
 
-    /// Finalize into an immutable [`Corpus`]. The rejection log is
-    /// carried along ([`Corpus::rejected`]), so a serving layer can still
-    /// report which inputs never made it in.
+    /// Rejections beyond the retention cap — counted, not named.
+    pub fn rejected_dropped(&self) -> u64 {
+        self.rejected_dropped
+    }
+
+    /// Finalize into an immutable [`Corpus`] (dense slots, all generation
+    /// `0`, epoch `0`). The rejection log is carried along
+    /// ([`Corpus::rejected`]), so a serving layer can still report which
+    /// inputs never made it in.
     pub fn finish(self) -> Corpus {
+        let live = self.docs.len();
         Corpus {
             postings: self.postings.finish(),
-            docs: self.docs,
+            slots: self.docs.into_iter().map(Some).collect(),
+            live,
             total_nodes: self.total_nodes,
+            epoch: 0,
             rejected: self.rejected,
+            rejected_dropped: self.rejected_dropped,
         }
     }
 }
 
-/// An immutable multi-document corpus: documents behind stable [`DocId`]s
-/// plus the corpus-wide sharded postings.
+/// Append `name` to a bounded rejection log, counting (instead of
+/// retaining) everything past `max_rejected`.
+fn record_rejection(log: &mut Vec<String>, dropped: &mut u64, max_rejected: usize, name: &str) {
+    if log.len() < max_rejected {
+        log.push(name.to_string());
+    } else {
+        *dropped += 1;
+    }
+}
+
+/// An immutable multi-document corpus snapshot: documents behind stable
+/// generational [`DocId`]s plus the corpus-wide sharded postings.
+///
+/// Documents live in *slots*; a freshly built corpus is dense, but a
+/// snapshot published by a [`LiveCorpus`] can hold free slots where
+/// documents were deleted. [`Corpus::len`] counts live documents;
+/// [`Corpus::slot_count`] is the slot-array length (what a per-slot
+/// engine table must be sized to).
 #[derive(Debug)]
 pub struct Corpus {
     postings: ShardedPostings,
-    docs: Vec<DocEntry>,
+    slots: Vec<Option<Arc<DocEntry>>>,
+    live: usize,
     total_nodes: usize,
+    epoch: u64,
     rejected: Vec<String>,
+    rejected_dropped: u64,
 }
 
 impl Corpus {
-    /// Number of documents.
+    /// Assemble a snapshot from a live writer's slot table (crate-private:
+    /// the invariants — `live`/`total_nodes` matching the slots, postings
+    /// folded under each entry's exact id — are the writer's to uphold).
+    pub(crate) fn from_live_parts(
+        postings: ShardedPostings,
+        slots: Vec<Option<Arc<DocEntry>>>,
+        total_nodes: usize,
+        epoch: u64,
+        rejected: Vec<String>,
+        rejected_dropped: u64,
+    ) -> Corpus {
+        let live = slots.iter().filter(|s| s.is_some()).count();
+        Corpus { postings, slots, live, total_nodes, epoch, rejected, rejected_dropped }
+    }
+
+    /// Number of live documents.
     pub fn len(&self) -> usize {
-        self.docs.len()
+        self.live
     }
 
-    /// Whether the corpus holds no documents.
+    /// Whether the corpus holds no live documents.
     pub fn is_empty(&self) -> bool {
-        self.docs.is_empty()
+        self.live == 0
     }
 
-    /// Total nodes (elements + text) across all documents.
+    /// Length of the slot array (`>= len()`; the extra slots are freed by
+    /// deletions and awaiting reuse). Slot-indexed side tables — like a
+    /// query session's per-document engine array — must use this, not
+    /// [`Corpus::len`].
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The mutation epoch this snapshot was published under (`0` for a
+    /// corpus built once by [`CorpusBuilder`]; a [`LiveCorpus`] bumps it
+    /// on every successful mutation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total nodes (elements + text) across all live documents.
     pub fn total_nodes(&self) -> usize {
         self.total_nodes
     }
@@ -208,34 +310,58 @@ impl Corpus {
     /// The document behind `id`.
     ///
     /// # Panics
-    /// If `id` did not come from this corpus.
+    /// If `id` did not come from this corpus snapshot — the slot is out
+    /// of range or free, or the generation is stale (the ABA case: `id`
+    /// outlived a delete + slot reuse).
     pub fn doc(&self, id: DocId) -> &Document {
-        &self.docs[id.index()].doc
+        &self.entry(id).doc
     }
 
-    /// The caller-supplied name of `id`.
+    /// The caller-supplied name of `id`. Panics like [`Corpus::doc`].
     pub fn name(&self, id: DocId) -> &str {
-        &self.docs[id.index()].name
+        &self.entry(id).name
     }
 
-    /// Iterate `(id, name, document)` in [`DocId`] order.
+    fn entry(&self, id: DocId) -> &DocEntry {
+        let entry = self.slots[id.index()]
+            .as_deref()
+            .expect("DocId refers to a deleted document slot");
+        assert_eq!(entry.id, id, "stale DocId generation for slot {}", id.index());
+        entry
+    }
+
+    /// Whether `id` resolves in this snapshot (same slot *and* same
+    /// generation) — the non-panicking probe for stale-id handling.
+    pub fn contains(&self, id: DocId) -> bool {
+        id.index() < self.slots.len()
+            && self.slots[id.index()].as_deref().is_some_and(|e| e.id == id)
+    }
+
+    /// Iterate `(id, name, document)` over live documents in [`DocId`]
+    /// order.
     pub fn iter(&self) -> impl Iterator<Item = (DocId, &str, &Document)> {
-        self.docs
+        self.slots
             .iter()
-            .enumerate()
-            .map(|(i, e)| (DocId::from_index(i), e.name.as_str(), &e.doc))
+            .filter_map(|s| s.as_deref())
+            .map(|e| (e.id, e.name.as_str(), &e.doc))
     }
 
-    /// All ids in order.
-    pub fn doc_ids(&self) -> impl Iterator<Item = DocId> {
-        (0..self.docs.len()).map(DocId::from_index)
+    /// All live ids in order.
+    pub fn doc_ids(&self) -> impl Iterator<Item = DocId> + '_ {
+        self.slots.iter().filter_map(|s| s.as_deref()).map(|e| e.id)
     }
 
     /// Names of the documents soft-rejected during ingestion (in
-    /// rejection order) — the builder's log, preserved so a long-lived
-    /// serving layer can report ingestion health (`/stats`).
+    /// rejection order, capped at [`CorpusOptions::max_rejected`]) — the
+    /// builder's log, preserved so a long-lived serving layer can report
+    /// ingestion health (`/stats`).
     pub fn rejected(&self) -> &[String] {
         &self.rejected
+    }
+
+    /// Rejections past the retention cap (counted, not named).
+    pub fn rejected_dropped(&self) -> u64 {
+        self.rejected_dropped
     }
 
     /// The corpus-wide label-sharded postings.
@@ -265,7 +391,12 @@ impl Corpus {
     /// documents' arenas.
     pub fn memory_footprint(&self) -> usize {
         self.postings.memory_footprint()
-            + self.docs.iter().map(|e| e.doc.memory_footprint() + e.name.len()).sum::<usize>()
+            + self
+                .slots
+                .iter()
+                .filter_map(|s| s.as_deref())
+                .map(|e| e.doc.memory_footprint() + e.name.len())
+                .sum::<usize>()
     }
 }
 

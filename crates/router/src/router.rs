@@ -41,6 +41,8 @@ use crate::pool::ClientPool;
 
 /// `doc_count` sentinel: not learned yet.
 const DOC_COUNT_UNKNOWN: u64 = u64::MAX;
+/// `corpus_epoch` sentinel: not learned yet.
+const EPOCH_UNKNOWN: u64 = u64::MAX;
 /// `Retry-After` seconds when every shard is unavailable.
 const UNAVAILABLE_RETRY_AFTER_SECS: u32 = 1;
 /// Grace past the request deadline when waiting on attempt threads —
@@ -79,6 +81,12 @@ pub struct Shard {
     /// hedge delay and `/stats`/`/metrics` percentiles read snapshots.
     latency: Histogram,
     doc_count: AtomicU64,
+    /// The corpus epoch the shard last reported. Live shards mutate
+    /// their corpus without restarting, so the router watches the
+    /// `X-Corpus-Epoch` stamp on every search answer and relearns the
+    /// shard's document count the moment the epoch moves — not only on
+    /// breaker heal.
+    corpus_epoch: AtomicU64,
 }
 
 impl Shard {
@@ -89,6 +97,7 @@ impl Shard {
             breaker: Breaker::new(config.breaker_threshold, config.breaker_cooldown),
             latency: Histogram::new(),
             doc_count: AtomicU64::new(DOC_COUNT_UNKNOWN),
+            corpus_epoch: AtomicU64::new(EPOCH_UNKNOWN),
         }
     }
 
@@ -106,6 +115,14 @@ impl Shard {
     pub fn doc_count(&self) -> Option<u64> {
         match self.doc_count.load(Ordering::SeqCst) {
             DOC_COUNT_UNKNOWN => None,
+            n => Some(n),
+        }
+    }
+
+    /// The corpus epoch this shard last reported, once learned.
+    pub fn corpus_epoch(&self) -> Option<u64> {
+        match self.corpus_epoch.load(Ordering::SeqCst) {
+            EPOCH_UNKNOWN => None,
             n => Some(n),
         }
     }
@@ -464,11 +481,26 @@ impl RouterApp {
                 response.status
             )));
         }
+        // A live shard stamps every answer with its corpus epoch. If it
+        // moved since we last looked, the shard mutated mid-session and
+        // our cached document count — hence this request's doc-id
+        // remap — may be stale: relearn it *before* the merge reads
+        // `doc_bases`, so the global ids stay correct without waiting
+        // for a breaker heal.
+        if let Some(epoch) = response.corpus_epoch {
+            let known = shard.corpus_epoch.swap(epoch, Ordering::SeqCst);
+            if known != epoch && !self.learn_doc_count(shard, deadline) {
+                return Err(ShardFailure::Failed(
+                    "doc count unavailable after epoch change".to_string(),
+                ));
+            }
+        }
         merge::parse_page(&response.body).map_err(ShardFailure::Failed)
     }
 
-    /// Learn a shard's document count from its `/stats`. Runs under the
-    /// caller's deadline; returns whether the count is now known.
+    /// Learn a shard's document count (and corpus epoch, when the shard
+    /// reports one) from its `/stats`. Runs under the caller's deadline;
+    /// returns whether the count is now known.
     fn learn_doc_count(&self, shard: &Shard, deadline: Instant) -> bool {
         let Ok(response) = shard.pool.request("GET", "/stats", deadline) else {
             return false;
@@ -476,15 +508,18 @@ impl RouterApp {
         if response.status != 200 {
             return false;
         }
-        let Some(documents) = json::parse(&response.body)
-            .ok()
-            .as_ref()
-            .and_then(|v| v.get("corpus"))
-            .and_then(|v| v.get("documents"))
-            .and_then(Value::as_u64)
+        let Ok(stats) = json::parse(&response.body) else {
+            return false;
+        };
+        let corpus = stats.get("corpus");
+        let Some(documents) =
+            corpus.and_then(|v| v.get("documents")).and_then(Value::as_u64)
         else {
             return false;
         };
+        if let Some(epoch) = corpus.and_then(|v| v.get("epoch")).and_then(Value::as_u64) {
+            shard.corpus_epoch.store(epoch.min(EPOCH_UNKNOWN - 1), Ordering::SeqCst);
+        }
         shard.doc_count.store(documents.min(DOC_COUNT_UNKNOWN - 1), Ordering::SeqCst);
         true
     }
@@ -652,8 +687,10 @@ impl RouterApp {
                         match shard.pool.request("GET", "/healthz", deadline) {
                             Ok(response) if response.status == 200 => {
                                 // The shard may have restarted with a
-                                // different corpus: relearn its size.
+                                // different corpus: relearn its size and
+                                // epoch from scratch.
                                 shard.doc_count.store(DOC_COUNT_UNKNOWN, Ordering::SeqCst);
+                                shard.corpus_epoch.store(EPOCH_UNKNOWN, Ordering::SeqCst);
                                 shard.breaker.on_success();
                             }
                             _ => {
@@ -734,6 +771,11 @@ impl RouterApp {
             w.str(shard.breaker.state().name());
             w.key("documents");
             match shard.doc_count() {
+                Some(n) => w.num_u64(n),
+                None => w.null(),
+            }
+            w.key("corpus_epoch");
+            match shard.corpus_epoch() {
                 Some(n) => w.num_u64(n),
                 None => w.null(),
             }

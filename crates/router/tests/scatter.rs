@@ -138,6 +138,7 @@ fn get(app: &RouterApp, path: &str, query: &[(&str, &str)]) -> Response {
         http11: true,
         keep_alive: true,
         trace_id: None,
+        body: Vec::new(),
     })
 }
 

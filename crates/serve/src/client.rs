@@ -118,6 +118,11 @@ pub struct WireResponse {
     /// The `Retry-After` header in seconds, when the server sent one
     /// (`503` shed and `429` per-client refusals carry it).
     pub retry_after: Option<u64>,
+    /// The `X-Corpus-Epoch` header, when the server sent one. Live
+    /// daemons stamp every answer with the epoch of the corpus snapshot
+    /// it was computed against; the router uses a change here to refresh
+    /// its doc-id remap mid-session.
+    pub corpus_epoch: Option<u64>,
 }
 
 /// A `TcpStream` whose reads honor an absolute deadline (mirror of the
@@ -209,15 +214,35 @@ impl Connection {
         extra_headers: &[&str],
         deadline: Option<Instant>,
     ) -> Result<(), ClientError> {
+        self.send_with_body(method, target, extra_headers, &[], deadline)
+    }
+
+    /// [`send`](Connection::send) with a request body: a `Content-Length`
+    /// header frames `body`, and head + body go out in one write (the
+    /// same Nagle discipline the server applies to responses).
+    pub fn send_with_body(
+        &mut self,
+        method: &str,
+        target: &str,
+        extra_headers: &[&str],
+        body: &[u8],
+        deadline: Option<Instant>,
+    ) -> Result<(), ClientError> {
         self.arm(deadline)?;
         let mut head = format!("{method} {target} HTTP/1.1\r\nHost: router\r\n");
         for header in extra_headers {
             head.push_str(header);
             head.push_str("\r\n");
         }
+        if !body.is_empty() {
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
         head.push_str("\r\n");
+        let mut wire = Vec::with_capacity(head.len() + body.len());
+        wire.extend_from_slice(head.as_bytes());
+        wire.extend_from_slice(body);
         let stream = &mut self.reader.get_mut().stream;
-        stream.write_all(head.as_bytes()).map_err(|e| {
+        stream.write_all(&wire).map_err(|e| {
             if is_timeout(&e) { ClientError::TimedOut } else { ClientError::Io(e) }
         })
     }
@@ -272,6 +297,7 @@ impl Connection {
         let mut content_length: Option<usize> = None;
         let mut keep_alive = false;
         let mut retry_after = None;
+        let mut corpus_epoch = None;
         for n in 0.. {
             if n >= MAX_HEADERS {
                 return Err(ClientError::Malformed("too many headers"));
@@ -298,6 +324,8 @@ impl Connection {
                 keep_alive = value.eq_ignore_ascii_case("keep-alive");
             } else if name.eq_ignore_ascii_case("retry-after") {
                 retry_after = value.parse().ok();
+            } else if name.eq_ignore_ascii_case("x-corpus-epoch") {
+                corpus_epoch = value.parse().ok();
             }
         }
         let content_length = content_length.unwrap_or(0);
@@ -322,6 +350,7 @@ impl Connection {
                 .map_err(|_| ClientError::Malformed("non-UTF-8 body"))?,
             keep_alive,
             retry_after,
+            corpus_epoch,
         })
     }
 
@@ -345,6 +374,20 @@ impl Connection {
         deadline: Option<Instant>,
     ) -> Result<WireResponse, ClientError> {
         self.send(method, target, extra_headers, deadline)?;
+        self.read_response(deadline)
+    }
+
+    /// Send one request with a body and read its response under one
+    /// deadline — the mutation-endpoint (`POST /ingest`) counterpart of
+    /// [`request`](Connection::request).
+    pub fn request_body(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+        deadline: Option<Instant>,
+    ) -> Result<WireResponse, ClientError> {
+        self.send_with_body(method, target, &[], body, deadline)?;
         self.read_response(deadline)
     }
 

@@ -52,6 +52,10 @@ pub struct Request {
     /// digits, non-zero — see [`extract_obs::trace`]). A malformed
     /// value is treated as absent; the server mints a replacement.
     pub trace_id: Option<TraceId>,
+    /// The request body, `Content-Length` bytes verbatim (empty when the
+    /// header is absent). Capped at [`MAX_BODY`]; mutation endpoints
+    /// (`POST /ingest`) read XML documents from here.
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -171,8 +175,10 @@ fn read_line<R: BufRead>(
 }
 
 /// Parse one request from `stream`: request line, headers (all discarded
-/// except `Content-Length` and `Connection`), then the body is read and
-/// thrown away.
+/// except `Content-Length`, `Connection` and the trace header), then the
+/// body — retained verbatim (the size cap was already enforced against
+/// the declared `Content-Length`, so a hostile client cannot balloon the
+/// allocation past [`MAX_BODY`]).
 pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Request, HttpError> {
     let line = read_line(stream, MAX_REQUEST_LINE, "request line too long", true)?;
     let mut parts = line.split(' ');
@@ -244,9 +250,9 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Request, HttpError> {
     if content_length > MAX_BODY {
         return Err(HttpError::TooLarge("request body too large", 413));
     }
-    let mut body = stream.take(content_length as u64);
-    match io::copy(&mut body, &mut io::sink()) {
-        Ok(n) if n == content_length as u64 => {}
+    let mut body = Vec::with_capacity(content_length.min(MAX_BODY));
+    match stream.take(content_length as u64).read_to_end(&mut body) {
+        Ok(n) if n == content_length => {}
         Ok(_) => return Err(HttpError::Malformed("truncated body")),
         Err(e) if is_timeout(&e) => return Err(HttpError::Stalled),
         Err(e) => return Err(HttpError::Io(e)),
@@ -276,6 +282,7 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Request, HttpError> {
         http11,
         keep_alive: keep_alive.unwrap_or(http11),
         trace_id,
+        body,
     })
 }
 
@@ -351,6 +358,11 @@ pub struct Response {
     /// callers (the router) get the echo; untraced clients see
     /// byte-identical responses with or without instrumentation.
     pub trace_id: Option<TraceId>,
+    /// When set, an `X-Corpus-Epoch: <n>` header is written. Live
+    /// daemons stamp every answer with the corpus epoch it was computed
+    /// against, so the router can detect a mutated shard from the
+    /// response itself instead of waiting for the next probe round.
+    pub corpus_epoch: Option<u64>,
 }
 
 impl Response {
@@ -362,6 +374,7 @@ impl Response {
             body: body.into_bytes(),
             retry_after: None,
             trace_id: None,
+            corpus_epoch: None,
         }
     }
 
@@ -378,6 +391,13 @@ impl Response {
     /// Attach a `Retry-After: <seconds>` header to this response.
     pub fn with_retry_after(mut self, seconds: u32) -> Response {
         self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Stamp this response with the corpus epoch it was computed against
+    /// (written as `X-Corpus-Epoch`).
+    pub fn with_corpus_epoch(mut self, epoch: u64) -> Response {
+        self.corpus_epoch = Some(epoch);
         self
     }
 }
@@ -423,14 +443,19 @@ pub fn write_response<W: Write>(
         Some(id) => format!("{}: {id}\r\n", extract_obs::TRACE_HEADER),
         None => String::new(),
     };
+    let epoch = match response.corpus_epoch {
+        Some(n) => format!("X-Corpus-Epoch: {n}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}{}Connection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}{}{}Connection: {}\r\n\r\n",
         response.status,
         reason_phrase(response.status),
         response.content_type,
         response.body.len(),
         retry_after,
         trace,
+        epoch,
         if keep_alive { "keep-alive" } else { "close" },
     );
     let mut wire = Vec::with_capacity(head.len() + response.body.len());
@@ -494,14 +519,18 @@ mod tests {
     }
 
     #[test]
-    fn body_is_discarded() {
-        let raw = "POST /shutdown HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+    fn body_is_consumed_and_retained() {
+        let raw = "POST /ingest HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
         let mut reader = BufReader::new(raw.as_bytes());
         let r = read_request(&mut reader).unwrap();
         assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"hello", "body is retained verbatim");
         let mut rest = String::new();
         reader.read_to_string(&mut rest).unwrap();
-        assert_eq!(rest, "", "body was consumed");
+        assert_eq!(rest, "", "body was consumed off the stream");
+        // No Content-Length → empty body.
+        let r = parse("GET /x HTTP/1.1\r\n\r\n").unwrap();
+        assert!(r.body.is_empty());
     }
 
     #[test]
@@ -623,6 +652,19 @@ mod tests {
         let mut out = Vec::new();
         write_response(&mut out, &Response::json(200, "{}".into()), true).unwrap();
         assert!(!String::from_utf8(out).unwrap().contains("X-Trace-Id"));
+    }
+
+    #[test]
+    fn corpus_epoch_header_is_emitted_when_set() {
+        let mut out = Vec::new();
+        let stamped = Response::json(200, "{}".into()).with_corpus_epoch(7);
+        write_response(&mut out, &stamped, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nX-Corpus-Epoch: 7\r\n"), "{text}");
+        // Absent by default — static daemons stay byte-identical.
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".into()), true).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("X-Corpus-Epoch"));
     }
 
     #[test]

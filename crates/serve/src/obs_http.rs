@@ -56,6 +56,7 @@ pub fn metrics_response(w: PromWriter) -> Response {
         body: w.finish().into_bytes(),
         retry_after: None,
         trace_id: None,
+        corpus_epoch: None,
     }
 }
 

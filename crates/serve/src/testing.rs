@@ -117,6 +117,16 @@ impl KeepAliveClient {
         self.read_response()
     }
 
+    /// Send one request with a `Content-Length`-framed body and read its
+    /// response — the `POST /ingest` counterpart of
+    /// [`KeepAliveClient::request`].
+    ///
+    /// # Panics
+    /// On any wire failure.
+    pub fn request_body(&mut self, method: &str, target: &str, body: &[u8]) -> WireResponse {
+        self.conn.request_body(method, target, body, Some(Self::deadline())).expect("request")
+    }
+
     /// Whether the server has closed the connection: a zero-byte read at
     /// EOF. Blocks until EOF or data (use after the server should have
     /// hung up).

@@ -37,18 +37,41 @@ use extract_xml::{Document, NodeId, SymbolTable};
 use crate::inverted::TokenId;
 use crate::tokenize::tokens_of;
 
-/// A document's dense id within one corpus (assigned in insertion order).
+/// A document's identity within one corpus: a dense *slot* (assigned in
+/// insertion order) plus a *generation* that advances each time the slot
+/// is reused by a live corpus.
+///
+/// The generation is the classic generational-arena ABA fix: deleting a
+/// document frees its slot for reuse, and the replacement document gets
+/// the same slot with `generation + 1`. A stale `DocId` retained by a
+/// cache or an in-flight query therefore never aliases the new occupant —
+/// lookups compare the full `(slot, generation)` pair. Static corpora
+/// built once via [`ShardedPostingsBuilder::add_document`] only ever see
+/// generation `0`, so [`DocId::from_index`] round-trips exactly as it did
+/// when `DocId` was a bare index.
+///
+/// Ordering is lexicographic `(slot, generation)`, so postings sorted by
+/// `DocId` keep slots contiguous and generations ordered within a slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct DocId(u32);
+pub struct DocId {
+    slot: u32,
+    generation: u32,
+}
 
 impl DocId {
-    /// The dense index of this document in its corpus.
+    /// The dense slot of this document in its corpus.
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.slot as usize
     }
 
-    /// Reconstruct from a raw index. The caller must ensure it came from
-    /// [`DocId::index`] on the same corpus.
+    /// The slot's reuse generation (`0` for every document of a corpus
+    /// that was built once and never mutated).
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// Reconstruct a generation-`0` id from a raw slot index. The caller
+    /// must ensure it came from [`DocId::index`] on the same corpus.
     ///
     /// # Panics
     ///
@@ -56,13 +79,29 @@ impl DocId {
     /// document 2³² back onto document 0 and attribute its postings to
     /// the wrong document.
     pub fn from_index(index: usize) -> DocId {
-        DocId(u32::try_from(index).expect("document index exceeds u32::MAX"))
+        DocId::from_parts(index, 0)
+    }
+
+    /// Reconstruct from an explicit slot and generation.
+    ///
+    /// # Panics
+    ///
+    /// On a slot index past `u32::MAX`, like [`DocId::from_index`].
+    pub fn from_parts(index: usize, generation: u32) -> DocId {
+        DocId {
+            slot: u32::try_from(index).expect("document index exceeds u32::MAX"),
+            generation,
+        }
     }
 }
 
 impl std::fmt::Display for DocId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "d{}", self.0)
+        if self.generation == 0 {
+            write!(f, "d{}", self.slot)
+        } else {
+            write!(f, "d{}g{}", self.slot, self.generation)
+        }
     }
 }
 
@@ -372,6 +411,10 @@ pub struct ShardedPostingsBuilder {
     /// `(token, doc)` pairs (deduplicated per document) for the directory.
     dir_pairs: Vec<(u32, DocId)>,
     doc_count: u32,
+    /// Highest id folded so far — [`ShardedPostingsBuilder::add_document_as`]
+    /// enforces strictly increasing ids so the directory counting sort
+    /// stays valid without a per-token re-sort.
+    last_doc: Option<DocId>,
 }
 
 impl Default for ShardedPostingsBuilder {
@@ -400,6 +443,7 @@ impl ShardedPostingsBuilder {
             pending: vec![Vec::new()], // catch-all
             dir_pairs: Vec::new(),
             doc_count: 0,
+            last_doc: None,
         }
     }
 
@@ -409,14 +453,39 @@ impl ShardedPostingsBuilder {
     }
 
     /// Tokenize `doc` and fold its postings into the corpus, returning the
-    /// [`DocId`] it was assigned. Matching semantics are exactly those of
+    /// [`DocId`] it was assigned (the next dense slot, generation `0`).
+    /// Matching semantics are exactly those of
     /// [`crate::InvertedIndex::build`]: an element posts a token if its
     /// label or directly-contained text yields it, once per element.
     pub fn add_document(&mut self, doc: &Document) -> DocId {
-        let id = DocId(self.doc_count);
-        // Loud overflow: wrapping past u32::MAX would hand out DocId(0)
+        let id = DocId::from_index(self.doc_count as usize);
+        self.fold(doc, id);
+        id
+    }
+
+    /// Fold `doc` in under a caller-chosen [`DocId`] — the rebuild path
+    /// for live corpora, where surviving documents keep their slot and
+    /// generation across a reindex instead of being renumbered densely.
+    ///
+    /// # Panics
+    ///
+    /// If `id` is not strictly greater than every previously folded id:
+    /// the per-token document directory is counting-sorted assuming ids
+    /// arrive in ascending order, and a duplicate id would merge two
+    /// documents' postings.
+    pub fn add_document_as(&mut self, doc: &Document, id: DocId) {
+        assert!(
+            self.last_doc.is_none_or(|last| last < id),
+            "documents must be folded in strictly increasing DocId order"
+        );
+        self.fold(doc, id);
+    }
+
+    fn fold(&mut self, doc: &Document, id: DocId) {
+        // Loud overflow: wrapping past u32::MAX would hand out DocId 0
         // again and merge two documents' postings.
         self.doc_count = self.doc_count.checked_add(1).expect("corpus exceeds u32::MAX documents");
+        self.last_doc = Some(id);
         let mut seen: Vec<u32> = Vec::with_capacity(8);
         let mut doc_tokens: Vec<u32> = Vec::new();
         for node in doc.all_nodes() {
@@ -449,7 +518,6 @@ impl ShardedPostingsBuilder {
         for t in doc_tokens {
             self.dir_pairs.push((t, id));
         }
-        id
     }
 
     fn shard_for(&mut self, label: &str) -> usize {
@@ -502,7 +570,8 @@ impl ShardedPostingsBuilder {
                 token_starts.push((u32::MAX, acc));
                 let mut cursor: HashMap<u32, u32> =
                     token_starts.iter().take(present.len()).copied().collect();
-                let mut arena = vec![Posting { doc: DocId(0), node: NodeId::from_index(0) }; pairs.len()];
+                let mut arena =
+                    vec![Posting { doc: DocId::from_index(0), node: NodeId::from_index(0) }; pairs.len()];
                 for (t, p) in pairs {
                     let c = cursor.get_mut(&t).expect("counted token");
                     arena[*c as usize] = p;
@@ -523,7 +592,7 @@ impl ShardedPostingsBuilder {
             starts[i] += starts[i - 1];
         }
         let mut cursor = starts.clone();
-        let mut doc_dir = vec![DocId(0); self.dir_pairs.len()];
+        let mut doc_dir = vec![DocId::from_index(0); self.dir_pairs.len()];
         for &(t, d) in &self.dir_pairs {
             doc_dir[cursor[t as usize] as usize] = d;
             cursor[t as usize] += 1;
@@ -612,11 +681,11 @@ mod tests {
         assert_eq!(sp.doc_frequency(houston), 3);
         assert_eq!(
             sp.docs_for(houston),
-            &[DocId(0), DocId(1), DocId(2)],
+            &[DocId::from_index(0), DocId::from_index(1), DocId::from_index(2)],
             "sorted distinct docs"
         );
         let gap = sp.token_id("gap").unwrap();
-        assert_eq!(sp.docs_for(gap), &[DocId(1)]);
+        assert_eq!(sp.docs_for(gap), &[DocId::from_index(1)]);
         assert!(sp.token_id("dallas").is_none());
         assert_eq!(sp.doc_count(), 3);
         assert!(sp.total_postings() > 0);
@@ -669,7 +738,7 @@ mod tests {
         let gap = sp.token_id("gap").unwrap();
         let mut out = Vec::new();
         let mut fanin = FanIn::default();
-        sp.postings_in_doc(gap, DocId(1), &mut out, &mut fanin);
+        sp.postings_in_doc(gap, DocId::from_index(1), &mut out, &mut fanin);
         assert_eq!(out.len(), 1);
         assert_eq!(fanin.shards_probed, 1);
         assert!(fanin.shards_skipped > 0, "{fanin:?}");
@@ -687,7 +756,7 @@ mod tests {
     #[test]
     fn unknown_and_empty_queries() {
         let (_, sp) = build(MAX_LABEL_SHARDS);
-        let mut out = vec![DocId(9)];
+        let mut out = vec![DocId::from_index(9)];
         let mut fanin = FanIn::default();
         sp.candidate_docs(&[], &mut out, &mut fanin);
         assert!(out.is_empty());
@@ -695,7 +764,7 @@ mod tests {
         assert_eq!(sp.doc_frequency(foreign), 0);
         assert_eq!(sp.corpus_frequency(foreign), 0);
         let mut nodes = vec![NodeId::from_index(3)];
-        sp.postings_in_doc(foreign, DocId(0), &mut nodes, &mut fanin);
+        sp.postings_in_doc(foreign, DocId::from_index(0), &mut nodes, &mut fanin);
         assert!(nodes.is_empty());
     }
 
@@ -705,6 +774,52 @@ mod tests {
         assert_eq!(sp.doc_count(), 0);
         assert_eq!(sp.total_postings(), 0);
         assert!(sp.token_id("anything").is_none());
+    }
+
+    #[test]
+    fn generations_distinguish_slot_reuse() {
+        let old = DocId::from_parts(3, 0);
+        let new = DocId::from_parts(3, 1);
+        assert_ne!(old, new, "same slot, different generation");
+        assert_eq!(old.index(), new.index());
+        assert_eq!(new.generation(), 1);
+        assert!(old < new, "generations order within a slot");
+        assert!(new < DocId::from_parts(4, 0), "slots dominate ordering");
+        assert_eq!(DocId::from_index(3), old, "from_index is generation 0");
+        assert_eq!(old.to_string(), "d3");
+        assert_eq!(new.to_string(), "d3g1");
+    }
+
+    // The ABA scenario at the postings layer: a rebuilt corpus holds the
+    // slot's new generation, so a stale id from before the delete finds
+    // no postings instead of the replacement document's.
+    #[test]
+    fn stale_generation_finds_no_postings() {
+        let ds = docs();
+        let mut b = ShardedPostingsBuilder::new();
+        b.add_document_as(&ds[0], DocId::from_parts(0, 0));
+        b.add_document_as(&ds[1], DocId::from_parts(1, 2));
+        let sp = b.finish();
+        let houston = sp.token_id("houston").unwrap();
+        assert_eq!(
+            sp.docs_for(houston),
+            &[DocId::from_parts(0, 0), DocId::from_parts(1, 2)]
+        );
+        let mut out = Vec::new();
+        let mut fanin = FanIn::default();
+        sp.postings_in_doc(houston, DocId::from_parts(1, 1), &mut out, &mut fanin);
+        assert!(out.is_empty(), "stale generation must not alias the new occupant");
+        sp.postings_in_doc(houston, DocId::from_parts(1, 2), &mut out, &mut fanin);
+        assert_eq!(out.len(), 1, "the live generation still resolves");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing DocId order")]
+    fn out_of_order_explicit_ids_panic() {
+        let ds = docs();
+        let mut b = ShardedPostingsBuilder::new();
+        b.add_document_as(&ds[0], DocId::from_parts(1, 0));
+        b.add_document_as(&ds[1], DocId::from_parts(1, 0));
     }
 
     #[test]

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# CI smoke test for the live-corpus mutation path: build the daemon, boot
+# it, ingest a document over HTTP, find it via /search, delete it, assert
+# the search result set is empty again and that the corpus epoch advanced.
+# JSON bodies are validated by the dependency-free `jsonv` binary.
+#
+# Usage: scripts/ingest_smoke.sh
+#
+# Two layers, mirroring serve_smoke.sh:
+#   1. `serve --self-check` — the daemon's built-in loopback round now
+#      includes an ingest/search/delete mutation round with epoch
+#      assertions, so the live path is covered without external tools;
+#   2. when `curl` is available, the same round again from a real
+#      external client: POST /ingest with an XML body, search for the
+#      new token, POST /delete, search returns zero results, and the
+#      corpus epoch on /stats has moved exactly two steps.
+#
+# All commands run with --offline: every dependency is a path-local
+# vendored shim (vendor/), so no registry access is needed or wanted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE=target/release/serve
+JSONV=target/release/jsonv
+
+echo "==> ingest_smoke: building the daemon and the JSON validator"
+cargo build --release --offline --bin serve --bin jsonv
+
+echo "==> ingest_smoke: built-in self-check (includes the mutation round)"
+"$SERVE" --self-check --gen-docs 6 --gen-nodes 500 --workers 2 --queue-depth 8
+
+if ! command -v curl >/dev/null; then
+    echo "ingest_smoke: curl not available — self-check covered the wire probes"
+    echo "ingest_smoke: green"
+    exit 0
+fi
+
+echo "==> ingest_smoke: mutation round over the wire (curl)"
+OUT=$(mktemp)
+"$SERVE" --port 0 --gen-docs 6 --gen-nodes 500 --workers 2 --queue-depth 8 >"$OUT" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$OUT"' EXIT
+
+# Wait for the single ready line and extract the bound address.
+URL=""
+for _ in $(seq 1 100); do
+    URL=$(sed -n 's/^extract-serve listening on \(http:[^ ]*\).*/\1/p' "$OUT")
+    [[ -n "$URL" ]] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "ingest_smoke: daemon died before becoming ready" >&2
+        cat "$OUT" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if [[ -z "$URL" ]]; then
+    echo "ingest_smoke: daemon never printed its ready line" >&2
+    exit 1
+fi
+echo "ingest_smoke: daemon ready at $URL"
+
+BODY=$(mktemp)
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$OUT" "$BODY"' EXIT
+
+probe() { # probe METHOD PATH EXPECTED_STATUS [DATA]
+    local method=$1 path=$2 want=$3 data=${4-} status
+    if [[ -n "$data" ]]; then
+        status=$(curl -s -X "$method" --data-binary "$data" -o "$BODY" -w '%{http_code}' "$URL$path")
+    else
+        status=$(curl -s -X "$method" -o "$BODY" -w '%{http_code}' "$URL$path")
+    fi
+    if [[ "$status" != "$want" ]]; then
+        echo "ingest_smoke: $method $path returned $status (want $want)" >&2
+        cat "$BODY" >&2
+        exit 1
+    fi
+    "$JSONV" "$BODY" || { echo "ingest_smoke: $method $path body is not valid JSON" >&2; exit 1; }
+    echo "ingest_smoke: $method $path → $status, valid JSON"
+}
+
+epoch() { # corpus epoch as reported by /stats
+    curl -s "$URL/stats" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p'
+}
+
+count() { # result count for a query
+    curl -s "$URL/search?q=$1&k=5" | sed -n 's/.*"count":\([0-9]*\).*/\1/p'
+}
+
+EPOCH0=$(epoch)
+if [[ -z "$EPOCH0" ]]; then
+    echo "ingest_smoke: /stats is missing the corpus epoch" >&2
+    exit 1
+fi
+
+# A token the generated corpus cannot contain, so hits are unambiguous.
+if [[ "$(count zzsmokezz)" != "0" ]]; then
+    echo "ingest_smoke: marker token present before ingest" >&2
+    exit 1
+fi
+
+probe POST "/ingest?name=smoke-doc" 200 \
+    "<stores><store><name>zzsmokezz</name><state>Texas</state></store></stores>"
+if [[ "$(count zzsmokezz)" != "1" ]]; then
+    echo "ingest_smoke: ingested document not served by /search" >&2
+    exit 1
+fi
+echo "ingest_smoke: ingested document answers queries without a restart"
+
+probe POST "/delete?doc=smoke-doc" 200
+if [[ "$(count zzsmokezz)" != "0" ]]; then
+    echo "ingest_smoke: deleted document still served by /search" >&2
+    exit 1
+fi
+echo "ingest_smoke: deleted document no longer answers queries"
+
+EPOCH1=$(epoch)
+if [[ "$EPOCH1" != "$((EPOCH0 + 2))" ]]; then
+    echo "ingest_smoke: corpus epoch moved $EPOCH0 -> $EPOCH1 (want +2 for ingest+delete)" >&2
+    exit 1
+fi
+echo "ingest_smoke: corpus epoch advanced $EPOCH0 -> $EPOCH1"
+
+# Malformed XML is a soft reject: 400, no epoch bump, daemon keeps serving.
+probe POST "/ingest?name=bad-doc" 400 "<unclosed><tag>"
+if [[ "$(epoch)" != "$EPOCH1" ]]; then
+    echo "ingest_smoke: rejected ingest bumped the corpus epoch" >&2
+    exit 1
+fi
+probe GET "/healthz" 200
+echo "ingest_smoke: malformed ingest soft-rejected, daemon still serving"
+
+echo "==> ingest_smoke: graceful shutdown"
+probe POST "/shutdown" 200
+for _ in $(seq 1 100); do
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "$PID" 2>/dev/null; then
+    echo "ingest_smoke: daemon did not exit after /shutdown" >&2
+    exit 1
+fi
+wait "$PID" || { echo "ingest_smoke: daemon exited non-zero" >&2; exit 1; }
+trap 'rm -f "$OUT" "$BODY"' EXIT
+
+echo "ingest_smoke: green"

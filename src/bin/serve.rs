@@ -1,9 +1,12 @@
 //! `serve` — the eXtract query daemon.
 //!
-//! One daemon serves one corpus through one [`QuerySession`]: a
-//! hand-rolled HTTP/1.1 front end (`extract-serve`) with bounded-queue
-//! admission control, per-client fairness and graceful drain. See the
-//! README "Serving" section for the wire protocol.
+//! One daemon serves one **live corpus**: a hand-rolled HTTP/1.1 front
+//! end (`extract-serve`) with bounded-queue admission control,
+//! per-client fairness and graceful drain, answering `/search` from
+//! epoch-stamped corpus snapshots while `POST /ingest` and
+//! `POST /delete` mutate the corpus underneath — no restart, no reload.
+//! See the README "Serving" and "Live corpora" sections for the wire
+//! protocol.
 //!
 //! ```text
 //! serve [options]
@@ -47,7 +50,8 @@
 //!                    Test/bench harness only; never in production.
 //!   --self-check     boot on an ephemeral port, run a loopback smoke
 //!                    round (/healthz, /search, /stats, /shutdown, plus
-//!                    two requests over one kept-alive socket), validate
+//!                    two requests over one kept-alive socket and an
+//!                    ingest/search/delete mutation round), validate
 //!                    every JSON body, then exit
 //! ```
 //!
@@ -59,8 +63,6 @@
 //! ```
 //!
 //! and exits 0 after a `POST /shutdown` finished draining.
-//!
-//! [`QuerySession`]: extract::session::QuerySession
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -69,8 +71,8 @@ use std::time::Duration;
 
 use extract::corpus::{Corpus, CorpusBuilder};
 use extract::datagen::corpus::CorpusConfig;
+use extract::live::serve_live;
 use extract::prelude::*;
-use extract::serve::serve_corpus;
 use extract_core::ExtractConfig;
 use extract_serve::json;
 use extract_serve::ServeConfig;
@@ -290,8 +292,9 @@ fn main() -> ExitCode {
     let cache = options.cache;
     let mut checker: Option<std::thread::JoinHandle<bool>> = None;
 
+    let live = LiveCorpus::from_corpus(corpus);
     let served =
-        serve_corpus(&corpus, &addr, serve_config, app_config, cache, |addr, handle| {
+        serve_live(live, &addr, serve_config, app_config, cache, |addr, handle| {
             println!(
                 "extract-serve listening on http://{addr} (docs={docs} nodes={nodes} \
                  workers={workers} queue={queue} keepalive={keepalive})"
@@ -325,8 +328,9 @@ fn main() -> ExitCode {
 }
 
 /// One loopback smoke round: status + valid JSON on every core route,
-/// two requests over one kept-alive socket, then a graceful shutdown
-/// (which also ends `main`'s serve loop).
+/// two requests over one kept-alive socket, an ingest/search/delete
+/// mutation round, then a graceful shutdown (which also ends `main`'s
+/// serve loop).
 fn self_check_round(addr: std::net::SocketAddr, expect_keep_alive: bool) -> bool {
     // Keep-alive first: two requests, one socket, both valid JSON.
     if expect_keep_alive {
@@ -349,6 +353,9 @@ fn self_check_round(addr: std::net::SocketAddr, expect_keep_alive: bool) -> bool
             }
         }
         eprintln!("serve: self-check keep-alive round: 2 requests on one socket ok");
+        if !self_check_mutation_round(&mut client) {
+            return false;
+        }
     }
 
     let checks: [(&str, &str, u16); 4] = [
@@ -376,6 +383,69 @@ fn self_check_round(addr: std::net::SocketAddr, expect_keep_alive: bool) -> bool
             }
         }
     }
+    true
+}
+
+/// The live-corpus leg of the self-check: ingest a document over HTTP,
+/// find it, delete it, and confirm the search result is empty again and
+/// the corpus epoch advanced — all on one kept-alive socket, while the
+/// daemon keeps serving.
+fn self_check_mutation_round(client: &mut extract_serve::testing::KeepAliveClient) -> bool {
+    struct Step {
+        method: &'static str,
+        target: &'static str,
+        body: &'static [u8],
+        want_status: u16,
+        want_count: Option<u64>,
+    }
+    let step = |method, target, body, want_status, want_count| Step {
+        method,
+        target,
+        body,
+        want_status,
+        want_count,
+    };
+    let xml: &[u8] = b"<selfcheck><entry><token>zzselfcheckzz</token></entry></selfcheck>";
+    let steps = [
+        step("POST", "/ingest?name=zz-self-check", xml, 200, None),
+        step("GET", "/search?q=zzselfcheckzz", b"", 200, Some(1)),
+        step("POST", "/delete?doc=zz-self-check", b"", 200, None),
+        step("GET", "/search?q=zzselfcheckzz", b"", 200, Some(0)),
+    ];
+    let mut epochs = Vec::new();
+    for Step { method, target, body, want_status, want_count } in steps {
+        let response = client.request_body(method, target, body);
+        if response.status != want_status {
+            eprintln!("serve: self-check {method} {target}: status {}", response.status);
+            return false;
+        }
+        let parsed = match json::parse(&response.body) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("serve: self-check {method} {target}: invalid JSON: {e}");
+                return false;
+            }
+        };
+        if let Some(want) = want_count {
+            let count = parsed.get("count").and_then(json::Value::as_u64);
+            if count != Some(want) {
+                eprintln!("serve: self-check {method} {target}: count {count:?}, want {want}");
+                return false;
+            }
+        }
+        epochs.push(response.corpus_epoch);
+    }
+    // Both mutations must bump the epoch, and search answers must carry it.
+    let stamped: Vec<u64> = epochs.iter().filter_map(|e| *e).collect();
+    if stamped.len() != epochs.len() || stamped.windows(2).any(|w| w[0] > w[1]) {
+        eprintln!("serve: self-check mutation round: bad epoch sequence {epochs:?}");
+        return false;
+    }
+    if stamped[0] == stamped[3] {
+        eprintln!("serve: self-check mutation round: epoch never advanced {epochs:?}");
+        return false;
+    }
+    eprintln!("serve: self-check mutation round: ingest/search/delete ok (epochs {stamped:?})");
     true
 }
 

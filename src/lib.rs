@@ -85,17 +85,25 @@ pub mod session;
 /// and renders JSON result pages.
 pub mod serve;
 
-pub use session::{AnswerPage, CorpusAnswer, CorpusPage, CorpusTopK, QuerySession};
+/// Live serving: mutation endpoints (`/ingest`, `/delete`) over an
+/// epoch-swapped [`LiveCorpus`](corpus::LiveCorpus) — queries keep
+/// answering on their snapshot while the corpus changes underneath.
+pub mod live;
+
+pub use session::{AnswerPage, CorpusAnswer, CorpusPage, CorpusTopK, QuerySession, SessionCaches};
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use extract_analyzer::{EntityModel, KeyCatalog, ResultStats};
     pub use extract_core::{Extract, ExtractConfig, Snippet, SnippetCache, SnippetedResult};
-    pub use extract_corpus::{Corpus, CorpusBuilder, DocId, FanIn};
+    pub use extract_corpus::{Corpus, CorpusBuilder, DocId, FanIn, LiveCorpus, Mutation};
     pub use extract_index::XmlIndex;
     pub use extract_search::{Algorithm, Engine, KeywordQuery, QueryResult};
     pub use extract_xml::{DocBuilder, Document, NodeId};
 
+    pub use crate::live::LiveSearchApp;
     pub use crate::serve::{SearchApp, SearchAppConfig};
-    pub use crate::session::{AnswerPage, CorpusAnswer, CorpusPage, CorpusTopK, QuerySession};
+    pub use crate::session::{
+        AnswerPage, CorpusAnswer, CorpusPage, CorpusTopK, QuerySession, SessionCaches,
+    };
 }

@@ -124,24 +124,10 @@ impl<'d> SearchApp<'d> {
     }
 
     fn search(&self, request: &Request) -> Response {
-        let Some(q) = request.param("q").filter(|q| !q.trim().is_empty()) else {
-            return Response::error(400, "missing query parameter q");
-        };
-        let k = match request.param("k") {
-            None => self.config.default_k,
-            Some(raw) => match raw.parse::<usize>() {
-                Ok(k) if k >= 1 => k.min(self.config.max_k),
-                _ => return Response::error(400, "k must be an integer >= 1"),
-            },
-        };
-        let offset = match request.param("offset") {
-            None => 0,
-            Some(raw) => match raw.parse::<usize>() {
-                Ok(offset) => offset,
-                Err(_) => return Response::error(400, "offset must be a non-negative integer"),
-            },
-        };
-        Response::json(200, self.render_search(q, k, offset))
+        match parse_search_params(request, &self.config) {
+            Ok((q, k, offset)) => Response::json(200, self.render_search(q, k, offset)),
+            Err(response) => response,
+        }
     }
 
     /// The `/metrics` body: server counters and request-stage latency
@@ -183,46 +169,7 @@ impl<'d> SearchApp<'d> {
     /// The `/search` body for `(q, k, offset)` — public so tests and the
     /// load generator can compute the expected bytes without a socket.
     pub fn render_search(&self, q: &str, k: usize, offset: usize) -> String {
-        // `answer_corpus_topk` times its own `search` and `snippet`
-        // stages; JSON rendering is this request's `serialize` span.
-        let page = self.session.answer_corpus_topk(q, &self.config.snippet, k, offset);
-        let corpus = self.session.corpus();
-        extract_obs::time_stage(Stage::Serialize, || {
-            let mut w = JsonWriter::new();
-            w.obj_begin();
-            w.key("query");
-            w.str(q);
-            w.key("k");
-            w.num_u64(page.k as u64);
-            w.key("offset");
-            w.num_u64(page.offset as u64);
-            w.key("total");
-            w.num_u64(page.total as u64);
-            w.key("count");
-            w.num_u64(page.results.len() as u64);
-            w.key("results");
-            w.arr_begin();
-            for answer in page.results.iter() {
-                w.obj_begin();
-                w.key("doc");
-                match corpus {
-                    Some(corpus) => w.str(corpus.name(answer.doc)),
-                    None => w.str("document"),
-                }
-                w.key("doc_id");
-                w.num_u64(answer.doc.index() as u64);
-                w.key("root");
-                w.num_u64(answer.result.result.root.index() as u64);
-                w.key("score");
-                w.num_f64(answer.score);
-                w.key("snippet");
-                w.str(&answer.result.snippet.to_xml());
-                w.obj_end();
-            }
-            w.arr_end();
-            w.obj_end();
-            w.finish()
-        })
+        search_body(&self.session, &self.config.snippet, q, k, offset)
     }
 
     /// The `/stats` body: server counters (when attached), session cache
@@ -289,6 +236,10 @@ impl<'d> SearchApp<'d> {
             w.num_u64(corpus.total_nodes() as u64);
             w.key("rejected");
             w.num_u64(corpus.rejected().len() as u64);
+            w.key("rejected_dropped");
+            w.num_u64(corpus.rejected_dropped());
+            w.key("epoch");
+            w.num_u64(corpus.epoch());
             w.obj_end();
         }
         w.obj_end();
@@ -296,7 +247,7 @@ impl<'d> SearchApp<'d> {
     }
 }
 
-fn cache_stats(w: &mut JsonWriter, name: &str, stats: CacheStats) {
+pub(crate) fn cache_stats(w: &mut JsonWriter, name: &str, stats: CacheStats) {
     w.key(name);
     w.obj_begin();
     w.key("hits");
@@ -306,6 +257,88 @@ fn cache_stats(w: &mut JsonWriter, name: &str, stats: CacheStats) {
     w.key("evictions");
     w.num_u64(stats.evictions);
     w.obj_end();
+}
+
+/// Validate `/search` parameters exactly once for both the static and
+/// the live app: a missing/blank `q` or an unparseable number is a
+/// `400`, `k` is clamped to `max_k` (the clamp is visible in the
+/// response's `k` field).
+pub(crate) fn parse_search_params<'r>(
+    request: &'r Request,
+    config: &SearchAppConfig,
+) -> Result<(&'r str, usize, usize), Response> {
+    let Some(q) = request.param("q").filter(|q| !q.trim().is_empty()) else {
+        return Err(Response::error(400, "missing query parameter q"));
+    };
+    let k = match request.param("k") {
+        None => config.default_k,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) if k >= 1 => k.min(config.max_k),
+            _ => return Err(Response::error(400, "k must be an integer >= 1")),
+        },
+    };
+    let offset = match request.param("offset") {
+        None => 0,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(offset) => offset,
+            Err(_) => {
+                return Err(Response::error(400, "offset must be a non-negative integer"))
+            }
+        },
+    };
+    Ok((q, k, offset))
+}
+
+/// The `/search` body over any session — shared by [`SearchApp`] and the
+/// live app so the wire format (field order included — the router's
+/// merge path pins it) has exactly one producer.
+pub(crate) fn search_body(
+    session: &QuerySession<'_>,
+    snippet: &ExtractConfig,
+    q: &str,
+    k: usize,
+    offset: usize,
+) -> String {
+    // `answer_corpus_topk` times its own `search` and `snippet`
+    // stages; JSON rendering is this request's `serialize` span.
+    let page = session.answer_corpus_topk(q, snippet, k, offset);
+    let corpus = session.corpus();
+    extract_obs::time_stage(Stage::Serialize, || {
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.key("query");
+        w.str(q);
+        w.key("k");
+        w.num_u64(page.k as u64);
+        w.key("offset");
+        w.num_u64(page.offset as u64);
+        w.key("total");
+        w.num_u64(page.total as u64);
+        w.key("count");
+        w.num_u64(page.results.len() as u64);
+        w.key("results");
+        w.arr_begin();
+        for answer in page.results.iter() {
+            w.obj_begin();
+            w.key("doc");
+            match corpus {
+                Some(corpus) => w.str(corpus.name(answer.doc)),
+                None => w.str("document"),
+            }
+            w.key("doc_id");
+            w.num_u64(answer.doc.index() as u64);
+            w.key("root");
+            w.num_u64(answer.result.result.root.index() as u64);
+            w.key("score");
+            w.num_f64(answer.score);
+            w.key("snippet");
+            w.str(&answer.result.snippet.to_xml());
+            w.obj_end();
+        }
+        w.arr_end();
+        w.obj_end();
+        w.finish()
+    })
 }
 
 /// Convenience: the borrow-friendly pieces a daemon needs, wired together
@@ -363,6 +396,7 @@ mod tests {
             http11: true,
             keep_alive: true,
             trace_id: None,
+            body: Vec::new(),
         }
     }
 

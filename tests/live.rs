@@ -1,0 +1,342 @@
+//! Live-corpus acceptance tests: the ABA guarantee, snapshot isolation
+//! for in-flight queries, the bounded rejection log, and a kill-free
+//! end-to-end run over a real socket.
+//!
+//! 1. **ABA** (property test): delete a document and reinsert into the
+//!    *same slot* — through the full serving path (page, snippet and
+//!    engine caches all warm), the old generation's bytes are never
+//!    served again, under any interleaving of warming queries.
+//! 2. **Snapshot isolation**: a query session pinned to a snapshot
+//!    keeps answering from that snapshot — byte-identically — while
+//!    the corpus is deleted from and re-ingested underneath it.
+//! 3. **Rejection cap**: a hostile ingest stream cannot grow the
+//!    rejection log past [`CorpusOptions::max_rejected`]; the overflow
+//!    is counted, not retained, and `/stats` shows both numbers.
+//! 4. **Kill-free e2e**: one daemon over a real socket serves `/search`
+//!    continuously — every response `200` — while documents are
+//!    ingested and deleted over HTTP; deleted content disappears from
+//!    answers immediately and the epoch on `/stats` tracks every
+//!    mutation. No restart, ever.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use extract::live::{serve_live, LiveSearchApp};
+use extract::prelude::*;
+use extract::serve::SearchAppConfig;
+use extract_corpus::CorpusOptions;
+use extract_serve::json::{self, Value};
+use extract_serve::testing::KeepAliveClient;
+use extract_serve::{Request, ServeConfig};
+use proptest::prelude::*;
+
+/// A corpus of `docs` single-store documents, each carrying one unique
+/// search token `tok<i>v<version>` so queries can address exactly one
+/// document and tell its versions apart.
+fn seed_corpus(docs: usize) -> Corpus {
+    let mut builder = CorpusBuilder::new();
+    for i in 0..docs {
+        builder.add_document(&doc_name(i), &doc_xml(i, 0)).expect("seed doc parses");
+    }
+    builder.finish()
+}
+
+fn doc_name(i: usize) -> String {
+    format!("doc-{i}")
+}
+
+fn doc_xml(i: usize, version: usize) -> String {
+    format!(
+        "<stores><store><name>tok{i}v{version}</name><state>Texas</state></store></stores>"
+    )
+}
+
+fn request(method: &str, path: &str, query: &[(&str, String)], body: &[u8]) -> Request {
+    Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: query.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        http11: true,
+        keep_alive: true,
+        trace_id: None,
+        body: body.to_vec(),
+    }
+}
+
+fn search(app: &LiveSearchApp, q: &str) -> Value {
+    let response = app.handle(&request("GET", "/search", &[("q", q.to_string())], b""));
+    assert_eq!(response.status, 200);
+    json::parse(std::str::from_utf8(&response.body).expect("utf-8")).expect("JSON")
+}
+
+fn result_count(v: &Value) -> u64 {
+    v.get("count").and_then(Value::as_u64).expect("count")
+}
+
+fn first_snippet(v: &Value) -> String {
+    v.get("results")
+        .and_then(Value::as_arr)
+        .and_then(|r| r.first())
+        .and_then(|r| r.get("snippet"))
+        .and_then(Value::as_str)
+        .expect("one snippeted result")
+        .to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The generational-arena guarantee, exercised through the full
+    /// serving path: delete a document, reinsert different content into
+    /// the same slot, and no cache layer ever serves the old
+    /// generation's bytes — no matter which queries warmed which caches
+    /// first.
+    #[test]
+    fn delete_and_reinsert_into_the_same_slot_never_serves_old_bytes(
+        docs in 2usize..5,
+        victim_seed in 0usize..64,
+        warm_rounds in 1usize..3,
+    ) {
+        let app = LiveSearchApp::new(
+            LiveCorpus::from_corpus(seed_corpus(docs)),
+            SearchAppConfig::default(),
+            4096,
+        );
+        let victim = victim_seed % docs;
+        // Warm page, snippet and engine caches on every document —
+        // repeatedly, so later rounds are genuine cache hits.
+        for _ in 0..warm_rounds {
+            for i in 0..docs {
+                let token = format!("tok{i}v0");
+                let page = search(&app, &token);
+                prop_assert_eq!(result_count(&page), 1);
+                prop_assert!(first_snippet(&page).contains(&token));
+            }
+        }
+        // Delete the victim and reinsert new content under a new name:
+        // the freed slot is the lowest free slot, so it IS reused.
+        let deleted = app.handle(&request(
+            "POST", "/delete", &[("doc", doc_name(victim))], b"",
+        ));
+        prop_assert_eq!(deleted.status, 200);
+        let reborn = app.handle(&request(
+            "POST",
+            "/ingest",
+            &[("name", format!("reborn-{victim}"))],
+            doc_xml(victim, 1).as_bytes(),
+        ));
+        prop_assert_eq!(reborn.status, 200);
+        let reborn = json::parse(std::str::from_utf8(&reborn.body).unwrap()).unwrap();
+        prop_assert_eq!(
+            reborn.get("doc_id").and_then(Value::as_u64),
+            Some(victim as u64),
+            "the freed slot must be reused for the ABA hazard to be live"
+        );
+        prop_assert!(
+            reborn.get("generation").and_then(Value::as_u64).unwrap() > 0,
+            "slot reuse must bump the generation"
+        );
+        // The old generation's content is gone from every answer…
+        let old = search(&app, &format!("tok{victim}v0"));
+        prop_assert_eq!(result_count(&old), 0, "stale-generation bytes served: {:?}", old);
+        // …the new generation's content is served correctly…
+        let new = search(&app, &format!("tok{victim}v1"));
+        prop_assert_eq!(result_count(&new), 1);
+        let new_token = format!("tok{victim}v1");
+        prop_assert!(first_snippet(&new).contains(&new_token));
+        // …and untouched documents still answer from their warm caches.
+        for i in (0..docs).filter(|i| *i != victim) {
+            let page = search(&app, &format!("tok{i}v0"));
+            prop_assert_eq!(result_count(&page), 1);
+        }
+    }
+}
+
+/// RCU reader guarantee: a session pinned to a snapshot answers from
+/// that snapshot — byte-identically — through any number of concurrent
+/// mutations. The writer never waits for it, and publishing new epochs
+/// never perturbs it.
+#[test]
+fn in_flight_sessions_complete_on_their_snapshot() {
+    let corpus = LiveCorpus::from_corpus(seed_corpus(3));
+    let caches = Arc::new(SessionCaches::new(1024));
+    let config = ExtractConfig::default();
+    let snapshot = corpus.snapshot();
+    let session = QuerySession::for_snapshot(&snapshot, 1, Arc::clone(&caches));
+    let reference = session.answer_corpus_topk("tok1v0", &config, 10, 0);
+    assert_eq!(reference.total, 1, "the snapshot sees doc 1");
+
+    // Mutate underneath the pinned session, from another thread, many
+    // times: delete the doc it reads, reuse the slot, delete again.
+    std::thread::scope(|scope| {
+        let corpus = &corpus;
+        let writer = scope.spawn(move || {
+            corpus.delete(&doc_name(1)).expect("doc 1 is live");
+            let reborn = corpus
+                .ingest("reborn", &doc_xml(1, 1))
+                .expect("reinsert into the freed slot");
+            assert_eq!(reborn.id.index(), 1, "slot 1 reused");
+            corpus.delete("reborn").expect("reborn is live");
+        });
+        // The pinned session keeps answering identically mid-mutation.
+        for _ in 0..50 {
+            let page = session.answer_corpus_topk("tok1v0", &config, 10, 0);
+            assert_eq!(page.total, 1, "the snapshot must keep seeing doc 1");
+            assert_eq!(page.results.len(), reference.results.len());
+            assert_eq!(page.results[0].doc, reference.results[0].doc);
+        }
+        writer.join().expect("writer");
+    });
+    assert_eq!(corpus.epoch(), 3, "three mutations published");
+
+    // After the mutations: the pinned session STILL sees its world…
+    let replay = session.answer_corpus_topk("tok1v0", &config, 10, 0);
+    assert_eq!(replay.total, 1);
+    assert_eq!(replay.results[0].doc, reference.results[0].doc);
+    // …while a fresh snapshot sees none of slot 1's generations.
+    let fresh = corpus.snapshot();
+    let fresh_session = QuerySession::for_snapshot(&fresh, 1, caches);
+    assert_eq!(fresh_session.answer_corpus_topk("tok1v0", &config, 10, 0).total, 0);
+    assert_eq!(fresh_session.answer_corpus_topk("tok1v1", &config, 10, 0).total, 0);
+    assert_eq!(fresh.len(), 2, "docs 0 and 2 remain");
+}
+
+/// A hostile ingest stream cannot grow the rejection log without bound:
+/// past `max_rejected` retained names the log freezes and `/stats`
+/// counts the overflow instead.
+#[test]
+fn hostile_ingest_stream_cannot_grow_the_rejection_log() {
+    let options = CorpusOptions { max_rejected: 3, ..CorpusOptions::default() };
+    let app = LiveSearchApp::new(
+        LiveCorpus::from_corpus_with_options(seed_corpus(1), options),
+        SearchAppConfig::default(),
+        64,
+    );
+    for i in 0..10 {
+        let response = app.handle(&request(
+            "POST",
+            "/ingest",
+            &[("name", format!("bad-{i}"))],
+            b"<oops>",
+        ));
+        assert_eq!(response.status, 400, "malformed XML is soft-rejected");
+    }
+    let (retained, dropped) = app.corpus().rejection_stats();
+    assert_eq!((retained, dropped), (3, 7), "log capped, overflow counted");
+    let stats = json::parse(
+        std::str::from_utf8(&app.handle(&request("GET", "/stats", &[], b"")).body).unwrap(),
+    )
+    .unwrap();
+    let corpus = stats.get("corpus").expect("corpus section");
+    assert_eq!(corpus.get("rejected").and_then(Value::as_u64), Some(3));
+    assert_eq!(corpus.get("rejected_dropped").and_then(Value::as_u64), Some(7));
+    assert_eq!(corpus.get("epoch").and_then(Value::as_u64), Some(0), "no mutation happened");
+}
+
+/// The kill-free end-to-end: one daemon, one socket, zero restarts.
+/// Clients hammer `/search` the whole time; the main thread ingests,
+/// searches, deletes and re-checks over HTTP. Every concurrent response
+/// is a `200`, deleted content disappears from answers immediately, and
+/// the epoch advances once per mutation.
+#[test]
+fn daemon_serves_continuously_through_ingest_and_delete() {
+    let (tx, rx) = mpsc::channel();
+    let server_thread = std::thread::spawn(move || {
+        serve_live(
+            LiveCorpus::from_corpus(seed_corpus(4)),
+            "127.0.0.1:0",
+            // Unlimited requests per connection: the load workers below
+            // keep one socket each for the whole test.
+            ServeConfig {
+                workers: 2,
+                max_requests_per_connection: 0,
+                ..ServeConfig::default()
+            },
+            SearchAppConfig::default(),
+            4096,
+            |addr, handle| tx.send((addr, handle)).expect("report daemon"),
+        )
+        .expect("daemon serves");
+    });
+    let (addr, handle) = rx.recv().expect("daemon up");
+
+    let stop = AtomicBool::new(false);
+    let non_200 = AtomicU64::new(0);
+    let served = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        // Background load on the seed documents: they are never mutated,
+        // so their answers must stay correct (and cache-hot) throughout.
+        for worker in 0..2u64 {
+            let (stop, non_200, served) = (&stop, &non_200, &served);
+            scope.spawn(move || {
+                let mut client = KeepAliveClient::connect(addr);
+                let mut i = worker;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = format!("tok{}v0", i % 4);
+                    i += 1;
+                    let response = client.request("GET", &format!("/search?q={q}"));
+                    served.fetch_add(1, Ordering::Relaxed);
+                    if response.status != 200 {
+                        non_200.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+
+        // Foreground: a full mutation lifecycle per round, over HTTP.
+        let mut client = KeepAliveClient::connect(addr);
+        let mut epoch_seen = 0u64;
+        for round in 0..5u64 {
+            let name = format!("live-{round}");
+            let xml = format!(
+                "<live><entry><token>zzlive{round}zz</token></entry></live>"
+            );
+            let ingest = client
+                .request_body("POST", &format!("/ingest?name={name}"), xml.as_bytes());
+            assert_eq!(ingest.status, 200, "{}", ingest.body);
+            let found = client.request("GET", &format!("/search?q=zzlive{round}zz"));
+            assert_eq!(found.status, 200);
+            let v = json::parse(&found.body).expect("JSON");
+            assert_eq!(result_count(&v), 1, "ingested doc is searchable: {}", found.body);
+            let deleted = client.request_body("POST", &format!("/delete?doc={name}"), b"");
+            assert_eq!(deleted.status, 200, "{}", deleted.body);
+            // The delete is visible to the very next request — no stale
+            // page, no stale snippet, no grace period.
+            let gone = client.request("GET", &format!("/search?q=zzlive{round}zz"));
+            let v = json::parse(&gone.body).expect("JSON");
+            assert_eq!(result_count(&v), 0, "deleted doc still served: {}", gone.body);
+            // Epoch strictly advances: two mutations per round.
+            let epoch = deleted.corpus_epoch.expect("mutations are epoch-stamped");
+            assert!(epoch > epoch_seen || round == 0, "epoch must advance: {epoch}");
+            epoch_seen = epoch;
+        }
+        assert_eq!(epoch_seen, 10, "5 ingests + 5 deletes");
+
+        // Let the load run a beat longer against the final state.
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(
+        non_200.load(Ordering::Relaxed),
+        0,
+        "every concurrent search answered 200 through 10 mutations"
+    );
+    assert!(served.load(Ordering::Relaxed) > 0, "the load loop actually ran");
+
+    // /stats agrees: 4 live docs, epoch 10.
+    let mut client = KeepAliveClient::connect(addr);
+    let stats = client.request("GET", "/stats");
+    let v = json::parse(&stats.body).expect("stats JSON");
+    let corpus = v.get("corpus").expect("corpus section");
+    assert_eq!(corpus.get("documents").and_then(Value::as_u64), Some(4));
+    assert_eq!(corpus.get("epoch").and_then(Value::as_u64), Some(10));
+
+    handle.shutdown();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !server_thread.is_finished() {
+        assert!(Instant::now() < deadline, "daemon never drained");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server_thread.join().expect("daemon thread");
+}

@@ -40,6 +40,7 @@ fn get(app: &RouterApp, path: &str, query: &[(&str, String)]) -> Response {
         http11: true,
         keep_alive: true,
         trace_id: None,
+        body: Vec::new(),
     })
 }
 
@@ -354,6 +355,104 @@ fn router_survives_shard_death_and_heals_on_restart_under_load() {
         body.get("shards").and_then(|s| s.get("answered")).and_then(Value::as_u64),
         Some(2)
     );
+}
+
+#[test]
+fn router_relearns_doc_ids_when_a_shard_ingests_mid_session() {
+    use extract_serve::testing::KeepAliveClient;
+
+    // Two live shard daemons; the router is a long-lived in-process app
+    // over both — NO probe rounds run during this test, so any doc-count
+    // refresh must come from the epoch stamps on search answers.
+    let shard_a =
+        ShardProc::spawn(&["--gen-docs", "2", "--gen-nodes", "300", "--seed", "1", "--port", "0"]);
+    let shard_b =
+        ShardProc::spawn(&["--gen-docs", "2", "--gen-nodes", "300", "--seed", "2", "--port", "0"]);
+
+    // A marker document only shard B holds: its global id is
+    // `docs(A) + local id`, so it moves the moment shard A grows.
+    let mut b_client = KeepAliveClient::connect(shard_b.addr);
+    let ingest = b_client.request_body(
+        "POST",
+        "/ingest?name=marker",
+        b"<m><entry><token>zzmarkerzz</token></entry></m>",
+    );
+    assert_eq!(ingest.status, 200, "{}", ingest.body);
+
+    let app = RouterApp::new(RouterConfig {
+        shards: vec![shard_a.addr, shard_b.addr],
+        request_deadline: Duration::from_secs(5),
+        hedge: None,
+        ..RouterConfig::default()
+    });
+    let marker_id = |response: &Response| -> u64 {
+        assert_eq!(response.status, 200);
+        let v = json::parse(body_text(response)).expect("JSON body");
+        let results = v.get("results").and_then(Value::as_arr).expect("results");
+        assert_eq!(results.len(), 1, "exactly the marker doc: {v:?}");
+        results[0].get("doc_id").and_then(Value::as_u64).expect("doc_id")
+    };
+
+    // Baseline: A has 2 docs, the marker sits at B's slot 2 → global 4.
+    let before = get(&app, "/search", &[("q", "zzmarkerzz".to_string())]);
+    assert_eq!(marker_id(&before), 4, "bases [0, 2] before the ingest");
+
+    // Grow shard A over HTTP, under concurrent router load. Every
+    // response must keep 200 and the marker's id must only ever be one
+    // of the two consistent mappings — never garbage from a half-stale
+    // remap.
+    let stop = AtomicBool::new(false);
+    let bad = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let (app, stop, bad) = (&app, &stop, &bad);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let response = get(app, "/search", &[("q", "zzmarkerzz".to_string())]);
+                    let id = marker_id(&response);
+                    if id != 4 && id != 5 {
+                        bad.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        let mut a_client = KeepAliveClient::connect(shard_a.addr);
+        let grown = a_client.request_body(
+            "POST",
+            "/ingest?name=grown",
+            b"<g><entry><token>zzgrownzz</token></entry></g>",
+        );
+        assert_eq!(grown.status, 200, "{}", grown.body);
+        // The very next search that touches shard A sees epoch 1 on the
+        // answer and relearns A's count before merging: the marker's
+        // global id shifts to 3 + 2 = 5 with no probe and no heal.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let response = get(&app, "/search", &[("q", "zzmarkerzz".to_string())]);
+            if marker_id(&response) == 5 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "router never refreshed the doc-id remap after the shard's epoch moved"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(bad.load(Ordering::Relaxed), 0, "only the two consistent mappings may appear");
+
+    // Steady state: the remap is the new one, and /stats shows the
+    // learned epochs per shard.
+    let after = get(&app, "/search", &[("q", "zzmarkerzz".to_string())]);
+    assert_eq!(marker_id(&after), 5, "bases [0, 3] after the ingest");
+    let stats = json::parse(&app.render_stats()).expect("stats JSON");
+    let shards = stats.get("shards").and_then(Value::as_arr).expect("shard array");
+    let epochs: Vec<Option<u64>> = shards
+        .iter()
+        .map(|s| s.get("corpus_epoch").and_then(Value::as_u64))
+        .collect();
+    assert_eq!(epochs, [Some(1), Some(1)], "both shards' epochs learned: {stats:?}");
 }
 
 /// One raw HTTP/1.1 exchange over a fresh socket: returns the status

@@ -293,6 +293,7 @@ fn healthz_reports_draining_with_503_once_shutdown_begins() {
         http11: true,
         keep_alive: true,
         trace_id: None,
+        body: Vec::new(),
     };
 
     let before = app.handle(&healthz);
